@@ -1,0 +1,166 @@
+package privcluster
+
+// The benchmark suite regenerates, in quick mode, every table and figure
+// reproduced from the paper (one benchmark per artifact — see DESIGN.md's
+// per-experiment index), plus micro-benchmarks of the pipeline stages.
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// For the full-size experiment tables, use cmd/experiments instead.
+
+import (
+	"math/rand"
+	"testing"
+
+	"privcluster/internal/core"
+	"privcluster/internal/dp"
+	"privcluster/internal/experiments"
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+	"privcluster/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// A fixed seed keeps every iteration on the known-good
+		// deterministic path; experiments are pure functions of the seed.
+		tables := e.Run(1, true)
+		if len(tables) == 0 {
+			b.Fatal("experiment produced no tables")
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (all four 1-cluster solutions).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFigure1 regenerates Figure 1 (empty intersection of heavy
+// intervals).
+func BenchmarkFigure1(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFigure2 regenerates Figure 2 (interval extension capture).
+func BenchmarkFigure2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkRadiusVsN regenerates the w = O(√log n) sweep (Theorem 3.2).
+func BenchmarkRadiusVsN(b *testing.B) { benchExperiment(b, "radius-w") }
+
+// BenchmarkDeltaVsDomain regenerates the Δ-vs-|X| sweep (Lemma 3.6 vs the
+// threshold-release baseline).
+func BenchmarkDeltaVsDomain(b *testing.B) { benchExperiment(b, "delta-logstar") }
+
+// BenchmarkIntPoint regenerates the Theorem 5.3 reduction experiment.
+func BenchmarkIntPoint(b *testing.B) { benchExperiment(b, "intpoint") }
+
+// BenchmarkSampleAggregate regenerates the Theorem 6.3 experiment.
+func BenchmarkSampleAggregate(b *testing.B) { benchExperiment(b, "sa") }
+
+// BenchmarkKCover regenerates the Observation 3.5 experiment.
+func BenchmarkKCover(b *testing.B) { benchExperiment(b, "kcover") }
+
+// BenchmarkAblations regenerates the three design-choice ablations.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkEpsilonSweep regenerates the utility-vs-ε cliff (Theorem 3.2's
+// 1/ε pricing).
+func BenchmarkEpsilonSweep(b *testing.B) { benchExperiment(b, "eps-sweep") }
+
+// BenchmarkKMeans regenerates the private k-means application comparison.
+func BenchmarkKMeans(b *testing.B) { benchExperiment(b, "kmeans") }
+
+// BenchmarkTMin regenerates the minimal-workable-t measurement.
+func BenchmarkTMin(b *testing.B) { benchExperiment(b, "tmin") }
+
+// BenchmarkLowerBound regenerates the §5 lower-bound landscape table.
+func BenchmarkLowerBound(b *testing.B) { benchExperiment(b, "lowerbound") }
+
+// ---- Stage micro-benchmarks --------------------------------------------
+
+func benchSetup(b *testing.B, n, d int) ([]vec.Vector, core.Params) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	grid, err := geometry.NewGrid(1024, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := workload.PlantedBall{N: n, ClusterSize: 3 * n / 5, Radius: 0.02}.Generate(rng, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prm := core.Params{
+		T:       n / 2,
+		Privacy: dp.Params{Epsilon: 4, Delta: 0.05},
+		Beta:    0.1,
+		Grid:    grid,
+	}
+	return inst.Points, prm
+}
+
+// BenchmarkGoodRadius times Algorithm 1 alone (n=800, d=2), excluding the
+// one-off O(n² log n) distance-index construction.
+func BenchmarkGoodRadius(b *testing.B) {
+	pts, prm := benchSetup(b, 800, 2)
+	ix, err := geometry.NewDistanceIndex(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GoodRadius(rng, ix, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoodCenter times Algorithm 2 alone (n=800, d=2).
+func BenchmarkGoodCenter(b *testing.B) {
+	pts, prm := benchSetup(b, 800, 2)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GoodCenter(rng, pts, 0.05, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOneClusterPipeline times the full pipeline end to end through
+// the public API (n=800, d=2).
+func BenchmarkOneClusterPipeline(b *testing.B) {
+	pts, _ := benchSetup(b, 800, 2)
+	pub := make([]Point, len(pts))
+	for i, p := range pts {
+		pub[i] = Point(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindCluster(pub, 400, Options{
+			Epsilon: 4, Delta: 0.05, Seed: int64(i) + 1, GridSize: 1024,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistanceIndex times the O(n²) preprocessing shared by the
+// pipeline (n=800, d=2).
+func BenchmarkDistanceIndex(b *testing.B) {
+	pts, _ := benchSetup(b, 800, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := geometry.NewDistanceIndex(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

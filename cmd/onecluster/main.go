@@ -1,0 +1,119 @@
+// Command onecluster runs the differentially private 1-cluster algorithm on
+// a CSV of points (one point per line, comma-separated coordinates in
+// [0,1]) and prints the released ball.
+//
+// Usage:
+//
+//	onecluster -t 400 -epsilon 2 -delta 0.05 points.csv
+//	cat points.csv | onecluster -t 400
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"privcluster"
+)
+
+func main() {
+	t := flag.Int("t", 0, "target cluster size (required)")
+	epsilon := flag.Float64("epsilon", 1, "privacy parameter ε")
+	delta := flag.Float64("delta", 1e-6, "privacy parameter δ")
+	beta := flag.Float64("beta", 0.1, "failure probability target")
+	gridSize := flag.Int64("grid", 1<<16, "|X|: grid values per axis")
+	seed := flag.Int64("seed", 0, "random seed (0 = from clock)")
+	k := flag.Int("k", 1, "number of clusters to locate (k-cover when > 1)")
+	flag.Parse()
+
+	if *t <= 0 {
+		fmt.Fprintln(os.Stderr, "onecluster: -t is required and must be positive")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "onecluster:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	points, err := readPoints(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onecluster:", err)
+		os.Exit(1)
+	}
+	opts := privcluster.Options{
+		Epsilon: *epsilon, Delta: *delta, Beta: *beta,
+		GridSize: *gridSize, Seed: *seed,
+	}
+
+	if *k <= 1 {
+		c, err := privcluster.FindCluster(points, *t, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "onecluster:", err)
+			os.Exit(1)
+		}
+		printCluster(c, points)
+		return
+	}
+	cs, err := privcluster.FindClusters(points, *k, *t, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onecluster:", err)
+		os.Exit(1)
+	}
+	for i, c := range cs {
+		fmt.Printf("cluster %d:\n", i+1)
+		printCluster(c, points)
+	}
+}
+
+func printCluster(c privcluster.Cluster, points []privcluster.Point) {
+	fmt.Printf("  center: %v\n", formatPoint(c.Center))
+	fmt.Printf("  radius: %g (radius-stage estimate %g)\n", c.Radius, c.RawRadius)
+	fmt.Printf("  points inside: %d of %d\n", c.Count(points), len(points))
+}
+
+func formatPoint(p privcluster.Point) string {
+	parts := make([]string, len(p))
+	for i, x := range p {
+		parts[i] = strconv.FormatFloat(x, 'g', 6, 64)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func readPoints(r io.Reader) ([]privcluster.Point, error) {
+	var points []privcluster.Point
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		p := make(privcluster.Point, len(fields))
+		for i, f := range fields {
+			x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			p[i] = x
+		}
+		points = append(points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("no points in input")
+	}
+	return points, nil
+}

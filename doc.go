@@ -1,0 +1,39 @@
+// Package privcluster is a from-scratch Go implementation of
+//
+//	Kobbi Nissim, Uri Stemmer, Salil Vadhan.
+//	"Locating a Small Cluster Privately." PODS 2016.
+//
+// It provides (ε, δ)-differentially private solutions to the 1-cluster
+// problem: given n points in a discretized d-dimensional unit cube and a
+// target size t, find a small ball containing at least ≈ t of the points,
+// without leaking any individual point. The headline algorithm — GoodRadius
+// followed by GoodCenter (Theorem 3.2 of the paper) — handles minority-size
+// clusters (t sublinear in n and only 2^{O(log*|X|)} in the domain size) and
+// approximates the optimal radius within O(√log n), independent of the
+// dimension.
+//
+// On top of the 1-cluster solver the package exposes the paper's derived
+// constructions: k-ball covering (Observation 3.5), private interior-point
+// location (Algorithm 3, the reduction behind the Section 5 lower bound),
+// and the sample-and-aggregate compiler (Algorithm SA, Section 6) that turns
+// arbitrary non-private analyses into private ones.
+//
+// # Quick start
+//
+//	points := ... // [][]float64 in [0,1]^d
+//	cluster, err := privcluster.FindCluster(points, 400, privcluster.Options{
+//		Epsilon: 4, Delta: 0.05, Seed: 1,
+//	})
+//	// cluster.Center, cluster.Radius describe a ball holding ≈ 400 points.
+//
+// See the examples/ directory for runnable programs and DESIGN.md for the
+// system inventory, the paper-vs-implementation substitutions, and the
+// experiment index. EXPERIMENTS.md reports paper-vs-measured results for
+// every table and figure.
+//
+// # Privacy disclaimer
+//
+// This is a research reproduction. Noise is generated with math/rand
+// (seedable for reproducibility — which a production DP deployment must
+// never allow) and floating-point side channels are not mitigated.
+package privcluster

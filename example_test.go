@@ -1,0 +1,66 @@
+package privcluster_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privcluster"
+)
+
+// ExampleFindCluster locates a planted majority cluster and reports how
+// many points the released ball captures.
+func ExampleFindCluster() {
+	rng := rand.New(rand.NewSource(1))
+	points := make([]privcluster.Point, 0, 800)
+	for i := 0; i < 500; i++ { // tight cluster near (0.4, 0.6)
+		points = append(points, privcluster.Point{
+			0.4 + (rng.Float64()*2-1)*0.02,
+			0.6 + (rng.Float64()*2-1)*0.02,
+		})
+	}
+	for i := 0; i < 300; i++ { // uniform background
+		points = append(points, privcluster.Point{rng.Float64(), rng.Float64()})
+	}
+
+	cluster, err := privcluster.FindCluster(points, 400, privcluster.Options{
+		Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ball captures at least t points: %v\n", cluster.Count(points) >= 400)
+	fmt.Printf("radius below the domain diameter: %v\n", cluster.Radius < 1.5)
+	// Output:
+	// ball captures at least t points: true
+	// radius below the domain diameter: true
+}
+
+// ExampleAggregate compiles a non-private block-mean estimator into a
+// private one with sample-and-aggregate.
+func ExampleAggregate() {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([]float64, 40000)
+	for i := range rows {
+		rows[i] = 0.5 + rng.NormFloat64()*0.01
+	}
+	blockMean := func(rs []float64) privcluster.Point {
+		var s float64
+		for _, r := range rs {
+			s += r
+		}
+		m := s / float64(len(rs))
+		return privcluster.Point{m, m}
+	}
+	z, err := privcluster.Aggregate(rows, blockMean, 2, 5, 0.8, privcluster.Options{
+		Epsilon: 4, Delta: 0.05, Seed: 13, GridSize: 4096,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("estimate within 0.2 of the true location: %v\n",
+		z[0] > 0.3 && z[0] < 0.7 && z[1] > 0.3 && z[1] < 0.7)
+	// Output:
+	// estimate within 0.2 of the true location: true
+}

@@ -1,0 +1,69 @@
+// Quickstart: privately locate a planted cluster in R^4.
+//
+// The program plants 600 of 1000 points inside a small ball, runs the
+// differentially private 1-cluster algorithm (ε = 2, δ = 0.05), and reports
+// how well the released ball matches the planted one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"privcluster"
+)
+
+func main() {
+	const (
+		n           = 1000
+		clusterSize = 600
+		d           = 4
+		radius      = 0.03
+		t           = 500
+	)
+	rng := rand.New(rand.NewSource(2016)) // the PODS year, for luck
+
+	// Plant a cluster at a random center.
+	center := make(privcluster.Point, d)
+	for j := range center {
+		center[j] = 0.3 + 0.4*rng.Float64()
+	}
+	points := make([]privcluster.Point, 0, n)
+	for i := 0; i < clusterSize; i++ {
+		p := make(privcluster.Point, d)
+		for j := range p {
+			p[j] = center[j] + (rng.Float64()*2-1)*radius/math.Sqrt(d)
+		}
+		points = append(points, p)
+	}
+	for i := clusterSize; i < n; i++ {
+		p := make(privcluster.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		points = append(points, p)
+	}
+
+	cluster, err := privcluster.FindCluster(points, t, privcluster.Options{
+		Epsilon: 2, Delta: 0.05, Seed: 7, GridSize: 1 << 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var centerDist float64
+	for j := range center {
+		diff := cluster.Center[j] - center[j]
+		centerDist += diff * diff
+	}
+	centerDist = math.Sqrt(centerDist)
+
+	fmt.Println("private 1-cluster (ε=2, δ=0.05)")
+	fmt.Printf("  planted:  center %v, radius %v, %d points\n", fmt.Sprintf("%.3f", center), radius, clusterSize)
+	fmt.Printf("  released: radius %.4f (radius-stage estimate %.4f)\n", cluster.Radius, cluster.RawRadius)
+	fmt.Printf("  released ball holds %d of %d points (target t=%d)\n", cluster.Count(points), n, t)
+	fmt.Printf("  released center is %.4f from the planted center\n", centerDist)
+}

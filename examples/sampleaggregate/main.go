@@ -1,0 +1,71 @@
+// Sample and aggregate (§6): compile an "off the shelf" non-private
+// estimator into a differentially private one, and watch it stay robust
+// where naive private averaging fails.
+//
+// The non-private analysis f is a trimmed 2-D location estimate computed on
+// small blocks. Because f is stable — most random blocks produce nearly the
+// same answer — Algorithm SA can release a private point close to f's
+// answer, even though f itself was written with no privacy in mind.
+//
+//	go run ./examples/sampleaggregate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"privcluster"
+)
+
+func main() {
+	const (
+		n       = 45000
+		m       = 9 // block size = stability parameter
+		epsilon = 4.0
+	)
+	rng := rand.New(rand.NewSource(21))
+
+	// Rows: 2-D readings, 88% around (0.31, 0.57), 12% corrupted.
+	type reading struct{ x, y float64 }
+	rows := make([]reading, n)
+	for i := range rows {
+		if rng.Float64() < 0.88 {
+			rows[i] = reading{0.31 + rng.NormFloat64()*0.02, 0.57 + rng.NormFloat64()*0.02}
+		} else {
+			rows[i] = reading{rng.Float64(), rng.Float64()}
+		}
+	}
+
+	// The non-private analysis: coordinate-wise median of a block — an
+	// ordinary robust estimator, written with no privacy in mind.
+	blockMedian := func(block []reading) privcluster.Point {
+		xs := make([]float64, len(block))
+		ys := make([]float64, len(block))
+		for i, r := range block {
+			xs[i], ys[i] = r.x, r.y
+		}
+		sort.Float64s(xs)
+		sort.Float64s(ys)
+		return privcluster.Point{xs[len(xs)/2], ys[len(ys)/2]}
+	}
+
+	private, err := privcluster.Aggregate(rows, blockMedian, 2, m, 0.6, privcluster.Options{
+		Epsilon: epsilon, Delta: 0.05, Seed: 4, GridSize: 1 << 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference: f on the full data (the value SA is standing in for).
+	full := blockMedian(rows)
+	dist := math.Hypot(private[0]-full[0], private[1]-full[1])
+
+	fmt.Println("sample & aggregate (Algorithm SA, §6)")
+	fmt.Printf("  non-private f(all rows):   (%.4f, %.4f)\n", full[0], full[1])
+	fmt.Printf("  private SA estimate:       (%.4f, %.4f)\n", private[0], private[1])
+	fmt.Printf("  distance:                  %.4f\n", dist)
+	fmt.Printf("  blocks used: %d of size %d (n/9m), aggregator: private 1-cluster\n", n/(9*m), m)
+}

@@ -1,0 +1,217 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+	"privcluster/internal/workload"
+)
+
+func grid(t *testing.T, size int64, dim int) geometry.Grid {
+	t.Helper()
+	g, err := geometry.NewGrid(size, dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNonprivateInterval1DExact(t *testing.T) {
+	vals := []float64{0.1, 0.12, 0.13, 0.5, 0.9}
+	iv, err := NonprivateInterval1D(vals, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv.Radius-0.015) > 1e-12 {
+		t.Errorf("radius = %v, want 0.015", iv.Radius)
+	}
+	if iv.Count(vals) < 3 {
+		t.Errorf("interval covers %d < 3", iv.Count(vals))
+	}
+	if _, err := NonprivateInterval1D(vals, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := NonprivateInterval1D(vals, 6); err == nil {
+		t.Error("t>n accepted")
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := Interval1D{Center: 0.5, Radius: 0.1}
+	if !iv.Contains(0.4) || !iv.Contains(0.6) || iv.Contains(0.39) {
+		t.Error("Contains boundary wrong")
+	}
+}
+
+func TestTwoApproxBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := grid(t, 4096, 2)
+	inst, err := workload.PlantedBall{N: 300, ClusterSize: 150, Radius: 0.03}.Generate(rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TwoApproxBall(inst.Points, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count(inst.Points) < 120 {
+		t.Errorf("2-approx ball covers %d < 120", b.Count(inst.Points))
+	}
+	if b.Radius > 4*inst.TrueRadius {
+		t.Errorf("2-approx radius %v ≫ planted %v", b.Radius, inst.TrueRadius)
+	}
+	if _, err := TwoApproxBall(nil, 1); err == nil {
+		t.Error("empty points accepted")
+	}
+}
+
+func TestExpMech1ClusterSmallDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := grid(t, 32, 2)
+	inst, err := workload.PlantedBall{N: 400, ClusterSize: 200, Radius: 0.05}.Generate(rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := ExpMechParams{T: 150, Epsilon: 2, Beta: 0.1, Grid: g}
+	good := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		ball, err := ExpMech1Cluster(rng, inst.Points, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ball.Count(inst.Points) >= prm.T/2 && ball.Radius < 0.5 {
+			good++
+		} else {
+			t.Logf("trial %d: r=%v count=%d", i, ball.Radius, ball.Count(inst.Points))
+		}
+	}
+	if good < trials-1 {
+		t.Errorf("exp-mech baseline succeeded %d/%d", good, trials)
+	}
+}
+
+func TestExpMech1ClusterRefusesBigDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := grid(t, 1<<16, 3) // (2^16)^3 centers: way past any budget
+	pts := []vec.Vector{g.Quantize(vec.Of(0.5, 0.5, 0.5))}
+	_, err := ExpMech1Cluster(rng, pts, ExpMechParams{T: 1, Epsilon: 1, Beta: 0.1, Grid: g})
+	if err == nil {
+		t.Error("poly(|X|^d) blow-up not detected")
+	}
+}
+
+func TestExpMechValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := grid(t, 32, 1)
+	pts := []vec.Vector{g.Quantize(vec.Of(0.5))}
+	if _, err := ExpMech1Cluster(rng, pts, ExpMechParams{T: 0, Epsilon: 1, Beta: 0.1, Grid: g}); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := ExpMech1Cluster(rng, pts, ExpMechParams{T: 1, Epsilon: 0, Beta: 0.1, Grid: g}); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+	if _, err := ExpMech1Cluster(rng, pts, ExpMechParams{T: 1, Epsilon: 1, Beta: 1, Grid: g}); err == nil {
+		t.Error("beta=1 accepted")
+	}
+}
+
+func TestPrivateAggregationMajorityCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := grid(t, 256, 2)
+	inst, err := workload.PlantedBall{N: 800, ClusterSize: 700, Radius: 0.04}.Generate(rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := PrivAggParams{T: 600, Epsilon: 4, Beta: 0.1, Grid: g}
+	good := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		ball, err := PrivateAggregation(rng, inst.Points, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ball.Count(inst.Points) >= prm.T/2 {
+			good++
+		} else {
+			t.Logf("trial %d: center=%v r=%v count=%d", i, ball.Center, ball.Radius, ball.Count(inst.Points))
+		}
+	}
+	if good < trials-1 {
+		t.Errorf("private aggregation succeeded %d/%d", good, trials)
+	}
+}
+
+func TestPrivateAggregationRejectsMinority(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := grid(t, 256, 2)
+	pts := make([]vec.Vector, 100)
+	for i := range pts {
+		pts[i] = g.Quantize(vec.Of(rng.Float64(), rng.Float64()))
+	}
+	_, err := PrivateAggregation(rng, pts, PrivAggParams{T: 30, Epsilon: 1, Beta: 0.1, Grid: g})
+	if err == nil {
+		t.Error("minority cluster accepted — Table 1 row 1's t ≥ 0.51n restriction lost")
+	}
+}
+
+func TestTreeHistogram1DFindsCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// 600 values packed near 0.37, 200 uniform.
+	vals := make([]float64, 800)
+	for i := range vals {
+		if i < 600 {
+			vals[i] = 0.37 + rng.Float64()*0.004
+		} else {
+			vals[i] = rng.Float64()
+		}
+	}
+	prm := TreeHistParams{T: 500, Epsilon: 2, Beta: 0.1, GridSize: 1 << 16}
+	good := 0
+	const trials = 5
+	for i := 0; i < trials; i++ {
+		iv, err := TreeHistogram1D(rng, vals, prm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Count(vals) >= 400 && iv.Radius < 0.05 {
+			good++
+		} else {
+			t.Logf("trial %d: center=%v r=%v count=%d", i, iv.Center, iv.Radius, iv.Count(vals))
+		}
+	}
+	if good < trials-1 {
+		t.Errorf("tree mechanism succeeded %d/%d", good, trials)
+	}
+}
+
+func TestTreeHistogram1DValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	if _, err := TreeHistogram1D(rng, []float64{0.5}, TreeHistParams{T: 0, Epsilon: 1, Beta: 0.1, GridSize: 16}); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := TreeHistogram1D(rng, []float64{0.5}, TreeHistParams{T: 1, Epsilon: 0, Beta: 0.1, GridSize: 16}); err == nil {
+		t.Error("epsilon=0 accepted")
+	}
+	if _, err := TreeHistogram1D(rng, []float64{0.5}, TreeHistParams{T: 1, Epsilon: 1, Beta: 0.1, GridSize: 1}); err == nil {
+		t.Error("|X|=1 accepted")
+	}
+	if _, err := TreeHistogram1D(rng, []float64{1.5}, TreeHistParams{T: 1, Epsilon: 1, Beta: 0.1, GridSize: 16}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestTreeHistLossGrowsWithDomain(t *testing.T) {
+	small := TreeHistLossBound(1<<8, 1, 0.1, 1000)
+	big := TreeHistLossBound(1<<48, 1, 0.1, 1000)
+	if big <= small {
+		t.Errorf("tree loss bound not growing with |X|: %v vs %v", small, big)
+	}
+	// The growth should be super-linear in log|X| ((log|X|)^1.5 shape).
+	if big/small < math.Pow(48.0/8.0, 1.0) {
+		t.Errorf("tree loss grew too slowly: %v → %v", small, big)
+	}
+}

@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"privcluster/internal/dp"
+	"privcluster/internal/geometry"
+	"privcluster/internal/noise"
+	"privcluster/internal/vec"
+)
+
+// ExpMechParams configures the exponential-mechanism 1-cluster baseline.
+type ExpMechParams struct {
+	T       int
+	Epsilon float64
+	Beta    float64
+	Grid    geometry.Grid
+	// MaxCenters aborts when |X|^d exceeds it — the baseline's running time
+	// is poly(|X^d|), which is exactly the drawback Table 1 records.
+	// Defaults to 1<<22.
+	MaxCenters int64
+}
+
+// ExpMech1Cluster solves the 1-cluster problem with the McSherry–Talwar
+// exponential mechanism (Table 1 row 2): a private binary search over the
+// radius grid finds (roughly) the smallest radius at which some grid-center
+// ball holds t points, then the exponential mechanism picks a center with
+// near-maximal count at that radius. The cluster-size loss is
+// O(d·log(|X|)/ε) and the radius is near-optimal, but the center enumeration
+// costs |X|^d — the baseline is only runnable for tiny domains.
+//
+// Budget: ε/2 on the binary search (split across its ~log(M) noisy
+// comparisons) and ε/2 on the selection; pure (ε, 0)-DP overall.
+func ExpMech1Cluster(rng *rand.Rand, points []vec.Vector, prm ExpMechParams) (geometry.Ball, error) {
+	n := len(points)
+	if prm.T < 1 || prm.T > n {
+		return geometry.Ball{}, fmt.Errorf("baselines: t=%d out of [1, %d]", prm.T, n)
+	}
+	if prm.Epsilon <= 0 {
+		return geometry.Ball{}, fmt.Errorf("baselines: epsilon must be positive")
+	}
+	if prm.Beta <= 0 || prm.Beta >= 1 {
+		return geometry.Ball{}, fmt.Errorf("baselines: beta out of (0,1)")
+	}
+	if prm.MaxCenters == 0 {
+		prm.MaxCenters = 1 << 22
+	}
+	d := prm.Grid.Dim
+	total := float64(1)
+	for i := 0; i < d; i++ {
+		total *= float64(prm.Grid.Size)
+		if total > float64(prm.MaxCenters) {
+			return geometry.Ball{}, fmt.Errorf("baselines: |X|^d = %v exceeds the %d-center budget (the poly(|X|^d) cost of Table 1 row 2)", total, prm.MaxCenters)
+		}
+	}
+	centers := enumerateGrid(prm.Grid)
+
+	// Phase 1: noisy binary search over the radius grid for the smallest
+	// radius whose best center covers ≥ t − slack points. max-count has
+	// sensitivity 1.
+	m := prm.Grid.RadiusGridSize()
+	levels := int(math.Ceil(math.Log2(float64(m)))) + 1
+	epsCmp := prm.Epsilon / 2 / float64(levels)
+	slack := (2 / epsCmp) * math.Log(2*float64(levels)/prm.Beta)
+
+	maxCount := func(r float64) int {
+		best := 0
+		for _, c := range centers {
+			if got := geometry.CountInBall(points, c, r); got > best {
+				best = got
+			}
+		}
+		return best
+	}
+	lo, hi := int64(0), m-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		noisy := float64(maxCount(prm.Grid.RadiusFromIndex(mid))) + noise.Laplace(rng, 1/epsCmp)
+		if noisy >= float64(prm.T)-slack {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	r := prm.Grid.RadiusFromIndex(lo)
+
+	// Phase 2: exponential mechanism over centers with quality B_r(c).
+	scores := make([]float64, len(centers))
+	for i, c := range centers {
+		scores[i] = float64(geometry.CountInBall(points, c, r))
+	}
+	idx, err := dp.ExponentialMechanism(rng, scores, 1, prm.Epsilon/2)
+	if err != nil {
+		return geometry.Ball{}, err
+	}
+	return geometry.Ball{Center: centers[idx], Radius: r}, nil
+}
+
+// enumerateGrid lists every grid point of X^d.
+func enumerateGrid(g geometry.Grid) []vec.Vector {
+	d := g.Dim
+	step := g.Step()
+	size := int(g.Size)
+	total := 1
+	for i := 0; i < d; i++ {
+		total *= size
+	}
+	out := make([]vec.Vector, 0, total)
+	idx := make([]int, d)
+	for {
+		p := make(vec.Vector, d)
+		for i, k := range idx {
+			p[i] = float64(k) * step
+		}
+		out = append(out, p)
+		i := 0
+		for ; i < d; i++ {
+			idx[i]++
+			if idx[i] < size {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == d {
+			return out
+		}
+	}
+}

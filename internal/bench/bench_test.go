@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "a", "bb")
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", time.Second)
+	tb.Note = "hello"
+	out := tb.Render()
+	for _, want := range []string{"== demo ==", "| a ", "| bb", "2.500", "1s", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableArityPanics(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	tb.AddRow(1)
+}
+
+func TestF(t *testing.T) {
+	cases := map[float64]string{
+		3:       "3",
+		2.5:     "2.500",
+		123.456: "123.5",
+		1e7:     "1.00e+07",
+		0.0001:  "1.00e-04",
+	}
+	for in, want := range cases {
+		if got := F(in); got != want {
+			t.Errorf("F(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTime(t *testing.T) {
+	d := Time(func() { time.Sleep(5 * time.Millisecond) })
+	if d < 4*time.Millisecond {
+		t.Errorf("Time = %v", d)
+	}
+}
+
+func TestEffectiveRadius(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0), vec.Of(1), vec.Of(2), vec.Of(10)}
+	c := vec.Of(0)
+	if got := EffectiveRadius(pts, c, 3); got != 2 {
+		t.Errorf("EffectiveRadius(3) = %v, want 2", got)
+	}
+	if got := EffectiveRadius(pts, c, 100); got != 10 {
+		t.Errorf("EffectiveRadius(clamped) = %v, want 10", got)
+	}
+	if got := EffectiveRadius(pts, c, 0); got != 0 {
+		t.Errorf("EffectiveRadius(0) = %v", got)
+	}
+	if got := EffectiveRadius(nil, c, 1); got != 0 {
+		t.Errorf("EffectiveRadius(empty) = %v", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0, 0), vec.Of(1, 1), vec.Of(5, 5)}
+	balls := []geometry.Ball{{Center: vec.Of(0, 0), Radius: 1.5}}
+	if got := Coverage(pts, balls); got < 0.66 || got > 0.67 {
+		t.Errorf("Coverage = %v, want 2/3", got)
+	}
+	if Coverage(nil, balls) != 0 {
+		t.Error("Coverage(empty) != 0")
+	}
+}
+
+func TestMedianMean(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+}

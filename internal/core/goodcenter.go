@@ -1,0 +1,257 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"privcluster/internal/dp"
+	"privcluster/internal/jl"
+	"privcluster/internal/noise"
+	"privcluster/internal/stability"
+	"privcluster/internal/svt"
+	"privcluster/internal/vec"
+)
+
+// CenterResult is the outcome of Algorithm GoodCenter.
+type CenterResult struct {
+	// Center is the released point ŷ; with probability ≥ 1−β the ball of
+	// the returned Radius around it contains ≥ t − O((1/ε)·log(n/β)) input
+	// points (Lemma 3.7).
+	Center vec.Vector
+	// Radius is the guaranteed covering radius, OutRadiusFactor·r·√k.
+	Radius float64
+	// K is the projection dimension actually used.
+	K int
+	// Repetitions is how many random partitions were tried before
+	// AboveThreshold fired.
+	Repetitions int
+	// BoxCount is the (non-private, diagnostic) number of points mapped to
+	// the chosen box.
+	BoxCount int
+	// FallbackAxes counts axes resolved by the report-noisy-max fallback.
+	FallbackAxes int
+}
+
+// Sentinel errors for the failure modes Lemma 3.7's hypotheses exclude.
+var (
+	// ErrNoCluster: AboveThreshold never fired — no random partition put
+	// ≈ t projected points in one box.
+	ErrNoCluster = errors.New("core: GoodCenter found no heavy box (is there a radius-r ball with t points?)")
+	// ErrSelectionFailed: a stability-based choice returned ⊥.
+	ErrSelectionFailed = errors.New("core: private selection returned bottom")
+)
+
+// GoodCenter implements Algorithm 2. Given a radius r such that some ball of
+// radius r contains ≥ t input points, it privately releases a center ŷ whose
+// O(r√k)-ball captures ≈ t points, spending the (ε, δ) in prm.Privacy:
+// ε/4 on AboveThreshold, (ε/4, δ/4) on the box choice, (ε/4, δ/4) across
+// the d per-axis choices, and (ε/4, δ/4) on NoisyAVG (Lemma 4.11).
+func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (CenterResult, error) {
+	prm.setDefaults()
+	n := len(points)
+	if err := prm.Validate(n); err != nil {
+		return CenterResult{}, err
+	}
+	if r <= 0 {
+		// A zero radius (GoodRadius's duplicate-cluster case) degenerates
+		// the box partition; the smallest positive grid radius is the
+		// correct resolution at which to hunt for the duplicates.
+		r = prm.Grid.RadiusUnit()
+	}
+	d := prm.Grid.Dim
+	if points[0].Dim() != d {
+		return CenterResult{}, fmt.Errorf("core: points have dimension %d, grid says %d", points[0].Dim(), d)
+	}
+	t := prm.T
+	eps := prm.Privacy.Epsilon
+	delta := prm.Privacy.Delta
+	quarter := dp.Params{Epsilon: eps / 4, Delta: delta / 4}
+	beta := prm.Beta
+
+	// Step 1: JL projection to k dimensions (identity when k ≥ d).
+	k := jl.TargetDim(n, prm.Profile.JLEta, beta)
+	if c := prm.Profile.JLDimCap; c > 0 && k > c {
+		k = c
+	}
+	transform, err := jl.NewTransform(rng, d, k)
+	if err != nil {
+		return CenterResult{}, err
+	}
+	kOut := transform.OutDim()
+	proj := transform.ApplyAll(points)
+
+	// Steps 2–6: resample randomly shifted box partitions of R^k until
+	// AboveThreshold certifies that some box holds ≈ t projected points.
+	// The projected cluster has radius ≤ 3r (JL distortion with η = 1/2).
+	boxSide := prm.Profile.BoxSideFactor * 3 * r
+	threshold := float64(t) - prm.Profile.ThresholdSlackFactor/eps*math.Log(2*float64(n)/beta)
+	at, err := svt.New(rng, threshold, eps/4)
+	if err != nil {
+		return CenterResult{}, err
+	}
+	maxReps := prm.Profile.MaxRepetitions
+	if maxReps <= 0 {
+		maxReps = int(math.Ceil(2 * float64(n) * math.Log(1/beta) / beta))
+	}
+
+	var hist map[string]int
+	fired := false
+	reps := 0
+	offsets := make([]float64, kOut)
+	for rep := 0; rep < maxReps && !fired; rep++ {
+		reps++
+		for i := range offsets {
+			offsets[i] = noise.Uniform(rng, 0, boxSide)
+		}
+		hist = boxHistogram(proj, offsets, boxSide)
+		q := 0
+		for _, c := range hist {
+			if c > q {
+				q = c
+			}
+		}
+		fired, err = at.Query(float64(q))
+		if err != nil {
+			return CenterResult{}, err
+		}
+	}
+	if !fired {
+		return CenterResult{}, fmt.Errorf("%w after %d repetitions", ErrNoCluster, reps)
+	}
+
+	// Step 7: privately choose the heavy box of the successful partition
+	// and collect the input points mapped into it.
+	boxRes, err := stability.Choose(rng, hist, stability.Params{Epsilon: quarter.Epsilon, Delta: quarter.Delta})
+	if err != nil {
+		return CenterResult{}, err
+	}
+	if boxRes.Bottom {
+		return CenterResult{}, fmt.Errorf("%w: box selection", ErrSelectionFailed)
+	}
+	var cluster []vec.Vector
+	for i, p := range proj {
+		if boxKey(p, offsets, boxSide) == boxRes.Key {
+			cluster = append(cluster, points[i])
+		}
+	}
+	if len(cluster) == 0 {
+		return CenterResult{}, fmt.Errorf("%w: chosen box is empty", ErrSelectionFailed)
+	}
+
+	// Steps 8–9: random rotation of R^d, then a private per-axis interval
+	// choice to pin the cluster into a box of diameter O(r·√(k·log(dn/β))).
+	basis, err := jl.RandomBasis(rng, d)
+	if err != nil {
+		return CenterResult{}, err
+	}
+	rotated := make([]vec.Vector, len(cluster))
+	for i, x := range cluster {
+		rotated[i] = basis.MulVec(x)
+	}
+	axisScale := float64(kOut) / float64(d)
+	if prm.Profile.UseAxisLogTerm {
+		axisScale *= math.Log(float64(d) * float64(n) / beta)
+	}
+	pLen := prm.Profile.AxisScaleFactor * r * math.Sqrt(axisScale)
+	epsAxis := eps / (10 * math.Sqrt(float64(d)*math.Log(8/delta)))
+	deltaAxis := delta / (8 * float64(d))
+
+	fallbacks := 0
+	boxCenterRot := make(vec.Vector, d)
+	for axis := 0; axis < d; axis++ {
+		axisHist := make(map[int64]int, len(rotated))
+		for _, x := range rotated {
+			axisHist[int64(math.Floor(x[axis]/pLen))]++
+		}
+		res, err := stability.Choose(rng, axisHist, stability.Params{Epsilon: epsAxis, Delta: deltaAxis})
+		if err != nil {
+			return CenterResult{}, err
+		}
+		var j int64
+		switch {
+		case !res.Bottom:
+			j = res.Key
+		case prm.Profile.AxisFallback:
+			// Practical fallback: report-noisy-max restricted to occupied
+			// intervals. This keeps the ε accounting of the stability
+			// choice but forgoes its δ-absorbing release threshold (the
+			// threshold is what returned ⊥); see the Profile.AxisFallback
+			// doc for the trade-off. Enumerating all data-independent
+			// intervals instead drowns the signal: at per-axis ε ≈ ε/(10√d)
+			// the Θ(√d/p) empty intervals win the noisy argmax almost
+			// surely.
+			j, err = axisNoisyMax(rng, axisHist, epsAxis)
+			if err != nil {
+				return CenterResult{}, err
+			}
+			fallbacks++
+		default:
+			return CenterResult{}, fmt.Errorf("%w: axis %d interval", ErrSelectionFailed, axis)
+		}
+		// Î = the chosen interval extended by p on each side; its center is
+		// the chosen interval's midpoint.
+		boxCenterRot[axis] = (float64(j) + 0.5) * pLen
+	}
+
+	// Step 10: C = bounding sphere of the box with side 3p around the
+	// chosen center (data-independent radius).
+	center := basis.TMulVec(boxCenterRot)
+	rc := 1.5 * pLen * math.Sqrt(float64(d))
+
+	// Step 11: noisy average of the points captured by C.
+	avg, err := dp.NoisyAverage(rng, cluster, center, rc, quarter)
+	if err != nil {
+		return CenterResult{}, err
+	}
+	if avg.Aborted {
+		return CenterResult{}, fmt.Errorf("%w: noisy average aborted", ErrSelectionFailed)
+	}
+	return CenterResult{
+		Center:       avg.Average,
+		Radius:       prm.Profile.OutRadiusFactor * r * math.Sqrt(float64(kOut)),
+		K:            kOut,
+		Repetitions:  reps,
+		BoxCount:     len(cluster),
+		FallbackAxes: fallbacks,
+	}, nil
+}
+
+// boxKey returns the box index of a projected point under the given shifted
+// partition, encoded as a comparable string.
+func boxKey(p vec.Vector, offsets []float64, side float64) string {
+	buf := make([]byte, 0, len(p)*8)
+	for i, x := range p {
+		j := int64(math.Floor((x - offsets[i]) / side))
+		for b := 0; b < 8; b++ {
+			buf = append(buf, byte(uint64(j)>>(8*b)))
+		}
+	}
+	return string(buf)
+}
+
+// boxHistogram counts projected points per box.
+func boxHistogram(proj []vec.Vector, offsets []float64, side float64) map[string]int {
+	h := make(map[string]int, len(proj))
+	for _, p := range proj {
+		h[boxKey(p, offsets, side)]++
+	}
+	return h
+}
+
+// axisNoisyMax selects an interval index by report-noisy-max over the
+// occupied intervals of the axis histogram.
+func axisNoisyMax(rng *rand.Rand, hist map[int64]int, eps float64) (int64, error) {
+	keys := make([]int64, 0, len(hist))
+	scores := make([]float64, 0, len(hist))
+	for j, c := range hist {
+		keys = append(keys, j)
+		scores = append(scores, float64(c))
+	}
+	idx, err := dp.ReportNoisyMax(rng, scores, 1, eps)
+	if err != nil {
+		return 0, err
+	}
+	return keys[idx], nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"privcluster/internal/dp"
+	"privcluster/internal/geometry"
+	"privcluster/internal/noise"
+	"privcluster/internal/recconcave"
+)
+
+// RadiusResult is the outcome of Algorithm GoodRadius.
+type RadiusResult struct {
+	// Radius r such that (w.h.p., Lemma 3.6) some ball of radius r holds at
+	// least t − 4Γ − (4/ε)ln(1/β) input points and r ≤ 4·r_opt.
+	Radius float64
+	// ZeroCluster is true when Step 2 detected a radius-zero cluster (≈ t
+	// duplicated points) and halted with Radius = 0.
+	ZeroCluster bool
+	// Gamma is the promise Γ that was used (diagnostic).
+	Gamma float64
+}
+
+// GoodRadius implements Algorithm 1. It consumes the full privacy budget
+// passed in priv: (ε/2, 0) on the Step-2 Laplace test and (ε/2, δ) on the
+// RecConcave radius search, composing to (ε, δ) (Lemma 4.5).
+//
+// The dataset is supplied as a prebuilt DistanceIndex (so OneCluster can
+// reuse it); the index's points must lie in prm.Grid's unit cube.
+func GoodRadius(rng *rand.Rand, ix *geometry.DistanceIndex, prm Params) (RadiusResult, error) {
+	prm.setDefaults()
+	n := ix.N()
+	if err := prm.Validate(n); err != nil {
+		return RadiusResult{}, err
+	}
+	t := prm.T
+	eps := prm.Privacy.Epsilon
+	gamma := prm.Gamma()
+
+	ls, err := ix.BuildLStep(t)
+	if err != nil {
+		return RadiusResult{}, err
+	}
+
+	// Step 2: radius-zero test. L(0,·) has sensitivity 2, so Lap(4/ε) is
+	// (ε/2, 0)-DP.
+	l0 := ls.Eval(0) + noise.Laplace(rng, 4/eps)
+	if l0 > float64(t)-2*gamma-(4/eps)*math.Log(2/prm.Beta) {
+		return RadiusResult{Radius: 0, ZeroCluster: true, Gamma: gamma}, nil
+	}
+
+	// Steps 3–4: build the quality Q(r,S) = ½·min{t − L(r/2), L(r) − t + 4Γ}
+	// as a step function over the radius grid and hand it to RecConcave.
+	q, err := buildRadiusQuality(ls, prm.Grid, t, gamma)
+	if err != nil {
+		return RadiusResult{}, err
+	}
+	idx, err := recconcave.Solve(rng, q, gamma, recconcave.Options{
+		Alpha:   0.5,
+		Beta:    prm.Beta / 2,
+		Privacy: dp.Params{Epsilon: eps / 2, Delta: prm.Privacy.Delta},
+	})
+	if err != nil {
+		return RadiusResult{}, fmt.Errorf("core: GoodRadius search failed: %w", err)
+	}
+	return RadiusResult{Radius: prm.Grid.RadiusFromIndex(idx), Gamma: gamma}, nil
+}
+
+// buildRadiusQuality materializes Q(r_k, S) over radius-grid indices
+// k ∈ [0, M). Q changes value only where L(r_k) or L(r_k/2) does, i.e. at
+// indices ⌈b/u⌉ and ⌈2b/u⌉ for breakpoints b of L — O(n²) pieces
+// regardless of the grid size (Remark 4.4's efficiency condition).
+func buildRadiusQuality(ls *geometry.LStep, grid geometry.Grid, t int, gamma float64) (*recconcave.StepFn, error) {
+	u := grid.RadiusUnit()
+	m := grid.RadiusGridSize()
+	breakSet := make(map[int64]struct{}, 2*len(ls.Breaks)+1)
+	breakSet[0] = struct{}{}
+	add := func(r float64) {
+		kf := math.Ceil(r / u)
+		if kf < float64(m) && kf > 0 {
+			breakSet[int64(kf)] = struct{}{}
+		}
+	}
+	for _, b := range ls.Breaks {
+		add(b)     // where L(r_k) jumps
+		add(2 * b) // where L(r_k/2) jumps
+	}
+	breaks := make([]int64, 0, len(breakSet))
+	for k := range breakSet {
+		breaks = append(breaks, k)
+	}
+	sort.Slice(breaks, func(i, j int) bool { return breaks[i] < breaks[j] })
+
+	vals := make([]float64, len(breaks))
+	for i, k := range breaks {
+		r := float64(k) * u
+		vals[i] = 0.5 * math.Min(
+			float64(t)-ls.Eval(r/2),
+			ls.Eval(r)-float64(t)+4*gamma,
+		)
+	}
+	return recconcave.NewStepFn(m, breaks, vals)
+}

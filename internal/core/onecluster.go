@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// ClusterResult is the outcome of the full 1-cluster pipeline
+// (Theorem 3.2): a ball that, with probability ≥ 1−β, contains at least
+// t − Δ input points and has radius at most w·r_opt with w = O(√log n).
+type ClusterResult struct {
+	Ball geometry.Ball
+	// RawRadius is GoodRadius's output r (≤ 4·r_opt); the released ball's
+	// radius is O(r·√k).
+	RawRadius float64
+	// ZeroCluster marks the degenerate duplicated-points case.
+	ZeroCluster bool
+	// Center diagnostics, forwarded from GoodCenter.
+	K            int
+	Repetitions  int
+	BoxCount     int
+	FallbackAxes int
+}
+
+// OneCluster runs Algorithm GoodRadius followed by Algorithm GoodCenter,
+// splitting the privacy budget evenly between them; the composition is
+// (ε, δ)-DP by Theorem 2.1. The points must lie in prm.Grid's unit cube
+// (quantization is the caller's responsibility — see geometry.Grid.Quantize).
+func OneCluster(rng *rand.Rand, points []vec.Vector, prm Params) (ClusterResult, error) {
+	prm.setDefaults()
+	if err := prm.Validate(len(points)); err != nil {
+		return ClusterResult{}, err
+	}
+	ix, err := geometry.NewDistanceIndex(points)
+	if err != nil {
+		return ClusterResult{}, err
+	}
+	return oneClusterIndexed(rng, ix, prm)
+}
+
+// oneClusterIndexed is OneCluster on a prebuilt distance index.
+func oneClusterIndexed(rng *rand.Rand, ix *geometry.DistanceIndex, prm Params) (ClusterResult, error) {
+	half := prm
+	half.Privacy = prm.Privacy.Scale(0.5)
+
+	rad, err := GoodRadius(rng, ix, half)
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("core: radius stage: %w", err)
+	}
+	cen, err := GoodCenter(rng, ix.Points(), rad.Radius, half)
+	if err != nil {
+		return ClusterResult{}, fmt.Errorf("core: center stage: %w", err)
+	}
+	return ClusterResult{
+		Ball:         geometry.Ball{Center: cen.Center, Radius: cen.Radius},
+		RawRadius:    rad.Radius,
+		ZeroCluster:  rad.ZeroCluster,
+		K:            cen.K,
+		Repetitions:  cen.Repetitions,
+		BoxCount:     cen.BoxCount,
+		FallbackAxes: cen.FallbackAxes,
+	}, nil
+}
+
+// KCover implements Observation 3.5: iterating the 1-cluster algorithm k
+// times — each round on the points not yet covered — yields up to k balls
+// covering most of the data. The privacy budget is split evenly across
+// rounds (Theorem 2.1). Rounds that fail (e.g. too few points remain) are
+// skipped; the balls found so far are returned.
+func KCover(rng *rand.Rand, points []vec.Vector, k int, prm Params) ([]geometry.Ball, error) {
+	prm.setDefaults()
+	if k < 1 {
+		return nil, fmt.Errorf("core: KCover needs k ≥ 1, got %d", k)
+	}
+	if err := prm.Validate(len(points)); err != nil {
+		return nil, err
+	}
+	round := prm
+	round.Privacy = prm.Privacy.Split(k)
+
+	remaining := points
+	var balls []geometry.Ball
+	for i := 0; i < k; i++ {
+		if len(remaining) < round.T {
+			break
+		}
+		res, err := OneCluster(rng, remaining, round)
+		if err != nil {
+			// A failed round spends its budget share without producing a
+			// ball; later rounds may still succeed on the same points.
+			continue
+		}
+		balls = append(balls, res.Ball)
+		_, remaining = res.Ball.Filter(remaining)
+	}
+	return balls, nil
+}

@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// quantizeAll lifts 1-D values onto a 1-D grid as points.
+func quantizeAll(grid geometry.Grid, vals []float64) []vec.Vector {
+	out := make([]vec.Vector, len(vals))
+	for i, v := range vals {
+		out[i] = grid.Quantize(vec.Vector{v})
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package geometry
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"privcluster/internal/vec"
+)
+
+// DistanceIndex precomputes, for every input point, the sorted list of
+// distances to all input points (including the zero distance to itself).
+// It supports O(log n) ball-count queries around input points, the trivial
+// 2-approximation to the smallest enclosing ball ("known fact 3" of
+// Section 3), and the construction of the L(r, S) step function GoodRadius
+// searches.
+//
+// Memory is Θ(n²) float64s; callers should keep n in the low thousands,
+// which covers every experiment in EXPERIMENTS.md.
+type DistanceIndex struct {
+	points []vec.Vector
+	sorted [][]float64 // sorted[i] = ascending distances from point i
+}
+
+// NewDistanceIndex builds the index. It returns an error for an empty input
+// or mismatched dimensions.
+func NewDistanceIndex(points []vec.Vector) (*DistanceIndex, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("geometry: distance index over empty point set")
+	}
+	d := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != d {
+			return nil, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+	}
+	idx := &DistanceIndex{points: points, sorted: make([][]float64, n)}
+	// Row construction is embarrassingly parallel and dominates the
+	// pipeline's preprocessing cost (Θ(n²·d) distances + Θ(n²·log n) sort),
+	// so fan it out across the cores.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range rows {
+				row := make([]float64, n)
+				for j := 0; j < n; j++ {
+					row[j] = points[i].Dist(points[j])
+				}
+				sort.Float64s(row)
+				idx.sorted[i] = row
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		rows <- i
+	}
+	close(rows)
+	wg.Wait()
+	return idx, nil
+}
+
+// N returns the number of indexed points.
+func (ix *DistanceIndex) N() int { return len(ix.points) }
+
+// Points returns the indexed points (not a copy).
+func (ix *DistanceIndex) Points() []vec.Vector { return ix.points }
+
+// CountWithin returns B_r(x_i): the number of input points within distance r
+// of point i (always ≥ 1, the point itself).
+func (ix *DistanceIndex) CountWithin(i int, r float64) int {
+	row := ix.sorted[i]
+	return sort.Search(len(row), func(k int) bool { return row[k] > r })
+}
+
+// RadiusForCount returns the smallest distance r such that the ball of
+// radius r around point i contains at least t input points, i.e. the t-th
+// smallest distance from point i. It panics if t is out of [1, n].
+func (ix *DistanceIndex) RadiusForCount(i, t int) float64 {
+	if t < 1 || t > len(ix.sorted[i]) {
+		panic(fmt.Sprintf("geometry: RadiusForCount t=%d out of [1,%d]", t, len(ix.sorted[i])))
+	}
+	return ix.sorted[i][t-1]
+}
+
+// TwoApprox returns the best ball centered at an input point containing at
+// least t input points: its radius is at most 2·r_opt ("known fact 3" of
+// Section 3 — a ball of radius 2·r_opt around any point of the optimal ball
+// covers the whole optimal ball). It returns the center index and radius.
+func (ix *DistanceIndex) TwoApprox(t int) (center int, radius float64, err error) {
+	n := ix.N()
+	if t < 1 || t > n {
+		return 0, 0, fmt.Errorf("geometry: TwoApprox t=%d out of [1,%d]", t, n)
+	}
+	best, bestR := 0, ix.RadiusForCount(0, t)
+	for i := 1; i < n; i++ {
+		if r := ix.RadiusForCount(i, t); r < bestR {
+			best, bestR = i, r
+		}
+	}
+	return best, bestR, nil
+}
+
+// MaxCountWithin returns max_i B_r(x_i), the largest input-centered ball
+// count at radius r (sensitivity Ω(t) in general — the motivation for the
+// capped average L; see Section 3.1).
+func (ix *DistanceIndex) MaxCountWithin(r float64) int {
+	best := 0
+	for i := range ix.sorted {
+		if c := ix.CountWithin(i, r); c > best {
+			best = c
+		}
+	}
+	return best
+}

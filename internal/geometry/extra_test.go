@@ -1,0 +1,85 @@
+package geometry
+
+import (
+	"math"
+	"testing"
+
+	"privcluster/internal/vec"
+)
+
+func TestCountWithinNegativeRadius(t *testing.T) {
+	ix, err := NewDistanceIndex([]vec.Vector{vec.Of(0), vec.Of(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.CountWithin(0, -1); got != 0 {
+		t.Errorf("CountWithin(-1) = %d, want 0", got)
+	}
+	// Radius 0 still counts the point itself.
+	if got := ix.CountWithin(0, 0); got != 1 {
+		t.Errorf("CountWithin(0) = %d, want 1", got)
+	}
+}
+
+func TestHugeGridArithmetic(t *testing.T) {
+	// |X| = 2^48 in d = 4: radius-grid sizes and index round trips must not
+	// overflow.
+	g, err := NewGrid(1<<48, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.RadiusGridSize()
+	if m <= 0 {
+		t.Fatalf("RadiusGridSize overflowed: %d", m)
+	}
+	if g.RadiusFromIndex(m-1) < g.MaxDistance() {
+		t.Error("max grid radius does not cover the diameter")
+	}
+	if got := g.IndexFromRadius(g.MaxDistance() * 10); got != m-1 {
+		t.Errorf("huge radius index = %d, want %d", got, m-1)
+	}
+	if s := g.Step(); s <= 0 || s > 1e-13 {
+		t.Errorf("Step = %v", s)
+	}
+}
+
+func TestBuildLStepTEqualsN(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0), vec.Of(0.5), vec.Of(1)}
+	ix, err := NewDistanceIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := ix.BuildLStep(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At r covering everything, every capped count is 3 ⇒ L = 3.
+	if got := ls.Eval(2); got != 3 {
+		t.Errorf("L(2) = %v, want 3", got)
+	}
+	// At r = 0, every ball holds one point ⇒ L = 1.
+	if got := ls.Eval(0); got != 1 {
+		t.Errorf("L(0) = %v, want 1", got)
+	}
+}
+
+func TestLStepEvalBetweenBreaks(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0), vec.Of(0.4), vec.Of(0.9)}
+	ix, _ := NewDistanceIndex(pts)
+	ls, err := ix.BuildLStep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L must be right-continuous: value at a break applies from the break.
+	for i, b := range ls.Breaks {
+		if got := ls.Eval(b); got != ls.Vals[i] {
+			t.Errorf("Eval(break %d) = %v, want %v", i, got, ls.Vals[i])
+		}
+		if got := ls.Eval(b + 1e-12); got != ls.Vals[i] {
+			t.Errorf("Eval(break %d + ε) = %v, want %v", i, got, ls.Vals[i])
+		}
+	}
+	if got := ls.Eval(math.Inf(1)); got != ls.Vals[len(ls.Vals)-1] {
+		t.Errorf("Eval(∞) = %v", got)
+	}
+}

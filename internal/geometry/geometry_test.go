@@ -1,0 +1,327 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privcluster/internal/vec"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(1, 2); err == nil {
+		t.Error("|X|=1 accepted")
+	}
+	if _, err := NewGrid(4, 0); err == nil {
+		t.Error("dim=0 accepted")
+	}
+	g, err := NewGrid(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Step() != 0.25 {
+		t.Errorf("Step = %v, want 0.25", g.Step())
+	}
+}
+
+func TestQuantizeSnapsAndClamps(t *testing.T) {
+	g, _ := NewGrid(5, 2) // step 0.25
+	got := g.Quantize(vec.Of(0.3, -2))
+	if !got.ApproxEqual(vec.Of(0.25, 0), 1e-12) {
+		t.Errorf("Quantize = %v", got)
+	}
+	got = g.Quantize(vec.Of(0.38, 7))
+	if !got.ApproxEqual(vec.Of(0.5, 1), 1e-12) {
+		t.Errorf("Quantize = %v", got)
+	}
+	if !g.OnGrid(got) {
+		t.Error("quantized point not on grid")
+	}
+	if g.OnGrid(vec.Of(0.3, 0.3)) {
+		t.Error("off-grid point reported on grid")
+	}
+	if g.OnGrid(vec.Of(0.25)) {
+		t.Error("wrong-dim point reported on grid")
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	g, _ := NewGrid(17, 3)
+	f := func(a, b, c float64) bool {
+		clampIn := func(x float64) float64 {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return 0.5
+			}
+			return math.Remainder(x, 2)
+		}
+		v := vec.Of(clampIn(a), clampIn(b), clampIn(c))
+		q := g.Quantize(v)
+		return g.Quantize(q).ApproxEqual(q, 1e-12) && g.OnGrid(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadiusGridRoundTrip(t *testing.T) {
+	g, _ := NewGrid(33, 4)
+	m := g.RadiusGridSize()
+	if m < 2 {
+		t.Fatalf("RadiusGridSize = %d", m)
+	}
+	// Largest index covers the domain diameter.
+	if g.RadiusFromIndex(m-1) < g.MaxDistance() {
+		t.Errorf("max grid radius %v < diameter %v", g.RadiusFromIndex(m-1), g.MaxDistance())
+	}
+	// IndexFromRadius never under-covers.
+	for _, r := range []float64{0, 1e-9, 0.1, 0.5, 1.7, g.MaxDistance()} {
+		k := g.IndexFromRadius(r)
+		if g.RadiusFromIndex(k) < r-1e-12 {
+			t.Errorf("IndexFromRadius(%v) = %d under-covers (%v)", r, k, g.RadiusFromIndex(k))
+		}
+	}
+	if g.IndexFromRadius(-1) != 0 {
+		t.Error("negative radius index != 0")
+	}
+	if g.IndexFromRadius(1e18) != m-1 {
+		t.Error("huge radius not clamped")
+	}
+}
+
+func TestCountInBallAndBall(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0, 0), vec.Of(1, 0), vec.Of(3, 0)}
+	if got := CountInBall(pts, vec.Of(0, 0), 1); got != 2 {
+		t.Errorf("CountInBall = %d, want 2", got)
+	}
+	b := Ball{Center: vec.Of(0, 0), Radius: 1}
+	if !b.Contains(vec.Of(1, 0)) || b.Contains(vec.Of(1.01, 0)) {
+		t.Error("Ball.Contains boundary wrong")
+	}
+	in, out := b.Filter(pts)
+	if len(in) != 2 || len(out) != 1 {
+		t.Errorf("Filter = %d/%d", len(in), len(out))
+	}
+	if b.Count(pts) != 2 {
+		t.Errorf("Count = %d", b.Count(pts))
+	}
+}
+
+func clusterWithNoise(rng *rand.Rand, n, d int, clusterFrac float64, radius float64) []vec.Vector {
+	pts := make([]vec.Vector, 0, n)
+	nc := int(float64(n) * clusterFrac)
+	center := make(vec.Vector, d)
+	for j := range center {
+		center[j] = 0.5
+	}
+	for i := 0; i < nc; i++ {
+		p := center.Clone()
+		for j := range p {
+			p[j] += (rng.Float64()*2 - 1) * radius / math.Sqrt(float64(d))
+		}
+		pts = append(pts, p)
+	}
+	for i := nc; i < n; i++ {
+		p := make(vec.Vector, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func TestDistanceIndexBasics(t *testing.T) {
+	if _, err := NewDistanceIndex(nil); err == nil {
+		t.Error("empty index accepted")
+	}
+	if _, err := NewDistanceIndex([]vec.Vector{vec.Of(1), vec.Of(1, 2)}); err == nil {
+		t.Error("ragged dims accepted")
+	}
+	pts := []vec.Vector{vec.Of(0), vec.Of(1), vec.Of(2), vec.Of(10)}
+	ix, err := NewDistanceIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.N() != 4 {
+		t.Errorf("N = %d", ix.N())
+	}
+	if got := ix.CountWithin(0, 1); got != 2 {
+		t.Errorf("CountWithin(0,1) = %d, want 2", got)
+	}
+	if got := ix.CountWithin(1, 1); got != 3 {
+		t.Errorf("CountWithin(1,1) = %d, want 3", got)
+	}
+	if got := ix.RadiusForCount(0, 3); got != 2 {
+		t.Errorf("RadiusForCount(0,3) = %v, want 2", got)
+	}
+	if got := ix.MaxCountWithin(1); got != 3 {
+		t.Errorf("MaxCountWithin(1) = %d, want 3", got)
+	}
+}
+
+func TestRadiusForCountPanics(t *testing.T) {
+	ix, _ := NewDistanceIndex([]vec.Vector{vec.Of(0)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RadiusForCount(0,2) did not panic")
+		}
+	}()
+	ix.RadiusForCount(0, 2)
+}
+
+func TestTwoApproxQuality(t *testing.T) {
+	// Planted cluster: the 2-approximation must find a ball within 2× of
+	// the planted radius that covers t points.
+	rng := rand.New(rand.NewSource(1))
+	pts := clusterWithNoise(rng, 300, 3, 0.3, 0.05)
+	ix, err := NewDistanceIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tParam := 90
+	c, r, err := ix.TwoApprox(tParam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.CountWithin(c, r); got < tParam {
+		t.Errorf("2-approx ball holds %d < %d points", got, tParam)
+	}
+	// r_opt ≤ planted radius 0.05 (roughly; cluster diameter ≤ 0.1), so the
+	// 2-approx must return r ≤ 2·0.1.
+	if r > 0.2 {
+		t.Errorf("2-approx radius %v too large", r)
+	}
+	if _, _, err := ix.TwoApprox(0); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, _, err := ix.TwoApprox(10000); err == nil {
+		t.Error("t>n accepted")
+	}
+}
+
+func TestLValueAgainstDefinition(t *testing.T) {
+	// Hand-checkable instance on a line: points 0, 1, 2, 10 with t = 2.
+	pts := []vec.Vector{vec.Of(0), vec.Of(1), vec.Of(2), vec.Of(10)}
+	ix, _ := NewDistanceIndex(pts)
+	// r = 1: counts are 2,3,2,1 capped at 2 → 2,2,2,1; top-2 avg = 2.
+	got, err := ix.LValue(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("LValue(1,2) = %v, want 2", got)
+	}
+	// r = 0.5: counts 1,1,1,1 → avg of top-2 = 1.
+	got, _ = ix.LValue(0.5, 2)
+	if got != 1 {
+		t.Errorf("LValue(0.5,2) = %v, want 1", got)
+	}
+	// Negative r: 0 by convention.
+	got, _ = ix.LValue(-1, 2)
+	if got != 0 {
+		t.Errorf("LValue(-1,2) = %v, want 0", got)
+	}
+	if _, err := ix.LValue(1, 0); err == nil {
+		t.Error("t=0 accepted")
+	}
+}
+
+func TestBuildLStepMatchesLValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 30 + rng.Intn(40)
+		d := 1 + rng.Intn(3)
+		pts := clusterWithNoise(rng, n, d, 0.4, 0.05)
+		ix, err := NewDistanceIndex(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := 2 + rng.Intn(n/2)
+		ls, err := ix.BuildLStep(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check at breakpoints, between them, and beyond the last.
+		var radii []float64
+		for _, b := range ls.Breaks {
+			radii = append(radii, b, b+1e-7)
+		}
+		radii = append(radii, 0, 0.01, 0.5, 3, 100)
+		for _, r := range radii {
+			want, err := ix.LValue(r, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := ls.Eval(r); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: LStep.Eval(%v) = %v, want %v (t=%d n=%d)", trial, r, got, want, tt, n)
+			}
+		}
+	}
+}
+
+func TestBuildLStepDuplicatePoints(t *testing.T) {
+	// All points identical: L(0) should already be t (a radius-0 cluster),
+	// exercising GoodRadius Step 2's code path.
+	pts := make([]vec.Vector, 20)
+	for i := range pts {
+		pts[i] = vec.Of(0.5, 0.5)
+	}
+	ix, _ := NewDistanceIndex(pts)
+	ls, err := ix.BuildLStep(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.Eval(0); got != 10 {
+		t.Errorf("L(0) = %v, want 10 (capped)", got)
+	}
+	if len(ls.Breaks) != 1 {
+		t.Errorf("expected a single piece, got %d", len(ls.Breaks))
+	}
+}
+
+func TestBuildLStepMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := clusterWithNoise(rng, 80, 2, 0.5, 0.02)
+	ix, _ := NewDistanceIndex(pts)
+	ls, err := ix.BuildLStep(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ls.Vals); i++ {
+		if ls.Vals[i] < ls.Vals[i-1] {
+			t.Fatalf("L not monotone at break %d: %v < %v", i, ls.Vals[i], ls.Vals[i-1])
+		}
+	}
+	// L saturates at t for large r.
+	if last := ls.Vals[len(ls.Vals)-1]; last != 20 {
+		t.Errorf("L(∞) = %v, want t=20", last)
+	}
+}
+
+// Property: sensitivity of L(r, ·) is at most 2 (Lemma 4.5). Replace one
+// point of a random dataset by another random point and compare L at random
+// radii.
+func TestLSensitivityAtMostTwo(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		n := 25 + rng.Intn(30)
+		pts := clusterWithNoise(rng, n, 2, 0.5, 0.1)
+		tt := 2 + rng.Intn(n-2)
+		ix1, _ := NewDistanceIndex(pts)
+
+		// Neighboring dataset: replace a random row.
+		pts2 := make([]vec.Vector, n)
+		copy(pts2, pts)
+		pts2[rng.Intn(n)] = vec.Of(rng.Float64(), rng.Float64())
+		ix2, _ := NewDistanceIndex(pts2)
+
+		for _, r := range []float64{0, 0.01, 0.05, 0.2, 1, 2} {
+			l1, _ := ix1.LValue(r, tt)
+			l2, _ := ix2.LValue(r, tt)
+			if math.Abs(l1-l2) > 2+1e-9 {
+				t.Fatalf("sensitivity %v > 2 at r=%v (n=%d t=%d)", math.Abs(l1-l2), r, n, tt)
+			}
+		}
+	}
+}

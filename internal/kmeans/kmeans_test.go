@@ -1,0 +1,181 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+
+	"privcluster/internal/core"
+	"privcluster/internal/dp"
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+	"privcluster/internal/workload"
+)
+
+func testGrid(t *testing.T) geometry.Grid {
+	t.Helper()
+	g, err := geometry.NewGrid(1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func blobs(t *testing.T, rng *rand.Rand, k int, g geometry.Grid) workload.MultiInstance {
+	t.Helper()
+	mi, err := workload.MultiCluster{N: 350 * k, K: k, Radius: 0.02, Spread: 0.35, NoiseFr: 0.05}.Generate(rng, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mi
+}
+
+func TestValidate(t *testing.T) {
+	g := testGrid(t)
+	base := Params{
+		K: 2, T: 100, Privacy: dp.Params{Epsilon: 10, Delta: 0.05},
+		SeedFraction: 0.5, Rounds: 2, MoveRadius: 0.2, Beta: 0.1, Grid: g,
+	}
+	if err := base.Validate(1000); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"k=0", func(p *Params) { p.K = 0 }},
+		{"seed fraction 1", func(p *Params) { p.SeedFraction = 1 }},
+		{"negative rounds", func(p *Params) { p.Rounds = -1 }},
+		{"zero move radius", func(p *Params) { p.MoveRadius = 0 }},
+		{"zero delta", func(p *Params) { p.Privacy.Delta = 0 }},
+		{"t>n", func(p *Params) { p.T = 5000 }},
+	}
+	for _, c := range cases {
+		p := base
+		c.mut(&p)
+		if err := p.Validate(1000); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestBudgetPlanWithinTotal(t *testing.T) {
+	g := testGrid(t)
+	p := Params{
+		K: 3, T: 50, Privacy: dp.Params{Epsilon: 6, Delta: 0.03},
+		SeedFraction: 0.4, Rounds: 5, MoveRadius: 0.2, Beta: 0.1, Grid: g,
+	}
+	if err := p.Validate(1000); err != nil {
+		t.Fatalf("budget plan rejected: %v", err)
+	}
+	seed, per := p.budgets()
+	total := seed.Epsilon + per.Epsilon*float64(p.Rounds*p.K)
+	if total > p.Privacy.Epsilon+1e-9 {
+		t.Errorf("epsilon plan %v exceeds budget %v", total, p.Privacy.Epsilon)
+	}
+	totalD := seed.Delta + per.Delta*float64(p.Rounds*p.K)
+	if totalD > p.Privacy.Delta+1e-12 {
+		t.Errorf("delta plan %v exceeds budget %v", totalD, p.Privacy.Delta)
+	}
+}
+
+func TestRunRecoversBlobCenters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := testGrid(t)
+	mi := blobs(t, rng, 3, g)
+	prm := Params{
+		K: 3, T: 250, Privacy: dp.Params{Epsilon: 30, Delta: 0.06},
+		Rounds: 3, MoveRadius: 0.15, Beta: 0.1, Grid: g,
+	}
+	res, err := Run(rng, mi.Points, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 {
+		t.Fatal("no centers")
+	}
+	// Every planted blob center should be close to some returned center.
+	hit := 0
+	for _, c := range mi.Centers {
+		for _, z := range res.Centers {
+			if c.Dist(z) < 0.1 {
+				hit++
+				break
+			}
+		}
+	}
+	if hit < 2 {
+		t.Errorf("only %d/3 blob centers recovered; centers=%v", hit, res.Centers)
+	}
+	// The private cost should be within a modest factor of non-private
+	// Lloyd from the same seeds.
+	ref := LloydNonprivate(mi.Points, res.Centers, 5)
+	if res.Cost > 10*Cost(mi.Points, ref)+0.01 {
+		t.Errorf("private cost %v ≫ reference %v", res.Cost, Cost(mi.Points, ref))
+	}
+}
+
+func TestRunInvalidParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := testGrid(t)
+	pts := []vec.Vector{g.Quantize(vec.Of(0.5, 0.5))}
+	_, err := Run(rng, pts, Params{K: 0, Grid: g, Privacy: dp.Params{Epsilon: 1, Delta: 0.01}})
+	if err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestCostAndAssign(t *testing.T) {
+	pts := []vec.Vector{vec.Of(0, 0), vec.Of(0.1, 0), vec.Of(1, 1)}
+	centers := []vec.Vector{vec.Of(0, 0), vec.Of(1, 1)}
+	groups := assign(pts, centers)
+	if len(groups[0]) != 2 || len(groups[1]) != 1 {
+		t.Fatalf("assign = %d/%d", len(groups[0]), len(groups[1]))
+	}
+	// Cost = (0 + 0.01 + 0)/3.
+	if got := Cost(pts, centers); got < 0.0033 || got > 0.0034 {
+		t.Errorf("Cost = %v", got)
+	}
+	if Cost(nil, centers) != 0 || Cost(pts, nil) != 0 {
+		t.Error("degenerate cost not 0")
+	}
+}
+
+func TestLloydNonprivateConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := testGrid(t)
+	mi := blobs(t, rng, 2, g)
+	// Start from poor initial centers; Lloyd should improve the cost.
+	initial := []vec.Vector{vec.Of(0.1, 0.9), vec.Of(0.9, 0.1)}
+	before := Cost(mi.Points, initial)
+	after := Cost(mi.Points, LloydNonprivate(mi.Points, initial, 10))
+	if after > before {
+		t.Errorf("Lloyd worsened the cost: %v → %v", before, after)
+	}
+	// LloydNonprivate must not mutate its input centers.
+	if !initial[0].Equal(vec.Of(0.1, 0.9)) {
+		t.Error("LloydNonprivate mutated the initial centers")
+	}
+}
+
+func TestNoisyAverageAbortKeepsCenter(t *testing.T) {
+	// A center far from all data must survive Lloyd rounds unchanged
+	// (NoisyAVG aborts on its empty neighbourhood).
+	rng := rand.New(rand.NewSource(4))
+	g := testGrid(t)
+	var pts []vec.Vector
+	for i := 0; i < 700; i++ {
+		pts = append(pts, g.Quantize(vec.Of(0.2+0.02*rng.Float64(), 0.2+0.02*rng.Float64())))
+	}
+	prm := Params{
+		K: 1, T: 300, Privacy: dp.Params{Epsilon: 10, Delta: 0.05},
+		Rounds: 2, MoveRadius: 0.05, Beta: 0.1, Grid: g,
+	}
+	prm.Profile = core.DefaultProfile()
+	res, err := Run(rng, pts, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Centers[0].Dist(vec.Of(0.21, 0.21)); got > 0.15 {
+		t.Errorf("center %v drifted %v from the blob", res.Centers[0], got)
+	}
+}

@@ -1,0 +1,191 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLaplaceMomentsAndSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	const scale = 2.0
+	var sum, sumSq float64
+	neg := 0
+	for i := 0; i < n; i++ {
+		x := Laplace(rng, scale)
+		sum += x
+		sumSq += x * x
+		if x < 0 {
+			neg++
+		}
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Laplace mean = %v, want ~0", mean)
+	}
+	// Var(Lap(λ)) = 2λ² = 8.
+	if math.Abs(variance-8) > 0.3 {
+		t.Errorf("Laplace variance = %v, want ~8", variance)
+	}
+	frac := float64(neg) / n
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("Laplace negative fraction = %v, want ~0.5", frac)
+	}
+}
+
+func TestLaplaceTailMatchesEmpirical(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 100000
+	const scale = 1.5
+	x := 3.0
+	exceed := 0
+	for i := 0; i < n; i++ {
+		if math.Abs(Laplace(rng, scale)) > x {
+			exceed++
+		}
+	}
+	want := LaplaceTail(scale, x)
+	got := float64(exceed) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical tail %v vs analytic %v", got, want)
+	}
+}
+
+func TestLaplacePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Laplace(0) did not panic")
+		}
+	}()
+	Laplace(rand.New(rand.NewSource(1)), 0)
+}
+
+func TestGaussianMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	const sigma = 3.0
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := Gaussian(rng, sigma)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Gaussian mean = %v", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Errorf("Gaussian variance = %v, want ~9", variance)
+	}
+}
+
+func TestGaussianPanicsOnBadSigma(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gaussian(-1) did not panic")
+		}
+	}()
+	Gaussian(rand.New(rand.NewSource(1)), -1)
+}
+
+func TestVectorNoiseShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lv := LaplaceVector(rng, 7, 1)
+	if lv.Dim() != 7 {
+		t.Errorf("LaplaceVector dim = %d", lv.Dim())
+	}
+	gv := GaussianVector(rng, 5, 1)
+	if gv.Dim() != 5 {
+		t.Errorf("GaussianVector dim = %d", gv.Dim())
+	}
+	if !lv.IsFinite() || !gv.IsFinite() {
+		t.Error("noise vector not finite")
+	}
+}
+
+func TestLaplaceQuantileInvertsTail(t *testing.T) {
+	for _, scale := range []float64{0.5, 1, 4} {
+		for _, beta := range []float64{0.5, 0.1, 0.01} {
+			x := LaplaceQuantile(scale, beta)
+			if got := LaplaceTail(scale, x); math.Abs(got-beta) > 1e-12 {
+				t.Errorf("Tail(Quantile(%v)) = %v, want %v", beta, got, beta)
+			}
+		}
+	}
+}
+
+func TestLaplaceQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LaplaceQuantile(beta=0) did not panic")
+		}
+	}()
+	LaplaceQuantile(1, 0)
+}
+
+func TestGaussianTailKnownValues(t *testing.T) {
+	// P[N(0,1) > 0] = 0.5; P[N(0,1) > 1.96] ≈ 0.025.
+	if got := GaussianTail(1, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("GaussianTail(1,0) = %v", got)
+	}
+	if got := GaussianTail(1, 1.959964); math.Abs(got-0.025) > 1e-4 {
+		t.Errorf("GaussianTail(1,1.96) = %v", got)
+	}
+}
+
+func TestGaussianSigmaFormula(t *testing.T) {
+	// σ = (k/ε)·sqrt(2 ln(1.25/δ))
+	got := GaussianSigma(2, 0.5, 1e-6)
+	want := 2.0 / 0.5 * math.Sqrt(2*math.Log(1.25/1e-6))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("GaussianSigma = %v, want %v", got, want)
+	}
+}
+
+func TestGaussianSigmaPanicsOnBadParams(t *testing.T) {
+	cases := []struct{ k, eps, delta float64 }{
+		{-1, 1, 0.1}, {1, 0, 0.1}, {1, 1, 0}, {1, 1, 1},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() { recover() }()
+			GaussianSigma(c.k, c.eps, c.delta)
+			t.Errorf("GaussianSigma(%v,%v,%v) did not panic", c.k, c.eps, c.delta)
+		}()
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		x := Uniform(rng, 3, 7)
+		if x < 3 || x >= 7 {
+			t.Fatalf("Uniform out of range: %v", x)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Exponential(rng, 2)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exponential(rate=2) mean = %v, want 0.5", mean)
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if Laplace(a, 1) != Laplace(b, 1) {
+			t.Fatal("same seed produced different Laplace streams")
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package recconcave
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privcluster/internal/dp"
+)
+
+func TestConstStepFn(t *testing.T) {
+	s := ConstStepFn(100, 7)
+	if s.N() != 100 || s.Pieces() != 1 {
+		t.Fatalf("N=%d pieces=%d", s.N(), s.Pieces())
+	}
+	if s.Eval(0) != 7 || s.Eval(99) != 7 {
+		t.Error("const eval wrong")
+	}
+	if s.Max() != 7 || s.Min() != 7 {
+		t.Error("const max/min wrong")
+	}
+	if s.WindowMinMax(10) != 7 {
+		t.Error("const window wrong")
+	}
+}
+
+func TestMaxCandidateBlocksCap(t *testing.T) {
+	// A very wide plateau at a tiny block scale produces many candidate
+	// blocks; the cap must bound the enumeration without breaking Solve.
+	rng := rand.New(rand.NewSource(1))
+	n := int64(1) << 22
+	opts := Options{
+		Alpha:              0.5,
+		Beta:               0.1,
+		Privacy:            dp.Params{Epsilon: 2, Delta: 0.01},
+		MaxCandidateBlocks: 8,
+	}
+	promise := RequiredPromise(n, opts.Alpha, opts.Privacy, opts.Beta)
+	q, err := buildRampForTest(n, n/4, 3*n/4, promise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Solve(rng, q, promise, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Eval(f) < promise/2 {
+		t.Errorf("capped solve returned quality %v < %v", q.Eval(f), promise/2)
+	}
+}
+
+func buildRampForTest(n, lo, hi int64, peak float64) (*StepFn, error) {
+	return NewStepFn(n,
+		[]int64{0, lo / 2, lo, hi, hi + (n-hi)/2},
+		[]float64{0, peak / 2, peak, peak / 2, 0})
+}
+
+// Property: WindowMinMax is non-increasing in the window width (a wider
+// window can only lower its guaranteed minimum).
+func TestWindowMinMaxMonotoneInWidth(t *testing.T) {
+	f := func(raw [12]uint8, w1, w2 uint8) bool {
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v % 16)
+		}
+		s, err := FromValues(vals)
+		if err != nil {
+			return false
+		}
+		a := int64(w1%12) + 1
+		b := int64(w2%12) + 1
+		if a > b {
+			a, b = b, a
+		}
+		return s.WindowMinMax(a) >= s.WindowMinMax(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Eval agrees with FromValues's inputs.
+func TestFromValuesEvalRoundTrip(t *testing.T) {
+	f := func(raw [20]uint8) bool {
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v % 8)
+		}
+		s, err := FromValues(vals)
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			if s.Eval(int64(i)) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a returned solution always lies in the domain.
+func TestSolveStaysInDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	opts := Options{Alpha: 0.5, Beta: 0.1, Privacy: dp.Params{Epsilon: 4, Delta: 0.05}}
+	for trial := 0; trial < 20; trial++ {
+		n := int64(2 + rng.Intn(1000))
+		vals := make([]float64, min(int(n), 64))
+		for i := range vals {
+			vals[i] = float64(rng.Intn(100))
+		}
+		q, err := FromValues(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Solve(rng, q, 1, opts)
+		if err != nil {
+			continue // promise may genuinely fail; only domain safety is asserted
+		}
+		if f < 0 || f >= q.N() {
+			t.Fatalf("solution %d outside [0, %d)", f, q.N())
+		}
+	}
+}

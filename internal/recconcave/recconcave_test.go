@@ -1,0 +1,251 @@
+package recconcave
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"privcluster/internal/dp"
+)
+
+func TestLogStar(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0.5, 0}, {1, 0}, {2, 1}, {4, 2}, {16, 3}, {65536, 4},
+		{math.Pow(2, 40), 5}, {math.Pow(2, 60), 5},
+	}
+	for _, c := range cases {
+		if got := LogStar(c.x); got != c.want {
+			t.Errorf("LogStar(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestDepthShrinks(t *testing.T) {
+	if d := Depth(16, 32); d != 1 {
+		t.Errorf("Depth(16) = %d, want 1", d)
+	}
+	if d := Depth(1<<20, 32); d != 2 {
+		t.Errorf("Depth(2^20) = %d, want 2", d)
+	}
+	d40 := Depth(1<<40, 32)
+	if d40 != 3 {
+		t.Errorf("Depth(2^40) = %d, want 3", d40)
+	}
+	if d := Depth(1<<62, 32); d < d40 || d > 4 {
+		t.Errorf("Depth(2^62) = %d", d)
+	}
+	// With the default base size 64, any int64 domain is depth ≤ 2.
+	if d := Depth(1<<62, 64); d != 2 {
+		t.Errorf("Depth(2^62, base 64) = %d, want 2", d)
+	}
+}
+
+func TestRequiredPromiseMonotone(t *testing.T) {
+	p := dp.Params{Epsilon: 1, Delta: 1e-6}
+	small := RequiredPromise(1<<10, 0.5, p, 0.1)
+	big := RequiredPromise(1<<60, 0.5, p, 0.1)
+	if small <= 0 || big <= small {
+		t.Errorf("RequiredPromise not positive/monotone: %v vs %v", small, big)
+	}
+	// Halving epsilon doubles the requirement.
+	half := RequiredPromise(1<<10, 0.5, dp.Params{Epsilon: 0.5, Delta: 1e-6}, 0.1)
+	if math.Abs(half/small-2) > 1e-9 {
+		t.Errorf("epsilon scaling wrong: %v vs %v", half, small)
+	}
+}
+
+func defaultOpts() Options {
+	return Options{
+		Alpha:   0.5,
+		Beta:    0.05,
+		Privacy: dp.Params{Epsilon: 1, Delta: 1e-6},
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := ConstStepFn(100, 1)
+	ok := dp.Params{Epsilon: 1, Delta: 1e-6}
+	bad := []Options{
+		{Alpha: 0, Beta: 0.1, Privacy: ok},
+		{Alpha: 1, Beta: 0.1, Privacy: ok},
+		{Alpha: 0.5, Beta: 0, Privacy: ok},
+		{Alpha: 0.5, Beta: 0.1, Privacy: dp.Params{Epsilon: 0, Delta: 1e-6}},
+		{Alpha: 0.5, Beta: 0.1, Privacy: dp.Params{Epsilon: 1, Delta: 0}},
+		{Alpha: 0.5, Beta: 0.1, Privacy: ok, BaseSize: 1},
+	}
+	for i, o := range bad {
+		if _, err := Solve(rng, q, 10, o); err == nil {
+			t.Errorf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := Solve(rng, q, 0, defaultOpts()); err == nil {
+		t.Error("non-positive promise accepted")
+	}
+}
+
+func TestSolveBaseCasePicksGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Domain of 20 → base case (EM). Peak value 500 at f=7..9.
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[7], vals[8], vals[9] = 500, 500, 500
+	q, err := FromValues(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		f, err := Solve(rng, q, 500, defaultOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f >= 7 && f <= 9 {
+			good++
+		}
+	}
+	if good < 95 {
+		t.Errorf("base case picked the peak only %d/%d times", good, trials)
+	}
+}
+
+// buildRamp returns a quasi-concave step function over [0, n) that climbs to
+// a plateau of value peak on [plateauLo, plateauHi) in a few pieces.
+func buildRamp(n, plateauLo, plateauHi int64, peak float64) (*StepFn, error) {
+	q1, q3 := plateauLo/2, plateauHi+(n-plateauHi)/2
+	return NewStepFn(n,
+		[]int64{0, q1, plateauLo, plateauHi, q3},
+		[]float64{0, peak / 2, peak, peak / 2, 0})
+}
+
+func TestSolveLargeDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := int64(1) << 40
+	opts := defaultOpts()
+	promise := RequiredPromise(n, opts.Alpha, opts.Privacy, opts.Beta)
+
+	// Plateau of width 2^25 somewhere in the middle.
+	lo := int64(1) << 33
+	hi := lo + (1 << 25)
+	q, err := buildRamp(n, lo, hi, promise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsQuasiConcave() {
+		t.Fatal("test function not quasi-concave")
+	}
+
+	good := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		f, err := Solve(rng, q, promise, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if q.Eval(f) >= (1-opts.Alpha)*promise {
+			good++
+		}
+	}
+	// Theorem 4.3 guarantee is 1−β with β=0.05; allow two bad trials.
+	if good < trials-2 {
+		t.Errorf("only %d/%d solutions met (1−α)p", good, trials)
+	}
+}
+
+func TestSolveNarrowPlateauLargeDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := int64(1) << 36
+	opts := defaultOpts()
+	// Force a depth-3 recursion (36+2 > 16) to exercise the general log*
+	// chain rather than the depth-2 fast path of the default BaseSize.
+	opts.BaseSize = 16
+	promise := RequiredPromise(n, opts.Alpha, opts.Privacy, opts.Beta)
+	// A single-point optimum with gentle quasi-concave slopes around it.
+	lo := int64(77777777)
+	q, err := buildRamp(n, lo, lo+1, promise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		f, err := Solve(rng, q, promise, opts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+		if q.Eval(f) >= (1-opts.Alpha)*promise {
+			good++
+		}
+	}
+	if good < trials-1 {
+		t.Errorf("only %d/%d solutions met (1−α)p", good, trials)
+	}
+}
+
+func TestSolvePromiseViolatedFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := int64(1) << 30
+	opts := defaultOpts()
+	promise := RequiredPromise(n, opts.Alpha, opts.Privacy, opts.Beta)
+	// Quality identically zero but promise huge: the choosing step must
+	// refuse (no block can clear the release threshold).
+	q := ConstStepFn(n, 0)
+	fails := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		if _, err := Solve(rng, q, promise, opts); err != nil {
+			if !errors.Is(err, ErrPromiseViolated) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+			fails++
+		}
+	}
+	if fails < trials-1 {
+		t.Errorf("promise-violated input succeeded %d/%d times", trials-fails, trials)
+	}
+}
+
+func TestSolveDeterministicWithSeed(t *testing.T) {
+	opts := defaultOpts()
+	n := int64(1) << 35
+	promise := RequiredPromise(n, opts.Alpha, opts.Privacy, opts.Beta)
+	q, err := buildRamp(n, 1<<30, (1<<30)+(1<<22), promise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Solve(rand.New(rand.NewSource(42)), q, promise, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(rand.New(rand.NewSource(42)), q, promise, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave %d and %d", a, b)
+	}
+}
+
+func TestSolveWholeDomainGood(t *testing.T) {
+	// Every solution meets the promise: any output is acceptable and Solve
+	// must not error.
+	rng := rand.New(rand.NewSource(6))
+	n := int64(1) << 30
+	opts := defaultOpts()
+	promise := RequiredPromise(n, opts.Alpha, opts.Privacy, opts.Beta)
+	q := ConstStepFn(n, promise*2)
+	f, err := Solve(rng, q, promise, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Eval(f) < (1-opts.Alpha)*promise {
+		t.Error("output below target on an all-good domain")
+	}
+}

@@ -1,0 +1,79 @@
+package privcluster
+
+import (
+	"fmt"
+
+	"privcluster/internal/dp"
+	"privcluster/internal/geometry"
+	"privcluster/internal/kmeans"
+	"privcluster/internal/vec"
+)
+
+// KMeansOptions configures KMeans beyond the shared Options.
+type KMeansOptions struct {
+	Options
+	// T is the per-cluster target size for the 1-cluster seeder
+	// (default n/(2k)).
+	T int
+	// Rounds of Lloyd refinement (default 4).
+	Rounds int
+	// MoveRadius bounds each center's per-round movement — it is the
+	// NoisyAVG predicate radius, so smaller values mean less noise
+	// (default 0.25).
+	MoveRadius float64
+	// SeedFraction of ε spent on 1-cluster seeding (default 0.5).
+	SeedFraction float64
+}
+
+// KMeansResult is a private clustering.
+type KMeansResult struct {
+	Centers []Point
+	// Cost is the non-private k-means objective on the input — a
+	// diagnostic; releasing it alongside Centers would cost extra budget.
+	Cost float64
+}
+
+// KMeans privately clusters points into (at most) k groups: the centers are
+// seeded by the iterated 1-cluster algorithm (Observation 3.5) and refined
+// with Lloyd rounds whose center updates are NoisyAVG releases
+// (Algorithm 5). This is the k-means application the paper motivates in
+// §1.1; the whole run is (ε, δ)-DP by composition, verified internally with
+// a budget accountant.
+func KMeans(points []Point, k int, o KMeansOptions) (KMeansResult, error) {
+	oo := o.Options.withDefaults()
+	if len(points) == 0 {
+		return KMeansResult{}, ErrNoPoints
+	}
+	d := len(points[0])
+	grid, err := geometry.NewGrid(oo.GridSize, d)
+	if err != nil {
+		return KMeansResult{}, err
+	}
+	vs := make([]vec.Vector, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return KMeansResult{}, fmt.Errorf("privcluster: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		vs[i] = grid.Quantize(vec.Vector(p))
+	}
+	prm := kmeans.Params{
+		K:            k,
+		T:            o.T,
+		Privacy:      dp.Params{Epsilon: oo.Epsilon, Delta: oo.Delta},
+		SeedFraction: o.SeedFraction,
+		Rounds:       o.Rounds,
+		MoveRadius:   o.MoveRadius,
+		Beta:         oo.Beta,
+		Grid:         grid,
+		Profile:      oo.profile(),
+	}
+	res, err := kmeans.Run(oo.rng(), vs, prm)
+	if err != nil {
+		return KMeansResult{}, err
+	}
+	out := KMeansResult{Cost: res.Cost}
+	for _, c := range res.Centers {
+		out.Centers = append(out.Centers, Point(c))
+	}
+	return out, nil
+}

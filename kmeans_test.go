@@ -1,0 +1,106 @@
+package privcluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestKMeansPublicAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var pts []Point
+	centers := []Point{{0.25, 0.25}, {0.75, 0.75}}
+	for _, c := range centers {
+		for i := 0; i < 400; i++ {
+			pts = append(pts, Point{
+				c[0] + (rng.Float64()*2-1)*0.02,
+				c[1] + (rng.Float64()*2-1)*0.02,
+			})
+		}
+	}
+	res, err := KMeans(pts, 2, KMeansOptions{
+		Options: Options{Epsilon: 24, Delta: 0.06, Seed: 5, GridSize: 1024},
+		T:       300, Rounds: 2, MoveRadius: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) == 0 {
+		t.Fatal("no centers")
+	}
+	hit := 0
+	for _, c := range centers {
+		for _, z := range res.Centers {
+			if math.Hypot(z[0]-c[0], z[1]-c[1]) < 0.1 {
+				hit++
+				break
+			}
+		}
+	}
+	if hit < 2 {
+		t.Errorf("recovered %d/2 centers: %v", hit, res.Centers)
+	}
+	if res.Cost <= 0 || res.Cost > 0.05 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, KMeansOptions{}); err != ErrNoPoints {
+		t.Errorf("empty input error = %v", err)
+	}
+	pts := []Point{{0.5, 0.5}, {0.5}}
+	if _, err := KMeans(pts, 1, KMeansOptions{Options: Options{Seed: 1}}); err == nil {
+		t.Error("ragged dimensions accepted")
+	}
+	if _, err := KMeans([]Point{{0.5, 0.5}}, 0, KMeansOptions{Options: Options{Seed: 1}}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestBoundsRescaling(t *testing.T) {
+	// Same geometry as TestFindClusterPublicAPI but on the [−50, 150]^2
+	// domain (Remark 3.3): results must come back in original units.
+	rng := rand.New(rand.NewSource(2))
+	unitPts, _ := plantedPoints(rng, 800, 500, 2, 0.02)
+	scale := func(p Point) Point {
+		out := make(Point, len(p))
+		for i, x := range p {
+			out[i] = -50 + 200*x
+		}
+		return out
+	}
+	pts := make([]Point, len(unitPts))
+	for i, p := range unitPts {
+		pts[i] = scale(p)
+	}
+	o := Options{Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024, Min: -50, Max: 150}
+	c, err := FindCluster(pts, 400, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center must land inside the original domain, not the unit cube.
+	for j, x := range c.Center {
+		if x < -50 || x > 150 {
+			t.Errorf("center coordinate %d = %v outside [−50, 150]", j, x)
+		}
+	}
+	// Radius is in original units: the unit-cube equivalent times 200.
+	if c.Radius < 1 || c.Radius > 300 {
+		t.Errorf("radius %v not in original units", c.Radius)
+	}
+	// Contains/Count operate in original units.
+	if got := c.Count(pts); got < 400 {
+		t.Errorf("rescaled ball holds %d < 400 points", got)
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	pts := []Point{{0.5, 0.5}, {0.6, 0.6}}
+	if _, err := FindCluster(pts, 1, Options{Seed: 1, Min: 5, Max: 5}); err == nil {
+		t.Error("Max == Min accepted")
+	}
+	if _, err := FindCluster(pts, 1, Options{Seed: 1, Min: 5, Max: 1}); err == nil {
+		t.Error("Max < Min accepted")
+	}
+}

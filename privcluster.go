@@ -1,0 +1,267 @@
+package privcluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"privcluster/internal/agg"
+	"privcluster/internal/core"
+	"privcluster/internal/dp"
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// Point is a point in the d-dimensional unit cube.
+type Point = []float64
+
+// Options configures the private algorithms. The zero value gives ε = 1,
+// δ = 10⁻⁶, β = 0.1, |X| = 2¹⁶ and a time-seeded generator.
+type Options struct {
+	// Epsilon, Delta are the total differential-privacy budget of one call.
+	Epsilon float64
+	Delta   float64
+	// Beta is the failure-probability target of the utility guarantees.
+	Beta float64
+	// GridSize is |X|: the number of grid values per axis of the finite
+	// domain X^d. Inputs are snapped onto the grid (Definition 1.2 requires
+	// a finite domain; Section 5 proves infinite domains are impossible).
+	GridSize int64
+	// Seed makes the run reproducible. 0 seeds from the clock.
+	// Reproducible noise is for experiments only — never for deployments.
+	Seed int64
+	// Paper switches every internal constant to the paper's proof values
+	// (see internal/core.PaperProfile). With them, meaningful output needs
+	// astronomically large datasets; the default profile keeps the same
+	// formulas at practical scale.
+	Paper bool
+	// Min and Max describe the data domain [Min, Max]^d (Remark 3.3's
+	// general grid with axis length L = Max−Min). Inputs are affinely
+	// mapped onto the unit cube and outputs mapped back, so released radii
+	// are in the original units. Both zero means the unit cube itself.
+	Min, Max float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Epsilon == 0 {
+		o.Epsilon = 1
+	}
+	if o.Delta == 0 {
+		o.Delta = 1e-6
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.1
+	}
+	if o.GridSize == 0 {
+		o.GridSize = 1 << 16
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+
+// span returns the domain width Max−Min, defaulting to the unit interval.
+// Options with Max ≤ Min (other than both zero) are rejected in prepare.
+func (o Options) span() float64 {
+	if o.Min == 0 && o.Max == 0 {
+		return 1
+	}
+	return o.Max - o.Min
+}
+
+// toUnit maps a raw coordinate into the unit interval.
+func (o Options) toUnit(x float64) float64 { return (x - o.Min) / o.span() }
+
+// fromUnit maps a unit-cube coordinate back to the original domain.
+func (o Options) fromUnit(x float64) float64 { return o.Min + x*o.span() }
+
+func (o Options) profile() core.Profile {
+	if o.Paper {
+		return core.PaperProfile()
+	}
+	return core.DefaultProfile()
+}
+
+// Cluster is a released ball.
+type Cluster struct {
+	Center Point
+	Radius float64
+	// RawRadius is the GoodRadius stage's estimate (≤ 4·r_opt w.h.p.);
+	// Radius is the final covering radius, O(RawRadius·√log n).
+	RawRadius float64
+	// ZeroRadius marks the degenerate case of ≥ t identical points.
+	ZeroRadius bool
+}
+
+// Contains reports whether p lies in the cluster's ball.
+func (c Cluster) Contains(p Point) bool {
+	return geometry.Ball{Center: vec.Vector(c.Center), Radius: c.Radius}.Contains(vec.Vector(p))
+}
+
+// Count returns how many of the given points lie in the cluster's ball.
+func (c Cluster) Count(points []Point) int {
+	n := 0
+	for _, p := range points {
+		if c.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrNoPoints is returned for empty inputs.
+var ErrNoPoints = errors.New("privcluster: no input points")
+
+// prepare converts, rescales (Remark 3.3) and quantizes the input, and
+// assembles core parameters.
+func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, error) {
+	o = o.withDefaults()
+	if len(points) == 0 {
+		return nil, core.Params{}, ErrNoPoints
+	}
+	if (o.Min != 0 || o.Max != 0) && o.Max <= o.Min {
+		return nil, core.Params{}, fmt.Errorf("privcluster: domain bounds Max=%v ≤ Min=%v", o.Max, o.Min)
+	}
+	d := len(points[0])
+	grid, err := geometry.NewGrid(o.GridSize, d)
+	if err != nil {
+		return nil, core.Params{}, err
+	}
+	vs := make([]vec.Vector, len(points))
+	for i, p := range points {
+		if len(p) != d {
+			return nil, core.Params{}, fmt.Errorf("privcluster: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		u := make(vec.Vector, d)
+		for j, x := range p {
+			u[j] = o.toUnit(x)
+		}
+		vs[i] = grid.Quantize(u)
+	}
+	prm := core.Params{
+		T:       t,
+		Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
+		Beta:    o.Beta,
+		Grid:    grid,
+		Profile: o.profile(),
+	}
+	return vs, prm, nil
+}
+
+// FindCluster solves the 1-cluster problem (Theorem 3.2): it privately
+// locates a ball that, with probability ≥ 1−β, contains at least t − Δ of
+// the input points and whose radius is within O(√log n) of the smallest
+// ball containing t points. Points are snapped onto the |X|-per-axis grid.
+func FindCluster(points []Point, t int, o Options) (Cluster, error) {
+	vs, prm, err := prepare(points, t, o)
+	if err != nil {
+		return Cluster{}, err
+	}
+	oo := o.withDefaults()
+	res, err := core.OneCluster(oo.rng(), vs, prm)
+	if err != nil {
+		return Cluster{}, err
+	}
+	center := make(Point, len(res.Ball.Center))
+	for j, x := range res.Ball.Center {
+		center[j] = oo.fromUnit(x)
+	}
+	return Cluster{
+		Center:     center,
+		Radius:     res.Ball.Radius * oo.span(),
+		RawRadius:  res.RawRadius * oo.span(),
+		ZeroRadius: res.ZeroCluster,
+	}, nil
+}
+
+// FindClusters iterates FindCluster k times (Observation 3.5), each round
+// on the not-yet-covered points, splitting the privacy budget across
+// rounds. It returns the balls found (possibly fewer than k).
+func FindClusters(points []Point, k, t int, o Options) ([]Cluster, error) {
+	vs, prm, err := prepare(points, t, o)
+	if err != nil {
+		return nil, err
+	}
+	oo := o.withDefaults()
+	balls, err := core.KCover(oo.rng(), vs, k, prm)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cluster, len(balls))
+	for i, b := range balls {
+		center := make(Point, len(b.Center))
+		for j, x := range b.Center {
+			center[j] = oo.fromUnit(x)
+		}
+		out[i] = Cluster{Center: center, Radius: b.Radius * oo.span()}
+	}
+	return out, nil
+}
+
+// InteriorPoint privately returns a value between min(values) and
+// max(values) (Algorithm 3 / Theorem 5.3) — the primitive whose Ω(log*|X|)
+// lower bound transfers to the 1-cluster problem. Values must lie in [0,1].
+// innerN is the size of the middle sub-database handed to the 1-cluster
+// stage; the (len(values)−innerN)/2 extreme values on each side provide the
+// selection quality margin.
+func InteriorPoint(values []float64, innerN int, o Options) (float64, error) {
+	o = o.withDefaults()
+	if len(values) == 0 {
+		return 0, ErrNoPoints
+	}
+	grid, err := geometry.NewGrid(o.GridSize, 1)
+	if err != nil {
+		return 0, err
+	}
+	prm := core.IntPointParams{
+		InnerN: innerN,
+		Cluster: core.Params{
+			T:       innerN / 2,
+			Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
+			Beta:    o.Beta,
+			Grid:    grid,
+			Profile: o.profile(),
+		},
+		Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
+		Beta:    o.Beta,
+	}
+	res, err := core.IntPoint(o.rng(), values, prm)
+	if err != nil {
+		return 0, err
+	}
+	return res.Point, nil
+}
+
+// Aggregate compiles the non-private analysis f into a private one via
+// sample-and-aggregate (Algorithm SA, Theorem 6.3). f is evaluated on
+// len(rows)/(9m) random blocks of m rows each; the evaluations (points in
+// [0,1]^dim) are aggregated by the private 1-cluster algorithm. If f is
+// (m, r, alpha)-stable on the rows (Definition 6.1), the returned point is,
+// with probability ≥ 1−β, an (m, O(r·√log n), alpha/8)-stable point — a
+// private stand-in for f(rows).
+func Aggregate[R any](rows []R, f func([]R) Point, dim, m int, alpha float64, o Options) (Point, error) {
+	o = o.withDefaults()
+	grid, err := geometry.NewGrid(o.GridSize, dim)
+	if err != nil {
+		return nil, err
+	}
+	prm := agg.Params{
+		M:     m,
+		Alpha: alpha,
+		Cluster: core.Params{
+			Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
+			Beta:    o.Beta,
+			Grid:    grid,
+			Profile: o.profile(),
+		},
+	}
+	res, err := agg.Run(o.rng(), rows, func(rs []R) vec.Vector { return vec.Vector(f(rs)) }, prm)
+	if err != nil {
+		return nil, err
+	}
+	return Point(res.Point), nil
+}
