@@ -10,9 +10,11 @@ package privcluster
 // For the full-size experiment tables, use cmd/experiments instead.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"privcluster/internal/bench"
 	"privcluster/internal/core"
 	"privcluster/internal/dp"
 	"privcluster/internal/experiments"
@@ -160,6 +162,81 @@ func BenchmarkDistanceIndex(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := geometry.NewDistanceIndex(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- BallIndex backend benchmarks ------------------------------------
+//
+// The radius stage's preprocessing (index construction + BuildLStep, the
+// scale ceiling of the whole pipeline) on both backends, with allocation
+// reporting so the Θ(n²) vs O(n·d) memory gap is measurable:
+//
+//	go test -bench BenchmarkBallIndex -benchmem
+//
+// The exact backend stops at n=8000 (its distance matrix is ≈ 8n² bytes —
+// already half a gigabyte there); the scalable backend continues through
+// the 50k–500k range the exact one cannot reach.
+
+func benchIndexRadiusStage(b *testing.B, n int, pol core.IndexPolicy) {
+	b.Helper()
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, n, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := core.NewBallIndex(pts, grid, pol)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ix.BuildLStep(tt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBallIndexExact(b *testing.B) {
+	for _, n := range []int{2000, 4000, 8000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchIndexRadiusStage(b, n, core.IndexExact)
+		})
+	}
+}
+
+func BenchmarkBallIndexScalable(b *testing.B) {
+	for _, n := range []int{2000, 8000, 50000, 100000, 500000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchIndexRadiusStage(b, n, core.IndexScalable)
+		})
+	}
+}
+
+// BenchmarkFindClusterScalable times the full pipeline through the public
+// API at a size the exact backend cannot represent at all.
+func BenchmarkFindClusterScalable(b *testing.B) {
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, 50000, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := make([]Point, len(pts))
+	for i, p := range pts {
+		pub[i] = Point(p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FindCluster(pub, tt, Options{Seed: int64(i) + 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

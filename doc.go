@@ -26,10 +26,30 @@
 //	})
 //	// cluster.Center, cluster.Radius describe a ball holding ≈ 400 points.
 //
-// See the examples/ directory for runnable programs and DESIGN.md for the
-// system inventory, the paper-vs-implementation substitutions, and the
-// experiment index. EXPERIMENTS.md reports paper-vs-measured results for
-// every table and figure.
+// The module path is privcluster (see go.mod); import the root package as
+// `import "privcluster"`.
+//
+// # Scaling and index backends
+//
+// The pipeline's preprocessing runs on one of two interchangeable ball
+// indexes (Options.IndexPolicy):
+//
+//   - IndexExact materializes all n² pairwise distances. Exact counts and
+//     score function, Θ(n²) memory — viable for n in the low thousands.
+//   - IndexScalable buckets points into a cell hash per radius scale and
+//     resolves ball counts by per-cell candidate pruning: O(n·d) memory
+//     and near-linear preprocessing, at the cost of a bounded
+//     approximation in the radius search (the released radius can be a
+//     small constant factor wider; privacy is entirely unaffected).
+//   - IndexAuto (default) picks IndexExact up to a few thousand points and
+//     IndexScalable beyond, so FindCluster handles 10⁵–10⁶ points without
+//     ever allocating the quadratic matrix.
+//
+// See the examples/ directory for runnable programs (examples/scale runs
+// n = 200,000) and DESIGN.md for the system inventory, the
+// paper-vs-implementation substitutions, and the experiment index.
+// EXPERIMENTS.md reports paper-vs-measured results for every table and
+// figure.
 //
 // # Privacy disclaimer
 //

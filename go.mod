@@ -1,0 +1,3 @@
+module privcluster
+
+go 1.24

@@ -1,9 +1,11 @@
 package baselines
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"privcluster/internal/noise"
 )
@@ -72,9 +74,22 @@ func TreeHistogram1D(rng *rand.Rand, values []float64, prm TreeHistParams) (Inte
 			counts[nodeKey{lv, idx}]++
 		}
 	}
+	// Noise is drawn in sorted node order: drawing while ranging over the
+	// map would tie the draws to Go's randomized iteration order and make
+	// seeded runs irreproducible.
+	nodes := make([]nodeKey, 0, len(counts))
+	for nd := range counts {
+		nodes = append(nodes, nd)
+	}
+	slices.SortFunc(nodes, func(a, b nodeKey) int {
+		if c := cmp.Compare(a.level, b.level); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.idx, b.idx)
+	})
 	noisyCounts := make(map[nodeKey]float64, len(counts))
-	for nd, c := range counts {
-		noisyCounts[nd] = float64(c) + noise.Laplace(rng, lam)
+	for _, nd := range nodes {
+		noisyCounts[nd] = float64(counts[nd]) + noise.Laplace(rng, lam)
 	}
 
 	// Release margin: per-node noise tail with a union bound over the
@@ -88,22 +103,25 @@ func TreeHistogram1D(rng *rand.Rand, values []float64, prm TreeHistParams) (Inte
 		cells := int64(1) << uint(levels-1-lv)
 		width := 1 / float64(cells)
 
+		// Both scans walk the sorted node list: the pair scan returns the
+		// first qualifying pair, so walking the map directly would make
+		// the released interval depend on Go's randomized iteration order.
 		bestIdx, bestVal := int64(-1), math.Inf(-1)
-		for nd, v := range noisyCounts {
-			if nd.level == lv && v > bestVal {
+		for _, nd := range nodes {
+			if v := noisyCounts[nd]; nd.level == lv && v > bestVal {
 				bestVal, bestIdx = v, nd.idx
 			}
 		}
 		if bestIdx >= 0 && bestVal >= float64(prm.T)-margin {
 			return Interval1D{Center: (float64(bestIdx) + 0.5) * width, Radius: width / 2}, nil
 		}
-		for nd, v := range noisyCounts {
+		for _, nd := range nodes {
 			if nd.level != lv || nd.idx%2 == 0 {
 				continue
 			}
 			if w, ok := noisyCounts[nodeKey{lv, nd.idx + 1}]; ok {
 				// Two nodes are summed, so the noise doubles.
-				if v+w >= float64(prm.T)-2*margin {
+				if noisyCounts[nd]+w >= float64(prm.T)-2*margin {
 					return Interval1D{Center: (float64(nd.idx) + 1) * width, Radius: width}, nil
 				}
 			}

@@ -6,12 +6,14 @@ package bench
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
 	"privcluster/internal/geometry"
 	"privcluster/internal/vec"
+	"privcluster/internal/workload"
 )
 
 // Table accumulates rows and renders them as an aligned text table with a
@@ -158,6 +160,19 @@ func Median(xs []float64) float64 {
 		return s[len(s)/2]
 	}
 	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// IndexWorkload is the canonical dataset the BallIndex benchmarks (root
+// bench_test.go) run both backends on: a planted ball holding 60% of the
+// points at radius 0.02 with uniform background, t = n/2 — the same shape
+// the stage micro-benchmarks use, reproducible from the seed alone.
+func IndexWorkload(seed int64, n, d int, grid geometry.Grid) ([]vec.Vector, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	inst, err := workload.PlantedBall{N: n, ClusterSize: 3 * n / 5, Radius: 0.02}.Generate(rng, grid)
+	if err != nil {
+		return nil, 0, err
+	}
+	return inst.Points, n / 2, nil
 }
 
 // Mean returns the mean of xs (0 for empty input).

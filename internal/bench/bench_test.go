@@ -71,6 +71,29 @@ func TestEffectiveRadius(t *testing.T) {
 	}
 }
 
+func TestIndexWorkload(t *testing.T) {
+	grid, err := geometry.NewGrid(1024, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, tt, err := IndexWorkload(1, 200, 2, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 200 || tt != 100 {
+		t.Fatalf("IndexWorkload = %d points, t=%d", len(pts), tt)
+	}
+	again, _, err := IndexWorkload(1, 200, 2, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if !pts[i].Equal(again[i]) {
+			t.Fatal("IndexWorkload not reproducible from its seed")
+		}
+	}
+}
+
 func TestCoverage(t *testing.T) {
 	pts := []vec.Vector{vec.Of(0, 0), vec.Of(1, 1), vec.Of(5, 5)}
 	balls := []geometry.Ball{{Center: vec.Of(0, 0), Radius: 1.5}}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"privcluster/internal/dp"
 	"privcluster/internal/jl"
@@ -241,13 +242,18 @@ func boxHistogram(proj []vec.Vector, offsets []float64, side float64) map[string
 }
 
 // axisNoisyMax selects an interval index by report-noisy-max over the
-// occupied intervals of the axis histogram.
+// occupied intervals of the axis histogram. Intervals are scored in sorted
+// key order so the noise draws don't depend on Go's randomized map
+// iteration (which would make seeded runs irreproducible).
 func axisNoisyMax(rng *rand.Rand, hist map[int64]int, eps float64) (int64, error) {
 	keys := make([]int64, 0, len(hist))
-	scores := make([]float64, 0, len(hist))
-	for j, c := range hist {
+	for j := range hist {
 		keys = append(keys, j)
-		scores = append(scores, float64(c))
+	}
+	slices.Sort(keys)
+	scores := make([]float64, len(keys))
+	for i, j := range keys {
+		scores[i] = float64(hist[j])
 	}
 	idx, err := dp.ReportNoisyMax(rng, scores, 1, eps)
 	if err != nil {

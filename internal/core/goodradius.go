@@ -28,9 +28,13 @@ type RadiusResult struct {
 // passed in priv: (ε/2, 0) on the Step-2 Laplace test and (ε/2, δ) on the
 // RecConcave radius search, composing to (ε, δ) (Lemma 4.5).
 //
-// The dataset is supplied as a prebuilt DistanceIndex (so OneCluster can
-// reuse it); the index's points must lie in prm.Grid's unit cube.
-func GoodRadius(rng *rand.Rand, ix *geometry.DistanceIndex, prm Params) (RadiusResult, error) {
+// The dataset is supplied as a prebuilt BallIndex (so OneCluster can reuse
+// it and callers can pick the exact or the scalable backend — see
+// NewBallIndex); the index's points must lie in prm.Grid's unit cube. Both
+// backends keep L's sensitivity at 2, so the privacy analysis is identical;
+// the scalable backend's radius discretization only costs utility (a
+// constant-factor widening of the returned radius).
+func GoodRadius(rng *rand.Rand, ix geometry.BallIndex, prm Params) (RadiusResult, error) {
 	prm.setDefaults()
 	n := ix.N()
 	if err := prm.Validate(n); err != nil {

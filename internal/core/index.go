@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// IndexPolicy selects the geometry.BallIndex backend the pipeline
+// preprocesses the dataset with.
+type IndexPolicy int
+
+const (
+	// IndexAuto picks the exact index up to ExactIndexMaxN points and the
+	// scalable cell index beyond — exact answers while the Θ(n²) memory is
+	// cheap, graceful scaling when it is not.
+	IndexAuto IndexPolicy = iota
+	// IndexExact forces the Θ(n²) DistanceIndex (exact L, exact counts).
+	IndexExact
+	// IndexScalable forces the O(n·d) CellIndex (approximate L within the
+	// bounds documented on geometry.CellIndex).
+	IndexScalable
+)
+
+// ExactIndexMaxN is IndexAuto's cutover point: the largest n for which the
+// exact index's Θ(n²) distance matrix (≈ 8n² bytes) is still considered
+// cheap. 4096 points ≈ 134 MB.
+const ExactIndexMaxN = 4096
+
+// NewBallIndex builds the dataset index the pipeline's radius stage runs
+// on, honoring the policy. The grid supplies the scalable index's radius
+// ladder bounds (resolution floor RadiusUnit, domain diameter
+// MaxDistance) so its approximation error aligns with the radius grid
+// GoodRadius already searches.
+func NewBallIndex(points []vec.Vector, grid geometry.Grid, pol IndexPolicy) (geometry.BallIndex, error) {
+	exact := false
+	switch pol {
+	case IndexAuto:
+		exact = len(points) <= ExactIndexMaxN
+	case IndexExact:
+		exact = true
+	case IndexScalable:
+	default:
+		return nil, fmt.Errorf("core: unknown index policy %d", pol)
+	}
+	if exact {
+		return geometry.NewDistanceIndex(points)
+	}
+	return geometry.NewCellIndex(points, geometry.CellIndexOptions{
+		MinRadius: grid.RadiusUnit(),
+		MaxRadius: grid.MaxDistance(),
+	})
+}

@@ -29,20 +29,22 @@ type ClusterResult struct {
 // splitting the privacy budget evenly between them; the composition is
 // (ε, δ)-DP by Theorem 2.1. The points must lie in prm.Grid's unit cube
 // (quantization is the caller's responsibility — see geometry.Grid.Quantize).
+// The dataset index backend follows prm.Index (exact below ExactIndexMaxN
+// points under IndexAuto, the O(n·d)-memory cell index beyond).
 func OneCluster(rng *rand.Rand, points []vec.Vector, prm Params) (ClusterResult, error) {
 	prm.setDefaults()
 	if err := prm.Validate(len(points)); err != nil {
 		return ClusterResult{}, err
 	}
-	ix, err := geometry.NewDistanceIndex(points)
+	ix, err := NewBallIndex(points, prm.Grid, prm.Index)
 	if err != nil {
 		return ClusterResult{}, err
 	}
 	return oneClusterIndexed(rng, ix, prm)
 }
 
-// oneClusterIndexed is OneCluster on a prebuilt distance index.
-func oneClusterIndexed(rng *rand.Rand, ix *geometry.DistanceIndex, prm Params) (ClusterResult, error) {
+// oneClusterIndexed is OneCluster on a prebuilt ball index.
+func oneClusterIndexed(rng *rand.Rand, ix geometry.BallIndex, prm Params) (ClusterResult, error) {
 	half := prm
 	half.Privacy = prm.Privacy.Scale(0.5)
 

@@ -123,6 +123,9 @@ type Params struct {
 	Grid geometry.Grid
 	// Profile holds the constant factors; zero value means DefaultProfile.
 	Profile Profile
+	// Index selects the ball-index backend (zero value IndexAuto: exact up
+	// to ExactIndexMaxN points, scalable beyond).
+	Index IndexPolicy
 }
 
 func (p *Params) setDefaults() {

@@ -1,0 +1,57 @@
+package geometry
+
+import "privcluster/internal/vec"
+
+// BallIndex is the ball-counting abstraction the 1-cluster pipeline runs
+// on. It answers the queries of Section 3 — B_r(x_i) counts around input
+// points, the t-th smallest distance from a point, the trivial
+// 2-approximation of "known fact 3", and the capped-average step function
+// L(r, S) of Section 3.1 that Algorithm GoodRadius searches.
+//
+// Two implementations exist:
+//
+//   - DistanceIndex materializes all n² pairwise distances. Every answer is
+//     exact, but memory is Θ(n²) float64s, so it is only viable for n in the
+//     low thousands.
+//   - CellIndex buckets the points into a cell hash (one hash per radius
+//     scale, built lazily) and answers queries by per-cell candidate
+//     pruning: cells entirely inside or outside the query ball are resolved
+//     from their counts alone, and only boundary cells are inspected
+//     point-by-point. Point queries (CountWithin, RadiusForCount,
+//     MaxCountWithin) are exact; TwoApprox, BuildLStep and LValue are
+//     approximate — see the CellIndex documentation for the bounds. Memory
+//     is O(n·d).
+//
+// Implementations must be safe for concurrent readers.
+type BallIndex interface {
+	// N returns the number of indexed points.
+	N() int
+	// Points returns the indexed points (not a copy).
+	Points() []vec.Vector
+	// CountWithin returns B_r(x_i): the number of input points within
+	// distance r of point i (≥ 1 for r ≥ 0, the point itself).
+	CountWithin(i int, r float64) int
+	// RadiusForCount returns the smallest r such that the ball of radius r
+	// around point i contains at least t input points — the t-th smallest
+	// distance from point i. It returns an error when t is outside [1, n].
+	RadiusForCount(i, t int) (float64, error)
+	// TwoApprox returns the best input-centered ball containing at least t
+	// input points ("known fact 3" of Section 3: its radius is at most
+	// 2·r_opt for exact implementations; approximate implementations
+	// document their extra slack).
+	TwoApprox(t int) (center int, radius float64, err error)
+	// MaxCountWithin returns max_i B_r(x_i), the largest input-centered
+	// ball count at radius r.
+	MaxCountWithin(r float64) int
+	// BuildLStep materializes the capped-average score L(·, S) of
+	// Section 3.1 as a step function of the radius.
+	BuildLStep(t int) (*LStep, error)
+	// LValue computes L(r, S) directly at a single radius.
+	LValue(r float64, t int) (float64, error)
+}
+
+// The two backends must keep satisfying the interface.
+var (
+	_ BallIndex = (*DistanceIndex)(nil)
+	_ BallIndex = (*CellIndex)(nil)
+)

@@ -1,0 +1,267 @@
+package geometry_test
+
+// Equivalence tests between the two BallIndex backends: the exact Θ(n²)
+// DistanceIndex is the ground truth, and the scalable CellIndex must agree
+// exactly on its exact queries (CountWithin, RadiusForCount,
+// MaxCountWithin) and stay within its documented sandwich/ladder bounds on
+// the approximate ones (TwoApprox, LValue, BuildLStep), both on small
+// random sets and on the clustered workloads the pipeline actually serves.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+	"privcluster/internal/workload"
+)
+
+// testOpts pins the CellIndex knobs so the documented error bounds are
+// computable in the assertions below.
+func testOpts(grid geometry.Grid) geometry.CellIndexOptions {
+	return geometry.CellIndexOptions{
+		MinRadius:       grid.RadiusUnit(),
+		MaxRadius:       grid.MaxDistance(),
+		LevelsPerOctave: 2,
+		CellsPerRadius:  4,
+	}
+}
+
+// bounds of testOpts: ladder ratio ρ and the center-rule slack h(r).
+const testRho = 1.4142135623730951 // 2^(1/2)
+
+func testH(r float64, d int) float64 {
+	return math.Sqrt(float64(d)) / (2 * 4) * testRho * r
+}
+
+func clusteredInstance(t *testing.T, rng *rand.Rand, n, d int) ([]vec.Vector, geometry.Grid) {
+	t.Helper()
+	grid, err := geometry.NewGrid(1024, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := workload.PlantedBall{N: n, ClusterSize: 3 * n / 5, Radius: 0.05}.Generate(rng, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst.Points, grid
+}
+
+func bothIndexes(t *testing.T, pts []vec.Vector, grid geometry.Grid) (*geometry.DistanceIndex, *geometry.CellIndex) {
+	t.Helper()
+	exact, err := geometry.NewDistanceIndex(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := geometry.NewCellIndex(pts, testOpts(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exact, cell
+}
+
+func TestCellIndexValidation(t *testing.T) {
+	if _, err := geometry.NewCellIndex(nil, geometry.CellIndexOptions{}); err == nil {
+		t.Error("empty index accepted")
+	}
+	if _, err := geometry.NewCellIndex([]vec.Vector{vec.Of(1), vec.Of(1, 2)}, geometry.CellIndexOptions{}); err == nil {
+		t.Error("ragged dims accepted")
+	}
+	pts := []vec.Vector{vec.Of(0.5, 0.5)}
+	ix, err := geometry.NewCellIndex(pts, geometry.CellIndexOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.RadiusForCount(0, 2); err == nil {
+		t.Error("RadiusForCount t > n accepted")
+	}
+	if _, _, err := ix.TwoApprox(0); err == nil {
+		t.Error("TwoApprox t = 0 accepted")
+	}
+	if _, err := ix.LValue(0.1, 2); err == nil {
+		t.Error("LValue t > n accepted")
+	}
+	if _, err := ix.BuildLStep(0); err == nil {
+		t.Error("BuildLStep t = 0 accepted")
+	}
+}
+
+// The exact queries must agree bit-for-bit with the distance index on small
+// inputs across dimensions (both the packed-block and the occupied-cell
+// scan paths are exercised by the radius spread).
+func TestCellIndexExactQueriesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, d := range []int{1, 2, 3, 5} {
+		pts, grid := clusteredInstance(t, rng, 150+rng.Intn(100), d)
+		exact, cell := bothIndexes(t, pts, grid)
+		n := len(pts)
+		radii := []float64{-1, 0, grid.RadiusUnit() / 2, 0.01, 0.05, 0.11, 0.4, math.Sqrt(float64(d)), 1e6}
+		for trial := 0; trial < 40; trial++ {
+			i := rng.Intn(n)
+			for _, r := range radii {
+				if got, want := cell.CountWithin(i, r), exact.CountWithin(i, r); got != want {
+					t.Fatalf("d=%d: CountWithin(%d, %v) = %d, want %d", d, i, r, got, want)
+				}
+			}
+			tt := 1 + rng.Intn(n)
+			got, err := cell.RadiusForCount(i, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := exact.RadiusForCount(i, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("d=%d: RadiusForCount(%d, %d) = %v, want %v", d, i, tt, got, want)
+			}
+		}
+		for _, r := range radii {
+			if got, want := cell.MaxCountWithin(r), exact.MaxCountWithin(r); got != want {
+				t.Fatalf("d=%d: MaxCountWithin(%v) = %d, want %d", d, r, got, want)
+			}
+		}
+	}
+}
+
+// TwoApprox on the cell index: the ball must really hold ≥ t points, and
+// the radius may exceed the exact TwoApprox radius only by the documented
+// ladder factor ρ (or the resolution floor).
+func TestCellIndexTwoApproxBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, d := range []int{1, 2, 3} {
+		pts, grid := clusteredInstance(t, rng, 300, d)
+		exact, cell := bothIndexes(t, pts, grid)
+		for _, tt := range []int{1, 2, 30, 180, 300} {
+			c, r, err := cell.TwoApprox(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := exact.CountWithin(c, r); got < tt {
+				t.Fatalf("d=%d t=%d: TwoApprox ball holds %d points", d, tt, got)
+			}
+			_, rExact, err := exact.TwoApprox(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := math.Max(grid.RadiusUnit(), testRho*rExact) * (1 + 1e-12)
+			if r > bound {
+				t.Fatalf("d=%d t=%d: TwoApprox radius %v > bound %v (exact %v)", d, tt, r, bound, rExact)
+			}
+		}
+	}
+}
+
+// LValue: sandwiched between the exact L at r−h and r+h.
+func TestCellIndexLValueSandwich(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, d := range []int{1, 2, 3} {
+		pts, grid := clusteredInstance(t, rng, 250, d)
+		exact, cell := bothIndexes(t, pts, grid)
+		n := len(pts)
+		for trial := 0; trial < 25; trial++ {
+			tt := 1 + rng.Intn(n)
+			r := math.Pow(10, -3+3.5*rng.Float64()) // log-uniform in [1e-3, ~3]
+			got, err := cell.LValue(r, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := testH(r, d)
+			lo, err := exact.LValue(r-h, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hi, err := exact.LValue(r+h, tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got < lo-1e-9 || got > hi+1e-9 {
+				t.Fatalf("d=%d t=%d: LValue(%v) = %v outside sandwich [%v, %v]", d, tt, r, got, lo, hi)
+			}
+		}
+		// Below the resolution floor the answer is the exact radius-0 value
+		// (grid-quantized inputs have no distances in (0, 2·RadiusUnit)).
+		tt := 2 + rng.Intn(n-2)
+		got, _ := cell.LValue(grid.RadiusUnit()/2, tt)
+		want, _ := exact.LValue(grid.RadiusUnit()/2, tt)
+		if got != want {
+			t.Fatalf("d=%d: sub-resolution LValue = %v, want %v", d, got, want)
+		}
+	}
+}
+
+// BuildLStep on the cell index: starts at the exact L(0), stays monotone,
+// saturates at t, and every recorded value respects the sandwich bound at
+// its breakpoint radius.
+func TestCellIndexBuildLStepBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	pts, grid := clusteredInstance(t, rng, 400, 2)
+	exact, cell := bothIndexes(t, pts, grid)
+	for _, tt := range []int{2, 40, 240, 400} {
+		ls, err := cell.BuildLStep(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := exact.LValue(0, tt)
+		if got := ls.Eval(0); got != want {
+			t.Fatalf("t=%d: L(0) = %v, want exact %v", tt, got, want)
+		}
+		for i := 1; i < len(ls.Vals); i++ {
+			if ls.Vals[i] < ls.Vals[i-1] {
+				t.Fatalf("t=%d: L not monotone at break %d", tt, i)
+			}
+		}
+		if last := ls.Vals[len(ls.Vals)-1]; last != float64(tt) {
+			t.Fatalf("t=%d: L(∞) = %v, want saturation at t", tt, last)
+		}
+		for i, r := range ls.Breaks {
+			if r == 0 {
+				continue
+			}
+			h := testH(r, 2)
+			lo, _ := exact.LValue(r-h, tt)
+			hi, _ := exact.LValue(r+h, tt)
+			// Monotone clipping can only raise a value toward earlier
+			// (smaller-radius) estimates, which are themselves bounded by
+			// their own sandwiches below this one's upper end.
+			if ls.Vals[i] < lo-1e-9 || ls.Vals[i] > hi+1e-9 {
+				t.Fatalf("t=%d: L̂(%v) = %v outside sandwich [%v, %v]", tt, r, ls.Vals[i], lo, hi)
+			}
+		}
+	}
+}
+
+// Duplicate-heavy input: the radius-0 fast paths must fire exactly.
+func TestCellIndexDuplicates(t *testing.T) {
+	grid, _ := geometry.NewGrid(1024, 2)
+	pts := make([]vec.Vector, 30)
+	for i := range pts {
+		pts[i] = vec.Of(0.5, 0.5)
+	}
+	pts[29] = vec.Of(0.9, 0.9)
+	ix, err := geometry.NewCellIndex(pts, testOpts(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, r, err := ix.TwoApprox(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 || !pts[c].Equal(vec.Of(0.5, 0.5)) {
+		t.Fatalf("TwoApprox on duplicates = (%d, %v), want a radius-0 duplicate ball", c, r)
+	}
+	ls, err := ix.BuildLStep(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ls.Eval(0); got != 20 {
+		t.Errorf("L(0) = %v, want 20 (capped)", got)
+	}
+	if len(ls.Breaks) != 1 {
+		t.Errorf("expected a single saturated piece, got %d", len(ls.Breaks))
+	}
+	if got := ix.CountWithin(0, 0); got != 29 {
+		t.Errorf("CountWithin(0, 0) = %d, want 29 duplicates", got)
+	}
+}

@@ -1,0 +1,791 @@
+package geometry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"privcluster/internal/vec"
+)
+
+// CellIndexOptions tunes the scalable cell-hash ball index. The zero value
+// selects defaults suitable for inputs in the unit cube on a 2¹⁶-per-axis
+// grid; callers with a concrete Grid should set MinRadius to
+// Grid.RadiusUnit() and MaxRadius to Grid.MaxDistance() so the radius
+// ladder matches the radius grid GoodRadius searches.
+type CellIndexOptions struct {
+	// MinRadius is the resolution floor of the radius ladder: radii below
+	// it are answered as if they were 0 by the L estimators. For
+	// grid-quantized inputs (minimum nonzero pairwise distance 2·RadiusUnit)
+	// setting MinRadius = Grid.RadiusUnit() loses nothing.
+	// Default: MaxRadius / 2¹⁷.
+	MinRadius float64
+	// MaxRadius is the largest radius the ladder must cover; it is expanded
+	// to the data's bounding-box diagonal if that is larger (which cannot
+	// happen for in-contract inputs in [0,1]^d with the default).
+	// Default: √d.
+	MaxRadius float64
+	// LevelsPerOctave is the ladder density: consecutive ladder radii have
+	// ratio 2^(1/LevelsPerOctave). Higher values shrink the radius
+	// discretization error of BuildLStep/TwoApprox at a linear cost in
+	// preprocessing. Default: 2 (ratio √2).
+	LevelsPerOctave int
+	// CellsPerRadius is the cell granularity: a query at radius r uses cells
+	// of side ≈ r/CellsPerRadius. Higher values shrink the center-rule
+	// count slack h ≈ √d/(2·CellsPerRadius)·r at a cost of
+	// (2·CellsPerRadius+2)^d candidate cells per query. It is raised to
+	// ⌈√d⌉ when below it (keeping h ≤ r/2). Default: 4.
+	CellsPerRadius int
+	// Workers bounds the worker pool of the bulk count passes.
+	// Default: GOMAXPROCS.
+	Workers int
+	// MaxCachedLevels bounds how many cell-hash levels (O(n) memory each)
+	// are kept alive; least recently built levels are dropped first.
+	// Default: 8.
+	MaxCachedLevels int
+}
+
+func (o CellIndexOptions) withDefaults(dim int) CellIndexOptions {
+	if o.MaxRadius <= 0 {
+		o.MaxRadius = math.Sqrt(float64(dim))
+	}
+	if o.MinRadius <= 0 {
+		o.MinRadius = o.MaxRadius / (1 << 17)
+	}
+	if o.MinRadius > o.MaxRadius {
+		o.MinRadius = o.MaxRadius
+	}
+	if o.LevelsPerOctave < 1 {
+		o.LevelsPerOctave = 2
+	}
+	if o.CellsPerRadius < 1 {
+		o.CellsPerRadius = 4
+	}
+	if m := int(math.Ceil(math.Sqrt(float64(dim)))); o.CellsPerRadius < m {
+		o.CellsPerRadius = m
+	}
+	if o.Workers < 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxCachedLevels < 1 {
+		o.MaxCachedLevels = 8
+	}
+	return o
+}
+
+// CellIndex is the scalable BallIndex backend: points are bucketed into a
+// hashed grid of cells ("cell hash"), one hash per radius scale, built
+// lazily. A ball query visits only the candidate cells intersecting the
+// ball's bounding box (or, when fewer, the occupied cells) and prunes at
+// cell granularity: cells whose axis-aligned box lies entirely inside the
+// ball contribute their stored count, cells entirely outside are skipped,
+// and only boundary cells are inspected point-by-point.
+//
+// Exactness contract:
+//
+//   - CountWithin, RadiusForCount and MaxCountWithin are exact.
+//   - TwoApprox returns a ball with ≥ t points whose radius is at most
+//     max(MinRadius, ρ·r₂) where r₂ is the exact TwoApprox radius and
+//     ρ = 2^(1/LevelsPerOctave) is the ladder ratio.
+//   - BuildLStep and LValue estimate the capped counts at cell granularity
+//     (a boundary cell contributes all of its points when its center lies
+//     in the ball, none otherwise): the estimate B̂_r satisfies
+//     B_{r−h} ≤ B̂_r ≤ B_{r+h} with h ≤ √d/(2·CellsPerRadius)·ρ·r, so the
+//     returned L̂(r) is sandwiched between L(r−h) and L(r+h). BuildLStep
+//     additionally discretizes the radius axis to the ladder. Crucially,
+//     whether a point y contributes to the estimated count around x depends
+//     only on the positions of x and y (never on other points), so L̂ keeps
+//     the sensitivity-2 property of Lemma 4.5 that GoodRadius's privacy
+//     analysis needs.
+//
+// Memory is O(n·d) (the points, the duplicate table, and at most
+// MaxCachedLevels transient cell hashes of O(n) entries each), versus the
+// Θ(n²) of DistanceIndex. Bulk passes are parallelized across
+// Options.Workers cores with the same worker-pool pattern NewDistanceIndex
+// uses. CellIndex is safe for concurrent use.
+type CellIndex struct {
+	points []vec.Vector
+	dim    int
+	opts   CellIndexOptions
+
+	// dupCount[i] is the number of input points identical to points[i]
+	// (≥ 1): the exact B_0 counts, kept separately because cell pruning
+	// cannot resolve radius 0.
+	dupCount []int32
+
+	maxR  float64 // ladder top ≥ max(opts.MaxRadius, data diameter)
+	stopR float64 // radius at which the L estimator provably saturates
+	ratio float64 // ladder ratio ρ
+	top   int     // largest ladder level index
+
+	mu     sync.Mutex
+	levels map[int]*cellLevel
+	order  []int // FIFO of built levels for eviction
+}
+
+// cellBucket is one occupied cell: its integer coordinates (cell a spans
+// [coord·side, (coord+1)·side) per axis) and the indices of the points in
+// it.
+type cellBucket struct {
+	coord []int64
+	ids   []int32
+}
+
+// cellLevel is the cell index at one radius scale: the occupied cells,
+// sorted lexicographically by coordinates with axis 0 fastest-varying, so
+// that a query block resolves into one contiguous range scan per axis-0 run
+// (a binary search each) instead of a hash probe per candidate cell — the
+// dominant cost at scale, since most candidate cells are empty.
+type cellLevel struct {
+	side    float64
+	buckets []cellBucket
+}
+
+// NewCellIndex builds the scalable index. It returns an error for an empty
+// input or mismatched dimensions.
+func NewCellIndex(points []vec.Vector, opts CellIndexOptions) (*CellIndex, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("geometry: cell index over empty point set")
+	}
+	d := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != d {
+			return nil, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+	}
+	opts = opts.withDefaults(d)
+	ix := &CellIndex{
+		points: points,
+		dim:    d,
+		opts:   opts,
+		ratio:  math.Pow(2, 1/float64(opts.LevelsPerOctave)),
+		levels: make(map[int]*cellLevel),
+	}
+
+	// Exact duplicate table (the radius-0 counts) and the data's bounding
+	// box in one pass.
+	lo, hi := points[0].Clone(), points[0].Clone()
+	dups := make(map[string]int32, n)
+	keys := make([]string, n)
+	buf := make([]byte, 8*d)
+	for i, p := range points {
+		for a, x := range p {
+			binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
+			if x < lo[a] {
+				lo[a] = x
+			}
+			if x > hi[a] {
+				hi[a] = x
+			}
+		}
+		k := string(buf)
+		keys[i] = k
+		dups[k]++
+	}
+	ix.dupCount = make([]int32, n)
+	for i, k := range keys {
+		ix.dupCount[i] = dups[k]
+	}
+
+	// The ladder must reach past the data diameter so the L estimator and
+	// TwoApprox provably saturate; for in-contract inputs (unit cube) the
+	// bounding-box diagonal never exceeds the default MaxRadius = √d, so
+	// the ladder stays data-independent.
+	ix.maxR = opts.MaxRadius
+	if diag := hi.Dist(lo); diag > ix.maxR {
+		ix.maxR = diag
+	}
+	// At r ≥ stopR every cell center is within r of every point
+	// (diam + h(r) ≤ r), so every estimated count is n.
+	slack := 1 - math.Sqrt(float64(d))/(2*float64(opts.CellsPerRadius))
+	ix.stopR = ix.maxR / slack
+	ix.top = 0
+	if ix.stopR > opts.MinRadius {
+		ix.top = int(math.Ceil(math.Log(ix.stopR/opts.MinRadius) / math.Log(ix.ratio)))
+	}
+	return ix, nil
+}
+
+// N returns the number of indexed points.
+func (ix *CellIndex) N() int { return len(ix.points) }
+
+// Points returns the indexed points (not a copy).
+func (ix *CellIndex) Points() []vec.Vector { return ix.points }
+
+// levelRadius returns ladder radius j: MinRadius·ρ^j.
+func (ix *CellIndex) levelRadius(j int) float64 {
+	return ix.opts.MinRadius * math.Pow(ix.ratio, float64(j))
+}
+
+// levelFor returns the ladder level whose cell size best fits queries at
+// radius r. Exactness never depends on the choice — only speed does.
+func (ix *CellIndex) levelFor(r float64) int {
+	if r <= ix.opts.MinRadius {
+		return 0
+	}
+	j := int(math.Floor(math.Log(r/ix.opts.MinRadius)/math.Log(ix.ratio) + 0.5))
+	if j < 0 {
+		j = 0
+	}
+	if j > ix.top {
+		j = ix.top
+	}
+	return j
+}
+
+// level returns (building lazily) the cell hash for ladder level j.
+func (ix *CellIndex) level(j int) *cellLevel {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if lv, ok := ix.levels[j]; ok {
+		return lv
+	}
+	lv := newCellLevel(ix.points, ix.levelRadius(j)/float64(ix.opts.CellsPerRadius))
+	ix.levels[j] = lv
+	ix.order = append(ix.order, j)
+	if len(ix.order) > ix.opts.MaxCachedLevels {
+		evict := ix.order[0]
+		ix.order = ix.order[1:]
+		delete(ix.levels, evict)
+	}
+	return lv
+}
+
+func newCellLevel(points []vec.Vector, side float64) *cellLevel {
+	d := points[0].Dim()
+	lv := &cellLevel{side: side}
+	index := make(map[string]int32, len(points))
+	buf := make([]byte, 8*d)
+	coord := make([]int64, d)
+	for i, p := range points {
+		for a, x := range p {
+			coord[a] = int64(math.Floor(x / side))
+		}
+		encodeCoords(buf, coord)
+		bi, ok := index[string(buf)]
+		if !ok {
+			bi = int32(len(lv.buckets))
+			index[string(buf)] = bi
+			lv.buckets = append(lv.buckets, cellBucket{coord: append([]int64(nil), coord...)})
+		}
+		lv.buckets[bi].ids = append(lv.buckets[bi].ids, int32(i))
+	}
+	sort.Slice(lv.buckets, func(i, j int) bool {
+		return cmpCoords(lv.buckets[i].coord, lv.buckets[j].coord) < 0
+	})
+	return lv
+}
+
+func encodeCoords(buf []byte, coord []int64) {
+	for a, c := range coord {
+		binary.LittleEndian.PutUint64(buf[8*a:], uint64(c))
+	}
+}
+
+// cmpCoords orders cell coordinates lexicographically with the highest
+// axis most significant (axis 0 varies fastest in the sorted order).
+func cmpCoords(a, b []int64) int {
+	for x := len(a) - 1; x >= 0; x-- {
+		switch {
+		case a[x] < b[x]:
+			return -1
+		case a[x] > b[x]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// cellScratch holds per-worker query buffers.
+type cellScratch struct {
+	buf         []byte
+	lo, hi, cur []int64
+	center      vec.Vector
+}
+
+func newCellScratch(d int) *cellScratch {
+	return &cellScratch{
+		buf:    make([]byte, 8*d),
+		lo:     make([]int64, d),
+		hi:     make([]int64, d),
+		cur:    make([]int64, d),
+		center: make(vec.Vector, d),
+	}
+}
+
+// bucketCount returns how many points of bucket b lie within distance
+// √rsq of p, resolved at cell granularity: cells whose AABB is entirely
+// inside the ball contribute their full count, cells entirely outside
+// contribute nothing, and boundary cells are either scanned point-by-point
+// (exactBoundary — exact counts) or resolved by the center rule (all points
+// count when the cell center lies in the ball; the deterministic pair rule
+// the L estimators need — see the CellIndex doc).
+func (ix *CellIndex) bucketCount(b *cellBucket, side float64, p vec.Vector, rsq float64, exactBoundary bool) int32 {
+	var minSq, maxSq float64
+	for a := 0; a < len(p); a++ {
+		cellLo := float64(b.coord[a]) * side
+		cellHi := cellLo + side
+		var dmin float64
+		switch {
+		case p[a] < cellLo:
+			dmin = cellLo - p[a]
+		case p[a] > cellHi:
+			dmin = p[a] - cellHi
+		}
+		minSq += dmin * dmin
+		if minSq > rsq {
+			return 0 // entirely outside
+		}
+		dmax := p[a] - cellLo
+		if other := cellHi - p[a]; other > dmax {
+			dmax = other
+		}
+		maxSq += dmax * dmax
+	}
+	switch {
+	case maxSq <= rsq: // entirely inside
+		return int32(len(b.ids))
+	case exactBoundary:
+		var cnt int32
+		for _, id := range b.ids {
+			if ix.points[id].DistSq(p) <= rsq {
+				cnt++
+			}
+		}
+		return cnt
+	default: // center rule
+		var dcSq float64
+		for a := 0; a < len(p); a++ {
+			dc := p[a] - (float64(b.coord[a])+0.5)*side
+			dcSq += dc * dc
+		}
+		if dcSq <= rsq {
+			return int32(len(b.ids))
+		}
+		return 0
+	}
+}
+
+// forCandidates invokes fn on every bucket that can intersect the ball
+// B(center, r) expanded by pad on each axis. The occupied cells are sorted
+// with axis 0 fastest-varying, so the query block decomposes into one
+// sorted-range scan per higher-axis prefix (a binary search each); when the
+// block has more such runs than there are occupied cells, scanning all
+// buckets directly is cheaper (which also keeps huge-radius queries O(n)).
+// fn returning false stops the enumeration.
+func (ix *CellIndex) forCandidates(lv *cellLevel, center vec.Vector, r, pad float64, sc *cellScratch, fn func(*cellBucket) bool) {
+	d := ix.dim
+	side := lv.side
+	runs := 1.0
+	for a := 0; a < d; a++ {
+		sc.lo[a] = int64(math.Floor((center[a] - r - pad) / side))
+		sc.hi[a] = int64(math.Floor((center[a] + r + pad) / side))
+		if a > 0 {
+			runs *= float64(sc.hi[a] - sc.lo[a] + 1)
+		}
+	}
+	if runs > float64(len(lv.buckets)) {
+		for bi := range lv.buckets {
+			b := &lv.buckets[bi]
+			in := true
+			for a := 0; a < d; a++ {
+				if b.coord[a] < sc.lo[a] || b.coord[a] > sc.hi[a] {
+					in = false
+					break
+				}
+			}
+			if in && !fn(b) {
+				return
+			}
+		}
+		return
+	}
+	// Odometer over the higher-axis prefix; each prefix yields the run
+	// [prefix, lo[0]] … [prefix, hi[0]] in the sorted bucket order.
+	copy(sc.cur, sc.lo)
+	for {
+		sc.cur[0] = sc.lo[0]
+		start := sort.Search(len(lv.buckets), func(i int) bool {
+			return cmpCoords(lv.buckets[i].coord, sc.cur) >= 0
+		})
+		for bi := start; bi < len(lv.buckets); bi++ {
+			b := &lv.buckets[bi]
+			if b.coord[0] > sc.hi[0] || !prefixEqual(b.coord, sc.cur) {
+				break
+			}
+			if !fn(b) {
+				return
+			}
+		}
+		a := 1
+		for ; a < d; a++ {
+			sc.cur[a]++
+			if sc.cur[a] <= sc.hi[a] {
+				break
+			}
+			sc.cur[a] = sc.lo[a]
+		}
+		if a == d {
+			break
+		}
+	}
+}
+
+// prefixEqual reports whether a and b agree on every axis above 0.
+func prefixEqual(a, b []int64) bool {
+	for x := len(a) - 1; x >= 1; x-- {
+		if a[x] != b[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// countOne returns the exact number of points within distance r of p — the
+// single-point query path (bulk passes go through countAll).
+func (ix *CellIndex) countOne(lv *cellLevel, p vec.Vector, r float64, sc *cellScratch) int32 {
+	if r < 0 {
+		return 0
+	}
+	rsq := r * r
+	var cnt int32
+	ix.forCandidates(lv, p, r, 0, sc, func(b *cellBucket) bool {
+		cnt += ix.bucketCount(b, lv.side, p, rsq, true)
+		return true
+	})
+	return cnt
+}
+
+// boxBoxDistSq returns the squared min and max distances between the AABBs
+// of two cells of the given side.
+func boxBoxDistSq(a, b []int64, side float64) (minSq, maxSq float64) {
+	for x := range a {
+		// Cell x spans [c·side, (c+1)·side]: the gap and the farthest
+		// corner pair follow from the integer offset alone.
+		off := float64(b[x] - a[x])
+		var dmin float64
+		switch {
+		case off > 1:
+			dmin = (off - 1) * side
+		case off < -1:
+			dmin = (-off - 1) * side
+		}
+		minSq += dmin * dmin
+		dmax := off
+		if dmax < 0 {
+			dmax = -dmax
+		}
+		dmax = (dmax + 1) * side
+		maxSq += dmax * dmax
+	}
+	return minSq, maxSq
+}
+
+// countAll computes the capped within-r count for every input point. The
+// pass is bucket-centric: the candidate cells of one source cell are
+// enumerated once and classified cell-pair first — candidates entirely
+// within (or beyond) reach of the whole source cell are resolved in O(1)
+// for all of its points at once, and only candidates straddling some
+// point's ball boundary fall back to per-point classification. The
+// (dominant) candidate-enumeration cost is thus paid per occupied cell
+// pair rather than per point pair — a large win exactly where the data is
+// dense. Source cells fan out over the worker pool; each cell's points are
+// written by exactly one worker.
+func (ix *CellIndex) countAll(lv *cellLevel, r float64, limit int32, exactBoundary bool) []int32 {
+	n := len(ix.points)
+	out := make([]int32, n)
+	if r < 0 || limit <= 0 {
+		return out
+	}
+	rsq := r * r
+	side := lv.side
+	nb := len(lv.buckets)
+	workers := ix.opts.Workers
+	if workers > nb {
+		workers = nb
+	}
+	const chunk = 64
+	ranges := make(chan [2]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newCellScratch(ix.dim)
+			for rg := range ranges {
+				for src := rg[0]; src < rg[1]; src++ {
+					srcB := &lv.buckets[src]
+					// The block around the source cell's box covers the
+					// ball bounding boxes of all its points (pad = side/2
+					// beyond the per-point radius, from the cell center).
+					for a := 0; a < ix.dim; a++ {
+						sc.center[a] = (float64(srcB.coord[a]) + 0.5) * side
+					}
+					var base int32 // count shared by every point of the cell
+					capped := false
+					ix.forCandidates(lv, sc.center, r, side/2, sc, func(b *cellBucket) bool {
+						minSq, maxSq := boxBoxDistSq(srcB.coord, b.coord, side)
+						switch {
+						case minSq > rsq: // beyond reach of the whole cell
+						case maxSq <= rsq: // inside reach of the whole cell
+							base += int32(len(b.ids))
+							if base >= limit {
+								capped = true
+								return false
+							}
+						default:
+							for _, pid := range srcB.ids {
+								if out[pid] >= limit {
+									continue
+								}
+								if c := out[pid] + ix.bucketCount(b, side, ix.points[pid], rsq, exactBoundary); c < limit {
+									out[pid] = c
+								} else {
+									out[pid] = limit
+								}
+							}
+						}
+						return true
+					})
+					for _, pid := range srcB.ids {
+						if capped {
+							out[pid] = limit
+							continue
+						}
+						if c := out[pid] + base; c < limit {
+							out[pid] = c
+						} else {
+							out[pid] = limit
+						}
+					}
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < nb; lo += chunk {
+		hi := lo + chunk
+		if hi > nb {
+			hi = nb
+		}
+		ranges <- [2]int{lo, hi}
+	}
+	close(ranges)
+	wg.Wait()
+	return out
+}
+
+// CountWithin returns B_r(x_i) exactly.
+func (ix *CellIndex) CountWithin(i int, r float64) int {
+	lv := ix.level(ix.levelFor(r))
+	return int(ix.countOne(lv, ix.points[i], r, newCellScratch(ix.dim)))
+}
+
+// RadiusForCount returns the t-th smallest distance from point i — exact,
+// via a direct O(n·d) scan (cheap for point queries, and never Θ(n²)).
+func (ix *CellIndex) RadiusForCount(i, t int) (float64, error) {
+	n := len(ix.points)
+	if t < 1 || t > n {
+		return 0, fmt.Errorf("geometry: RadiusForCount t=%d out of [1,%d]", t, n)
+	}
+	ds := make([]float64, n)
+	for j, q := range ix.points {
+		ds[j] = ix.points[i].DistSq(q)
+	}
+	return math.Sqrt(kthSmallest(ds, t)), nil
+}
+
+// kthSmallest selects the k-th smallest element (1-based) by quickselect,
+// in expected O(len) time. It permutes xs.
+func kthSmallest(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	k-- // 0-based target index
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k]
+		}
+	}
+	return xs[k]
+}
+
+// TwoApprox returns an input-centered ball with at least t points whose
+// radius is at most max(MinRadius, ρ·r₂), r₂ being the exact TwoApprox
+// radius (≤ 2·r_opt by "known fact 3") and ρ the ladder ratio: the
+// predicate "some input-centered ball of ladder radius r_j holds ≥ t
+// points" is monotone in j, so a binary search over the ladder finds the
+// smallest satisfying level with exact (capped) counts.
+func (ix *CellIndex) TwoApprox(t int) (center int, radius float64, err error) {
+	n := len(ix.points)
+	if t < 1 || t > n {
+		return 0, 0, fmt.Errorf("geometry: TwoApprox t=%d out of [1,%d]", t, n)
+	}
+	for i, c := range ix.dupCount {
+		if int(c) >= t {
+			return i, 0, nil
+		}
+	}
+	lo, hi := 0, ix.top
+	memo := make(map[int][]int32)
+	countsAt := func(j int) []int32 {
+		if c, ok := memo[j]; ok {
+			return c
+		}
+		c := ix.countAll(ix.level(j), ix.levelRadius(j), int32(t), true)
+		memo[j] = c
+		return c
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if maxInt32(countsAt(mid)) >= int32(t) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	r := ix.levelRadius(lo)
+	counts := countsAt(lo)
+	for i, c := range counts {
+		if int(c) >= t {
+			return i, r, nil
+		}
+	}
+	// Unreachable: the ladder top provably covers the whole dataset.
+	return 0, r, fmt.Errorf("geometry: TwoApprox ladder did not saturate (internal invariant)")
+}
+
+func maxInt32(xs []int32) int32 {
+	var best int32
+	for _, x := range xs {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}
+
+// MaxCountWithin returns max_i B_r(x_i) exactly.
+func (ix *CellIndex) MaxCountWithin(r float64) int {
+	counts := ix.countAll(ix.level(ix.levelFor(r)), r, math.MaxInt32, true)
+	return int(maxInt32(counts))
+}
+
+// lCounts returns the capped estimated counts the L estimators are built
+// from (center rule — see the exactness contract in the type doc).
+func (ix *CellIndex) lCounts(r float64, t int) []int32 {
+	j := ix.levelFor(r)
+	return ix.countAll(ix.level(j), r, int32(t), false)
+}
+
+// dupLValue is L at radius 0 (and below the resolution floor): the exact
+// top-t average of the capped duplicate multiplicities.
+func (ix *CellIndex) dupLValue(t int) float64 {
+	return topTAvg(ix.dupCount, t)
+}
+
+// LValue estimates L(r, S); the estimate lies between L(r−h, S) and
+// L(r+h, S) for h ≤ √d/(2·CellsPerRadius)·ρ·r. Radii below the resolution
+// floor MinRadius evaluate like radius 0, which is exact for grid-quantized
+// inputs (their minimum nonzero pairwise distance is 2·MinRadius when
+// MinRadius = Grid.RadiusUnit()).
+func (ix *CellIndex) LValue(r float64, t int) (float64, error) {
+	n := len(ix.points)
+	if t < 1 || t > n {
+		return 0, fmt.Errorf("geometry: LValue t=%d out of [1,%d]", t, n)
+	}
+	if r < 0 {
+		return 0, nil
+	}
+	if r < ix.opts.MinRadius {
+		return ix.dupLValue(t), nil
+	}
+	return topTAvg(ix.lCounts(r, t), t), nil
+}
+
+// topTAvg returns the average of the t largest values (each clamped to
+// [0, t]) via one counting pass — O(n + t), no sort.
+func topTAvg(counts []int32, t int) float64 {
+	hist := make([]int32, t+1)
+	for _, c := range counts {
+		if c > int32(t) {
+			c = int32(t)
+		}
+		if c < 0 {
+			c = 0
+		}
+		hist[c]++
+	}
+	remaining := int32(t)
+	sum := 0.0
+	for v := t; v >= 0 && remaining > 0; v-- {
+		k := hist[v]
+		if k > remaining {
+			k = remaining
+		}
+		sum += float64(k) * float64(v)
+		remaining -= k
+	}
+	return sum / float64(t)
+}
+
+// BuildLStep constructs the approximate L(·, S) step function by sweeping
+// the radius ladder instead of the Θ(n²) pairwise distances: radius 0 is
+// answered exactly from the duplicate table, every ladder radius gets the
+// cell-granularity estimate (clipped to stay monotone), and the sweep stops
+// as soon as L saturates at t — guaranteed at the ladder top, which covers
+// the data diameter plus the center-rule slack. Runtime
+// O(n·(2·CellsPerRadius+2)^d) per ladder level over Workers cores; memory
+// O(n) per transient level.
+func (ix *CellIndex) BuildLStep(t int) (*LStep, error) {
+	n := len(ix.points)
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("geometry: BuildLStep t=%d out of [1,%d]", t, n)
+	}
+	l := &LStep{T: t}
+	prev := ix.dupLValue(t)
+	l.Breaks = append(l.Breaks, 0)
+	l.Vals = append(l.Vals, prev)
+	// Every ladder level is visited in order and the recorded function is
+	// the running max of the per-level estimates (run-length encoded: equal
+	// values add no break). The per-level estimate is NOT monotone across
+	// levels — a coarser level can round a neighbor's cell center out of
+	// the ball that a finer level included — so shortcuts that skip levels
+	// based on probed values (e.g. binary-searching the first level that
+	// moves) would both drop breakpoints and, worse, make the *set* of
+	// recorded levels data-dependent, which breaks the sensitivity-2
+	// argument. The running max over the full, fixed ladder keeps it: each
+	// level's estimate has sensitivity ≤ 2 under the deterministic pair
+	// rule, and a pointwise max of sensitivity-2 values has sensitivity
+	// ≤ 2.
+	for j := 0; j <= ix.top && prev < float64(t); j++ {
+		v := topTAvg(ix.lCounts(ix.levelRadius(j), t), t)
+		if v > prev {
+			l.Breaks = append(l.Breaks, ix.levelRadius(j))
+			l.Vals = append(l.Vals, v)
+			prev = v
+		}
+	}
+	return l, nil
+}

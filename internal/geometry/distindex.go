@@ -83,26 +83,33 @@ func (ix *DistanceIndex) CountWithin(i int, r float64) int {
 
 // RadiusForCount returns the smallest distance r such that the ball of
 // radius r around point i contains at least t input points, i.e. the t-th
-// smallest distance from point i. It panics if t is out of [1, n].
-func (ix *DistanceIndex) RadiusForCount(i, t int) float64 {
+// smallest distance from point i. It returns an error when t is outside
+// [1, n] — like the rest of the package, it never panics on bad library
+// input.
+func (ix *DistanceIndex) RadiusForCount(i, t int) (float64, error) {
 	if t < 1 || t > len(ix.sorted[i]) {
-		panic(fmt.Sprintf("geometry: RadiusForCount t=%d out of [1,%d]", t, len(ix.sorted[i])))
+		return 0, fmt.Errorf("geometry: RadiusForCount t=%d out of [1,%d]", t, len(ix.sorted[i]))
 	}
-	return ix.sorted[i][t-1]
+	return ix.sorted[i][t-1], nil
 }
+
+// radiusForCount is RadiusForCount without the range check, for hot loops
+// that have already validated t against [1, n] once.
+func (ix *DistanceIndex) radiusForCount(i, t int) float64 { return ix.sorted[i][t-1] }
 
 // TwoApprox returns the best ball centered at an input point containing at
 // least t input points: its radius is at most 2·r_opt ("known fact 3" of
 // Section 3 — a ball of radius 2·r_opt around any point of the optimal ball
 // covers the whole optimal ball). It returns the center index and radius.
+// t is validated once here, before the hot loop.
 func (ix *DistanceIndex) TwoApprox(t int) (center int, radius float64, err error) {
 	n := ix.N()
 	if t < 1 || t > n {
 		return 0, 0, fmt.Errorf("geometry: TwoApprox t=%d out of [1,%d]", t, n)
 	}
-	best, bestR := 0, ix.RadiusForCount(0, t)
+	best, bestR := 0, ix.radiusForCount(0, t)
 	for i := 1; i < n; i++ {
-		if r := ix.RadiusForCount(i, t); r < bestR {
+		if r := ix.radiusForCount(i, t); r < bestR {
 			best, bestR = i, r
 		}
 	}

@@ -152,22 +152,24 @@ func TestDistanceIndexBasics(t *testing.T) {
 	if got := ix.CountWithin(1, 1); got != 3 {
 		t.Errorf("CountWithin(1,1) = %d, want 3", got)
 	}
-	if got := ix.RadiusForCount(0, 3); got != 2 {
-		t.Errorf("RadiusForCount(0,3) = %v, want 2", got)
+	if got, err := ix.RadiusForCount(0, 3); err != nil || got != 2 {
+		t.Errorf("RadiusForCount(0,3) = %v, %v, want 2", got, err)
 	}
 	if got := ix.MaxCountWithin(1); got != 3 {
 		t.Errorf("MaxCountWithin(1) = %d, want 3", got)
 	}
 }
 
-func TestRadiusForCountPanics(t *testing.T) {
+func TestRadiusForCountOutOfRange(t *testing.T) {
+	// Out-of-range t must surface as an error, never a panic — library
+	// users have no reason to expect a panic path in the geometry package.
 	ix, _ := NewDistanceIndex([]vec.Vector{vec.Of(0)})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RadiusForCount(0,2) did not panic")
-		}
-	}()
-	ix.RadiusForCount(0, 2)
+	if _, err := ix.RadiusForCount(0, 2); err == nil {
+		t.Fatal("RadiusForCount(0,2) accepted t > n")
+	}
+	if _, err := ix.RadiusForCount(0, 0); err == nil {
+		t.Fatal("RadiusForCount(0,0) accepted t < 1")
+	}
 }
 
 func TestTwoApproxQuality(t *testing.T) {

@@ -54,6 +54,9 @@ type Params struct {
 	Grid geometry.Grid
 	// Profile for the seeding stage (zero value = core.DefaultProfile).
 	Profile core.Profile
+	// Index selects the seeding stage's ball-index backend (zero value
+	// core.IndexAuto).
+	Index core.IndexPolicy
 }
 
 func (p *Params) setDefaults(n int) {
@@ -162,6 +165,7 @@ func Run(rng *rand.Rand, points []vec.Vector, prm Params) (Result, error) {
 		Beta:    prm.Beta,
 		Grid:    prm.Grid,
 		Profile: prm.Profile,
+		Index:   prm.Index,
 	}
 	balls, err := core.KCover(rng, points, prm.K, seedPrm)
 	if err != nil {

@@ -23,15 +23,17 @@
 package stability
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 
 	"privcluster/internal/noise"
 )
 
 // Result is the outcome of a Choose call.
-type Result[K comparable] struct {
+type Result[K cmp.Ordered] struct {
 	Key        K       // the selected bin (zero value when Bottom)
 	Bottom     bool    // true when no bin passed the stability threshold
 	NoisyCount float64 // the winning bin's noisy count (diagnostic)
@@ -67,15 +69,26 @@ func (p Params) validate() error {
 //
 // Choose is (ε, δ)-differentially private when the histogram is built by
 // partitioning the dataset (each element contributes to exactly one bin).
-func Choose[K comparable](rng *rand.Rand, hist map[K]int, p Params) (Result[K], error) {
+//
+// Bins are visited in sorted key order: noise is drawn during the scan, so
+// iterating the map directly would couple the draws to Go's randomized map
+// order and make seeded runs irreproducible (keys are ordered for exactly
+// this reason — the DP analysis is order-independent).
+func Choose[K cmp.Ordered](rng *rand.Rand, hist map[K]int, p Params) (Result[K], error) {
 	if err := p.validate(); err != nil {
 		return Result[K]{}, err
 	}
+	keys := make([]K, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
 	thresh := p.Threshold()
 	var best Result[K]
 	best.Bottom = true
 	bestVal := math.Inf(-1)
-	for k, c := range hist {
+	for _, k := range keys {
+		c := hist[k]
 		if c <= 0 {
 			continue
 		}

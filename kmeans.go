@@ -44,6 +44,10 @@ func KMeans(points []Point, k int, o KMeansOptions) (KMeansResult, error) {
 	if len(points) == 0 {
 		return KMeansResult{}, ErrNoPoints
 	}
+	pol, err := oo.indexPolicy()
+	if err != nil {
+		return KMeansResult{}, err
+	}
 	d := len(points[0])
 	grid, err := geometry.NewGrid(oo.GridSize, d)
 	if err != nil {
@@ -66,6 +70,7 @@ func KMeans(points []Point, k int, o KMeansOptions) (KMeansResult, error) {
 		Beta:         oo.Beta,
 		Grid:         grid,
 		Profile:      oo.profile(),
+		Index:        pol,
 	}
 	res, err := kmeans.Run(oo.rng(), vs, prm)
 	if err != nil {

@@ -16,8 +16,30 @@ import (
 // Point is a point in the d-dimensional unit cube.
 type Point = []float64
 
+// IndexPolicy selects the ball-index backend the algorithms preprocess the
+// dataset with.
+type IndexPolicy int
+
+const (
+	// IndexAuto (the default) uses the exact index for small inputs and
+	// switches to the scalable one when the Θ(n²) distance matrix would be
+	// expensive (above a few thousand points).
+	IndexAuto IndexPolicy = iota
+	// IndexExact forces the Θ(n²)-memory exact distance index: exact ball
+	// counts and score function, viable for n in the low thousands.
+	IndexExact
+	// IndexScalable forces the O(n·d)-memory grid-bucketed cell index:
+	// ball counts resolved by per-cell candidate pruning, with the score
+	// function approximated on a geometric radius ladder. Privacy is
+	// unaffected; the returned radius can be a small constant factor wider
+	// than with IndexExact.
+	IndexScalable
+)
+
 // Options configures the private algorithms. The zero value gives ε = 1,
-// δ = 10⁻⁶, β = 0.1, |X| = 2¹⁶ and a time-seeded generator.
+// δ = 10⁻⁶, β = 0.1, |X| = 2¹⁶, the automatic index backend and a
+// time-seeded generator (fresh noise per call — the only safe default for
+// a privacy library).
 type Options struct {
 	// Epsilon, Delta are the total differential-privacy budget of one call.
 	Epsilon float64
@@ -28,9 +50,16 @@ type Options struct {
 	// domain X^d. Inputs are snapped onto the grid (Definition 1.2 requires
 	// a finite domain; Section 5 proves infinite domains are impossible).
 	GridSize int64
-	// Seed makes the run reproducible. 0 seeds from the clock.
-	// Reproducible noise is for experiments only — never for deployments.
+	// Seed makes the run reproducible. 0 is the documented sentinel for
+	// "draw a fresh seed from the clock on every call"; to use the literal
+	// seed 0, set ZeroSeed. Reproducible noise is for experiments only —
+	// never for deployments.
 	Seed int64
+	// ZeroSeed treats Seed == 0 as a literal, reproducible seed instead of
+	// the draw-from-clock sentinel. Nonzero seeds are unaffected.
+	ZeroSeed bool
+	// IndexPolicy selects the dataset index backend (default IndexAuto).
+	IndexPolicy IndexPolicy
 	// Paper switches every internal constant to the paper's proof values
 	// (see internal/core.PaperProfile). With them, meaningful output needs
 	// astronomically large datasets; the default profile keeps the same
@@ -56,13 +85,30 @@ func (o Options) withDefaults() Options {
 	if o.GridSize == 0 {
 		o.GridSize = 1 << 16
 	}
-	if o.Seed == 0 {
-		o.Seed = time.Now().UnixNano()
-	}
 	return o
 }
 
-func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+func (o Options) rng() *rand.Rand {
+	seed := o.Seed
+	if seed == 0 && !o.ZeroSeed {
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// indexPolicy maps the public policy onto the core one.
+func (o Options) indexPolicy() (core.IndexPolicy, error) {
+	switch o.IndexPolicy {
+	case IndexAuto:
+		return core.IndexAuto, nil
+	case IndexExact:
+		return core.IndexExact, nil
+	case IndexScalable:
+		return core.IndexScalable, nil
+	default:
+		return 0, fmt.Errorf("privcluster: unknown index policy %d", o.IndexPolicy)
+	}
+}
 
 // span returns the domain width Max−Min, defaulting to the unit interval.
 // Options with Max ≤ Min (other than both zero) are rejected in prepare.
@@ -117,24 +163,29 @@ func (c Cluster) Count(points []Point) int {
 var ErrNoPoints = errors.New("privcluster: no input points")
 
 // prepare converts, rescales (Remark 3.3) and quantizes the input, and
-// assembles core parameters.
-func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, error) {
+// assembles core parameters. It applies the option defaults exactly once
+// and hands the defaulted Options back so callers never re-default.
+func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, Options, error) {
 	o = o.withDefaults()
 	if len(points) == 0 {
-		return nil, core.Params{}, ErrNoPoints
+		return nil, core.Params{}, o, ErrNoPoints
 	}
 	if (o.Min != 0 || o.Max != 0) && o.Max <= o.Min {
-		return nil, core.Params{}, fmt.Errorf("privcluster: domain bounds Max=%v ≤ Min=%v", o.Max, o.Min)
+		return nil, core.Params{}, o, fmt.Errorf("privcluster: domain bounds Max=%v ≤ Min=%v", o.Max, o.Min)
+	}
+	pol, err := o.indexPolicy()
+	if err != nil {
+		return nil, core.Params{}, o, err
 	}
 	d := len(points[0])
 	grid, err := geometry.NewGrid(o.GridSize, d)
 	if err != nil {
-		return nil, core.Params{}, err
+		return nil, core.Params{}, o, err
 	}
 	vs := make([]vec.Vector, len(points))
 	for i, p := range points {
 		if len(p) != d {
-			return nil, core.Params{}, fmt.Errorf("privcluster: point %d has dimension %d, want %d", i, len(p), d)
+			return nil, core.Params{}, o, fmt.Errorf("privcluster: point %d has dimension %d, want %d", i, len(p), d)
 		}
 		u := make(vec.Vector, d)
 		for j, x := range p {
@@ -148,8 +199,9 @@ func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, error
 		Beta:    o.Beta,
 		Grid:    grid,
 		Profile: o.profile(),
+		Index:   pol,
 	}
-	return vs, prm, nil
+	return vs, prm, o, nil
 }
 
 // FindCluster solves the 1-cluster problem (Theorem 3.2): it privately
@@ -157,11 +209,10 @@ func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, error
 // the input points and whose radius is within O(√log n) of the smallest
 // ball containing t points. Points are snapped onto the |X|-per-axis grid.
 func FindCluster(points []Point, t int, o Options) (Cluster, error) {
-	vs, prm, err := prepare(points, t, o)
+	vs, prm, oo, err := prepare(points, t, o)
 	if err != nil {
 		return Cluster{}, err
 	}
-	oo := o.withDefaults()
 	res, err := core.OneCluster(oo.rng(), vs, prm)
 	if err != nil {
 		return Cluster{}, err
@@ -182,11 +233,10 @@ func FindCluster(points []Point, t int, o Options) (Cluster, error) {
 // on the not-yet-covered points, splitting the privacy budget across
 // rounds. It returns the balls found (possibly fewer than k).
 func FindClusters(points []Point, k, t int, o Options) ([]Cluster, error) {
-	vs, prm, err := prepare(points, t, o)
+	vs, prm, oo, err := prepare(points, t, o)
 	if err != nil {
 		return nil, err
 	}
-	oo := o.withDefaults()
 	balls, err := core.KCover(oo.rng(), vs, k, prm)
 	if err != nil {
 		return nil, err
@@ -213,6 +263,10 @@ func InteriorPoint(values []float64, innerN int, o Options) (float64, error) {
 	if len(values) == 0 {
 		return 0, ErrNoPoints
 	}
+	pol, err := o.indexPolicy()
+	if err != nil {
+		return 0, err
+	}
 	grid, err := geometry.NewGrid(o.GridSize, 1)
 	if err != nil {
 		return 0, err
@@ -225,6 +279,7 @@ func InteriorPoint(values []float64, innerN int, o Options) (float64, error) {
 			Beta:    o.Beta,
 			Grid:    grid,
 			Profile: o.profile(),
+			Index:   pol,
 		},
 		Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
 		Beta:    o.Beta,
@@ -245,6 +300,10 @@ func InteriorPoint(values []float64, innerN int, o Options) (float64, error) {
 // private stand-in for f(rows).
 func Aggregate[R any](rows []R, f func([]R) Point, dim, m int, alpha float64, o Options) (Point, error) {
 	o = o.withDefaults()
+	pol, err := o.indexPolicy()
+	if err != nil {
+		return nil, err
+	}
 	grid, err := geometry.NewGrid(o.GridSize, dim)
 	if err != nil {
 		return nil, err
@@ -257,6 +316,7 @@ func Aggregate[R any](rows []R, f func([]R) Point, dim, m int, alpha float64, o 
 			Beta:    o.Beta,
 			Grid:    grid,
 			Profile: o.profile(),
+			Index:   pol,
 		},
 	}
 	res, err := agg.Run(o.rng(), rows, func(rs []R) vec.Vector { return vec.Vector(f(rs)) }, prm)

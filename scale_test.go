@@ -1,0 +1,115 @@
+package privcluster
+
+import (
+	"math/rand"
+	"os"
+	"regexp"
+	"testing"
+	"time"
+)
+
+// TestFindClusterScalable100k is the scale acceptance test for the cell
+// index backend: FindCluster on 100,000 points (d = 2, default Options —
+// i.e. ε = 1, |X| = 2¹⁶, auto index policy) must complete and locate the
+// planted cluster. The Θ(n²) distance matrix would need ≈ 80 GB here, so
+// completing at all demonstrates the scalable path; the benchmarks in
+// bench_test.go quantify the speed and memory of both backends.
+func TestFindClusterScalable100k(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, tt = 100000, 50000
+	pts, _ := plantedPoints(rng, n, 60000, 2, 0.03)
+	c, err := FindCluster(pts, tt, Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Count(pts); got < tt {
+		t.Errorf("cluster ball holds %d < %d points", got, tt)
+	}
+	if c.RawRadius <= 0 || c.RawRadius > 0.3 {
+		t.Errorf("raw radius %v far from the planted scale", c.RawRadius)
+	}
+}
+
+// Both explicit backends solve the same small instance through the public
+// API.
+func TestFindClusterIndexPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts, _ := plantedPoints(rng, 800, 500, 2, 0.02)
+	for _, pol := range []IndexPolicy{IndexAuto, IndexExact, IndexScalable} {
+		c, err := FindCluster(pts, 400, Options{
+			Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024, IndexPolicy: pol,
+		})
+		if err != nil {
+			t.Fatalf("policy %d: %v", pol, err)
+		}
+		if got := c.Count(pts); got < 400 {
+			t.Errorf("policy %d: ball holds %d < 400 points", pol, got)
+		}
+	}
+	if _, err := FindCluster(pts, 400, Options{Seed: 1, IndexPolicy: IndexPolicy(42)}); err == nil {
+		t.Error("unknown index policy accepted")
+	}
+}
+
+// Seed 0 stays the documented "fresh noise per call" sentinel (the only
+// safe default for a DP library), while ZeroSeed makes the literal zero
+// seed expressible and reproducible — previously impossible.
+func TestSeedSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts, _ := plantedPoints(rng, 600, 400, 2, 0.02)
+	o := Options{Epsilon: 4, Delta: 0.05, GridSize: 1024, ZeroSeed: true} // literal seed 0
+	a, errA := FindCluster(pts, 300, o)
+	b, errB := FindCluster(pts, 300, o)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("ZeroSeed not deterministic: %v vs %v", errA, errB)
+	}
+	if errA == nil && (a.Radius != b.Radius || a.Center[0] != b.Center[0]) {
+		t.Error("ZeroSeed produced different clusters across calls")
+	}
+
+	// Without ZeroSeed, Seed 0 draws a fresh stream per call; two
+	// generators drawn in sequence must not produce identical prefixes.
+	// Retry with a sleep so a coarse platform clock (two UnixNano calls in
+	// one tick) cannot fail the test spuriously.
+	same := true
+	for attempt := 0; attempt < 5 && same; attempt++ {
+		r1, r2 := Options{}.rng(), Options{}.rng()
+		same = true
+		for i := 0; i < 8; i++ {
+			if r1.Int63() != r2.Int63() {
+				same = false
+			}
+		}
+		if same {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if same {
+		t.Error("default (sentinel) generators produced identical streams")
+	}
+
+	// A literal zero seed and a fixed nonzero seed agree with themselves.
+	z1, z2 := Options{ZeroSeed: true}.rng(), Options{ZeroSeed: true}.rng()
+	for i := 0; i < 8; i++ {
+		if z1.Int63() != z2.Int63() {
+			t.Fatal("ZeroSeed generators diverged")
+		}
+	}
+}
+
+// The module definition is part of the build contract: tier-1
+// (`go build ./... && go test ./...`) only works from a clean checkout
+// because go.mod pins the module path every internal import uses. Guard it
+// against regressing (it was missing entirely once).
+func TestGoModConsistent(t *testing.T) {
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		t.Fatalf("go.mod unreadable: %v", err)
+	}
+	if !regexp.MustCompile(`(?m)^module privcluster$`).Match(data) {
+		t.Errorf("go.mod does not declare `module privcluster`:\n%s", data)
+	}
+	if !regexp.MustCompile(`(?m)^go \d+\.\d+`).Match(data) {
+		t.Errorf("go.mod does not pin a Go version:\n%s", data)
+	}
+}
