@@ -154,6 +154,69 @@ func BenchmarkOneClusterPipeline(b *testing.B) {
 	}
 }
 
+// ---- GoodCenter box-partition engine benchmarks ------------------------
+//
+// The box-partition loop is GoodCenter's hot path at scale: one O(n·k)
+// count pass per SVT repetition. The packed-key engine bit-packs (or
+// hash-combines) the per-axis cell indices into a uint64 and reuses every
+// histogram and buffer across repetitions, versus the legacy 8·k-byte
+// string key built per point per repetition:
+//
+//	go test -bench BenchmarkGoodCenter -benchmem
+//
+// The equivalence tests in internal/core prove both engines release
+// bit-identical centers, so the delta here is pure overhead.
+
+func benchGoodCenterAt(b *testing.B, n int, packing core.PackingPolicy) {
+	b.Helper()
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, n, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof := core.DefaultProfile()
+	prof.Packing = packing
+	prm := core.Params{
+		T:       tt,
+		Privacy: dp.Params{Epsilon: 4, Delta: 0.05},
+		Beta:    0.1,
+		Grid:    grid,
+		Profile: prof,
+	}
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GoodCenter(rng, pts, 0.05, prm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGoodCenterPacked exercises the packed-key engine across the
+// 2k–500k range.
+func BenchmarkGoodCenterPacked(b *testing.B) {
+	for _, n := range []int{2000, 20000, 100000, 500000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGoodCenterAt(b, n, core.PackAuto)
+		})
+	}
+}
+
+// BenchmarkGoodCenterStringKey is the legacy string-key baseline on the
+// same workloads (stops at 100k; the comparison point the packed engine is
+// measured against).
+func BenchmarkGoodCenterStringKey(b *testing.B) {
+	for _, n := range []int{2000, 20000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchGoodCenterAt(b, n, core.PackLegacy)
+		})
+	}
+}
+
 // BenchmarkDistanceIndex times the O(n²) preprocessing shared by the
 // pipeline (n=800, d=2).
 func BenchmarkDistanceIndex(b *testing.B) {
@@ -192,7 +255,7 @@ func benchIndexRadiusStage(b *testing.B, n int, pol core.IndexPolicy) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix, err := core.NewBallIndex(pts, grid, pol)
+		ix, err := core.NewBallIndex(pts, grid, pol, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -45,6 +45,47 @@
 //     IndexScalable beyond, so FindCluster handles 10⁵–10⁶ points without
 //     ever allocating the quadratic matrix.
 //
+// GoodCenter's box-partition loop — one O(n·k) count pass per
+// sparse-vector repetition — runs on a packed-key engine: per-axis cell
+// indices are bit-packed into a single uint64 (hash-combined when they
+// exceed 64 bits), and every histogram and buffer is reused across
+// repetitions, with the count pass fanned out over Options.Workers
+// goroutines. Options.BoxPacking selects the engine; the exact backends
+// (packed and the legacy string keys) provably release bit-identical
+// results under the same seed, and the hashed backend matches them barring
+// a ≈ 2⁻⁶⁴-probability key collision (which merges two boxes — a utility
+// blip, never a privacy one), so both knobs are pure performance tuning.
+//
+// # Errors and the feasible t/ε regime
+//
+// The private selections inside the pipeline release results only above
+// noise thresholds that scale as (1/ε)·log(1/δ): GoodRadius's RecConcave
+// search demands a quality promise Γ (Theorem 4.3's 8^{log*|X|} expression,
+// capped at a fraction of t by the default profile), and its block release
+// plus GoodCenter's stability-based box choice each need counts of order
+// (1/ε)·log(1/δ) to fire. When t is within a small factor of Γ the run
+// fails regardless of the data — historically as a bare, flaky promise
+// violation after the budget was spent.
+//
+// Two mechanisms make that regime visible:
+//
+//   - FindCluster and FindClusters pre-flight the parameters and return an
+//     error wrapping ErrInfeasible (with the concrete floor and which of
+//     t/ε/δ/β to adjust) when t sits below the feasibility floor —
+//     evaluated at the per-round budget for FindClusters, since k-cover
+//     splits (ε, δ) across rounds. The floor is a pure function of the
+//     parameters; the only data consulted is the duplicate structure, so a
+//     dataset with ≈ t duplicated points (which succeeds through the
+//     radius-zero path at any t) is never rejected. The uncapped paper
+//     profile (Options.Paper) is exempt: its infeasibility at practical
+//     scale is categorical and documented, not flaky. As a reference
+//     point, the defaults (ε = 1, δ = 10⁻⁶, |X| = 2¹⁶) put the floor near
+//     t ≈ 2000.
+//   - Promise failures that do occur carry a typed diagnostic
+//     (internal/recconcave.PromiseError) whose message reports the promise
+//     Γ, the recursion depth, the per-level (ε, δ), and the t − 4Γ slack —
+//     distinguishing "no cluster exists" from "this regime is infeasible".
+//
 // See the examples/ directory for runnable programs (examples/scale runs
 // n = 200,000) and DESIGN.md for the system inventory, the
 // paper-vs-implementation substitutions, and the experiment index.

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"privcluster/internal/stability"
+	"privcluster/internal/vec"
+)
+
+// randomProj builds a random "projected" point set with the given dimension
+// and coordinate span (centered on zero, so negative cell indices are
+// exercised).
+func randomProj(rng *rand.Rand, n, k int, span float64) []vec.Vector {
+	out := make([]vec.Vector, n)
+	for i := range out {
+		p := make(vec.Vector, k)
+		for a := range p {
+			p[a] = (rng.Float64() - 0.5) * span
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// enginePolicies are the three concrete backends (PackAuto resolves to one
+// of the first two).
+var enginePolicies = []PackingPolicy{PackBits, PackHash, PackLegacy}
+
+// TestBoxPartitionMatchesLegacyHistogram pins every packed backend to the
+// original string-key implementation bit-exactly: same per-repetition max
+// count, same per-box counts, and the identical grouping of points into
+// boxes (key representations may differ; the induced partition may not).
+func TestBoxPartitionMatchesLegacyHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name    string
+		k, n    int
+		span    float64
+		side    float64
+		workers int
+	}{
+		{"k1-serial", 1, 300, 2, 0.3, 1},
+		{"k2-parallel", 2, 5000, 2, 0.25, 4},
+		{"k3-negative-cells", 3, 800, 8, 0.5, 2},
+		{"k8-forced-hash", 8, 2500, 6, 1e-4, 3}, // tiny cells: k·bits ≫ 64
+		{"k12-wide", 12, 400, 4, 0.7, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			proj := randomProj(rng, tc.n, tc.k, tc.span)
+			offsets := make([]float64, tc.k)
+			for rep := 0; rep < 3; rep++ {
+				for a := range offsets {
+					offsets[a] = rng.Float64() * tc.side
+				}
+				ref := boxHistogram(proj, offsets, tc.side)
+				refMax := 0
+				for _, c := range ref {
+					if c > refMax {
+						refMax = c
+					}
+				}
+				for _, pol := range enginePolicies {
+					prof := DefaultProfile()
+					prof.Packing = pol
+					prof.Workers = tc.workers
+					part, err := newBoxPartition(proj, tc.side, prof)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := part.partition(offsets); got != refMax {
+						t.Errorf("policy %d rep %d: max count %d, legacy %d", pol, rep, got, refMax)
+					}
+					assertSameGrouping(t, part, proj, offsets, tc.side, ref)
+				}
+			}
+		})
+	}
+}
+
+// assertSameGrouping checks the engine's keys induce exactly the partition
+// the legacy string keys induce, and that the per-box counts agree.
+func assertSameGrouping(t *testing.T, part boxPartition, proj []vec.Vector, offsets []float64, side float64, ref map[string]int) {
+	t.Helper()
+	switch e := part.(type) {
+	case *boxEngine[uint64]:
+		byEngine := make(map[uint64]string) // engine key -> legacy key
+		for i, k := range e.keys {
+			legacy := boxKey(proj[i], offsets, side)
+			if prev, ok := byEngine[k]; ok {
+				if prev != legacy {
+					t.Fatalf("engine key %x merges legacy boxes %q and %q", k, prev, legacy)
+				}
+			} else {
+				byEngine[k] = legacy
+			}
+			if e.hist[k] != ref[legacy] {
+				t.Fatalf("point %d: engine count %d, legacy count %d", i, e.hist[k], ref[legacy])
+			}
+		}
+		if len(byEngine) != len(ref) {
+			t.Fatalf("engine has %d boxes, legacy %d", len(byEngine), len(ref))
+		}
+	case *boxEngine[string]:
+		for i, k := range e.keys {
+			if want := boxKey(proj[i], offsets, side); k != want {
+				t.Fatalf("point %d: legacy engine key differs from boxKey", i)
+			}
+		}
+		if !reflect.DeepEqual(e.hist, ref) {
+			t.Fatal("legacy engine histogram differs from boxHistogram")
+		}
+	default:
+		t.Fatalf("unknown engine type %T", part)
+	}
+}
+
+// TestBoxPartitionAutoSelectsBits verifies PackAuto resolves to bit-packing
+// when the indices fit one uint64 and to hashing when they cannot.
+func TestBoxPartitionAutoSelectsBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prof := DefaultProfile()
+
+	proj := randomProj(rng, 100, 2, 1)
+	part, err := newBoxPartition(proj, 0.1, prof) // ~12 cells/axis: packs
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := part.(*boxEngine[uint64])
+	if !ok {
+		t.Fatalf("auto engine is %T, want uint64 keys", part)
+	}
+	if _, isBits := e.coder.(*bitsCoder); !isBits {
+		t.Errorf("auto coder is %T, want *bitsCoder", e.coder)
+	}
+
+	wide := randomProj(rng, 100, 10, 4)
+	part, err = newBoxPartition(wide, 1e-6, prof) // k·bits ≫ 64: hashes
+	if err != nil {
+		t.Fatal(err)
+	}
+	e = part.(*boxEngine[uint64])
+	if _, isHash := e.coder.(*hashCoder); !isHash {
+		t.Errorf("overflow coder is %T, want *hashCoder", e.coder)
+	}
+}
+
+// TestBoxSelectionCanonicalAcrossBackends verifies the noise-consuming
+// selection path is representation-independent: with the same seed, every
+// backend releases the same box (the same member set).
+func TestBoxSelectionCanonicalAcrossBackends(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	proj := randomProj(rng, 2000, 2, 2)
+	const side = 0.5
+	offsets := []float64{0.1, 0.2}
+	p := stability.Params{Epsilon: 2, Delta: 0.01}
+
+	var want []int
+	for i, pol := range enginePolicies {
+		prof := DefaultProfile()
+		prof.Packing = pol
+		prof.Workers = 1 + i // worker count must not matter either
+		part, err := newBoxPartition(proj, side, prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part.partition(offsets)
+		sel, err := part.selectBox(rand.New(rand.NewSource(7)), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Bottom {
+			t.Fatalf("policy %d: selection returned bottom", pol)
+		}
+		if want == nil {
+			want = sel.Members
+			continue
+		}
+		if !reflect.DeepEqual(sel.Members, want) {
+			t.Errorf("policy %d selected a different box (%d members vs %d)", pol, len(sel.Members), len(want))
+		}
+	}
+}
+
+// TestGoodCenterPackingEquivalence is the seeded end-to-end pin: GoodCenter
+// under every packing policy (and several worker counts) produces the
+// bit-identical CenterResult, proving the packed engines select the same
+// boxes as the string-key implementation all the way through the released
+// center.
+func TestGoodCenterPackingEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, tc := range []struct {
+		name string
+		d    int
+		r    float64
+	}{
+		{"d2", 2, 0.04},
+		{"d8", 8, 0.02},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			grid := testGrid(t, 1024, tc.d)
+			inst := plantedInstance(t, rng, grid, 700, 500, 0.02)
+			var want CenterResult
+			first := true
+			for _, pol := range []PackingPolicy{PackAuto, PackBits, PackHash, PackLegacy} {
+				for _, workers := range []int{1, 4} {
+					prm := testParams(t, grid, 400)
+					prm.Profile = DefaultProfile()
+					if tc.d > 2 {
+						// Wider boxes keep the per-axis capture probability
+						// workable at d = 8 so AboveThreshold fires within
+						// MaxRepetitions.
+						prm.Profile.BoxSideFactor = 6
+					}
+					prm.Profile.Packing = pol
+					prm.Profile.Workers = workers
+					res, err := GoodCenter(rand.New(rand.NewSource(99)), inst.Points, tc.r, prm)
+					if err != nil {
+						t.Fatalf("policy %d workers %d: %v", pol, workers, err)
+					}
+					if first {
+						want = res
+						first = false
+						continue
+					}
+					if !reflect.DeepEqual(res, want) {
+						t.Errorf("policy %d workers %d: result diverged from reference", pol, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGoodCenterEmptyInput is the regression test for the direct-call panic:
+// an empty slice must yield the ErrNoData sentinel, not index points[0].
+func TestGoodCenterEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	grid := testGrid(t, 1024, 2)
+	prm := testParams(t, grid, 10)
+	_, err := GoodCenter(rng, nil, 0.05, prm)
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("empty input error = %v, want ErrNoData", err)
+	}
+	_, err = GoodCenter(rng, []vec.Vector{}, 0.05, prm)
+	if !errors.Is(err, ErrNoData) {
+		t.Errorf("empty (non-nil) input error = %v, want ErrNoData", err)
+	}
+}
+
+// TestGoodCenterUnknownPackingRejected covers the engine's policy
+// validation through GoodCenter.
+func TestGoodCenterUnknownPackingRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	grid := testGrid(t, 1024, 2)
+	inst := plantedInstance(t, rng, grid, 100, 80, 0.02)
+	prm := testParams(t, grid, 50)
+	prm.Profile = DefaultProfile()
+	prm.Profile.Packing = PackingPolicy(42)
+	if _, err := GoodCenter(rng, inst.Points, 0.05, prm); err == nil {
+		t.Error("unknown packing policy accepted")
+	}
+}
+
+// TestBitsCoderIndexBounds verifies the packed indices stay within their
+// per-axis bit fields for adversarial offset positions (the rebasing must
+// absorb the ±1 cell shift an offset can cause).
+func TestBitsCoderIndexBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	proj := randomProj(rng, 400, 4, 3)
+	const side = 0.21
+	c, ok := newBitsCoder(proj, side)
+	if !ok {
+		t.Fatal("bit packing unexpectedly infeasible")
+	}
+	offsets := make([]float64, 4)
+	for trial := 0; trial < 50; trial++ {
+		for a := range offsets {
+			offsets[a] = rng.Float64() * side
+		}
+		c.prepare(offsets)
+		for _, p := range proj {
+			key := c.key(p, offsets)
+			// Decode and compare against the direct floor computation.
+			for a, x := range p {
+				var width uint = 64
+				if a+1 < len(c.shift) {
+					width = c.shift[a+1] - c.shift[a]
+				} else {
+					width = 64 - c.shift[a]
+				}
+				got := int64((key >> c.shift[a]) & (uint64(1)<<width - 1))
+				want := int64(math.Floor((x-offsets[a])/side)) - c.base[a]
+				if got != want {
+					t.Fatalf("axis %d: decoded %d, want %d (field width %d)", a, got, want, width)
+				}
+				if want < 0 {
+					t.Fatalf("axis %d: negative rebased index %d", a, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNewBoxPartitionEmpty mirrors the GoodCenter guard at the engine level.
+func TestNewBoxPartitionEmpty(t *testing.T) {
+	if _, err := newBoxPartition(nil, 0.5, DefaultProfile()); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty engine error = %v, want ErrNoData", err)
+	}
+}

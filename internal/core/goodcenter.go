@@ -42,6 +42,8 @@ var (
 	ErrNoCluster = errors.New("core: GoodCenter found no heavy box (is there a radius-r ball with t points?)")
 	// ErrSelectionFailed: a stability-based choice returned ⊥.
 	ErrSelectionFailed = errors.New("core: private selection returned bottom")
+	// ErrNoData: the algorithm was handed an empty point set.
+	ErrNoData = errors.New("core: empty point set")
 )
 
 // GoodCenter implements Algorithm 2. Given a radius r such that some ball of
@@ -49,7 +51,18 @@ var (
 // O(r√k)-ball captures ≈ t points, spending the (ε, δ) in prm.Privacy:
 // ε/4 on AboveThreshold, (ε/4, δ/4) on the box choice, (ε/4, δ/4) across
 // the d per-axis choices, and (ε/4, δ/4) on NoisyAVG (Lemma 4.11).
+//
+// The box-partition loop runs on the packed-key engine selected by
+// prm.Profile.Packing, with the per-repetition count pass fanned out over
+// prm.Profile.Workers goroutines; neither knob affects the privacy analysis
+// (AboveThreshold only ever sees the final per-repetition maximum) nor —
+// thanks to the canonical box enumeration — the seeded output.
 func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (CenterResult, error) {
+	if len(points) == 0 {
+		// Validate cannot run first: it needs n, and indexing points[0]
+		// before the check would panic on a direct call with no points.
+		return CenterResult{}, fmt.Errorf("%w: GoodCenter needs at least one point", ErrNoData)
+	}
 	prm.setDefaults()
 	n := len(points)
 	if err := prm.Validate(n); err != nil {
@@ -97,7 +110,10 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		maxReps = int(math.Ceil(2 * float64(n) * math.Log(1/beta) / beta))
 	}
 
-	var hist map[string]int
+	part, err := newBoxPartition(proj, boxSide, prm.Profile)
+	if err != nil {
+		return CenterResult{}, err
+	}
 	fired := false
 	reps := 0
 	offsets := make([]float64, kOut)
@@ -106,13 +122,7 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		for i := range offsets {
 			offsets[i] = noise.Uniform(rng, 0, boxSide)
 		}
-		hist = boxHistogram(proj, offsets, boxSide)
-		q := 0
-		for _, c := range hist {
-			if c > q {
-				q = c
-			}
-		}
+		q := part.partition(offsets)
 		fired, err = at.Query(float64(q))
 		if err != nil {
 			return CenterResult{}, err
@@ -124,21 +134,19 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 
 	// Step 7: privately choose the heavy box of the successful partition
 	// and collect the input points mapped into it.
-	boxRes, err := stability.Choose(rng, hist, stability.Params{Epsilon: quarter.Epsilon, Delta: quarter.Delta})
+	sel, err := part.selectBox(rng, stability.Params{Epsilon: quarter.Epsilon, Delta: quarter.Delta})
 	if err != nil {
 		return CenterResult{}, err
 	}
-	if boxRes.Bottom {
+	if sel.Bottom {
 		return CenterResult{}, fmt.Errorf("%w: box selection", ErrSelectionFailed)
 	}
-	var cluster []vec.Vector
-	for i, p := range proj {
-		if boxKey(p, offsets, boxSide) == boxRes.Key {
-			cluster = append(cluster, points[i])
-		}
-	}
-	if len(cluster) == 0 {
+	if len(sel.Members) == 0 {
 		return CenterResult{}, fmt.Errorf("%w: chosen box is empty", ErrSelectionFailed)
+	}
+	cluster := make([]vec.Vector, len(sel.Members))
+	for i, id := range sel.Members {
+		cluster[i] = points[id]
 	}
 
 	// Steps 8–9: random rotation of R^d, then a private per-axis interval
@@ -147,9 +155,14 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 	if err != nil {
 		return CenterResult{}, err
 	}
+	// One flat backing array for all rotated points: the per-point MulVec
+	// allocation is the dominant cost of this stage at large |cluster|.
+	rotBuf := make([]float64, len(cluster)*d)
 	rotated := make([]vec.Vector, len(cluster))
 	for i, x := range cluster {
-		rotated[i] = basis.MulVec(x)
+		row := vec.Vector(rotBuf[i*d : (i+1)*d])
+		basis.MulVecInto(row, x)
+		rotated[i] = row
 	}
 	axisScale := float64(kOut) / float64(d)
 	if prm.Profile.UseAxisLogTerm {
@@ -161,8 +174,12 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 
 	fallbacks := 0
 	boxCenterRot := make(vec.Vector, d)
+	// The d per-axis interval histograms get the same packed-key treatment
+	// as the box loop: one int64-keyed map reused (cleared, not
+	// reallocated) across all axes.
+	axisHist := make(map[int64]int, len(rotated))
 	for axis := 0; axis < d; axis++ {
-		axisHist := make(map[int64]int, len(rotated))
+		clear(axisHist)
 		for _, x := range rotated {
 			axisHist[int64(math.Floor(x[axis]/pLen))]++
 		}
@@ -217,28 +234,6 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		BoxCount:     len(cluster),
 		FallbackAxes: fallbacks,
 	}, nil
-}
-
-// boxKey returns the box index of a projected point under the given shifted
-// partition, encoded as a comparable string.
-func boxKey(p vec.Vector, offsets []float64, side float64) string {
-	buf := make([]byte, 0, len(p)*8)
-	for i, x := range p {
-		j := int64(math.Floor((x - offsets[i]) / side))
-		for b := 0; b < 8; b++ {
-			buf = append(buf, byte(uint64(j)>>(8*b)))
-		}
-	}
-	return string(buf)
-}
-
-// boxHistogram counts projected points per box.
-func boxHistogram(proj []vec.Vector, offsets []float64, side float64) map[string]int {
-	h := make(map[string]int, len(proj))
-	for _, p := range proj {
-		h[boxKey(p, offsets, side)]++
-	}
-	return h
 }
 
 // axisNoisyMax selects an interval index by report-noisy-max over the

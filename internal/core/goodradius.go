@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -10,6 +12,7 @@ import (
 	"privcluster/internal/geometry"
 	"privcluster/internal/noise"
 	"privcluster/internal/recconcave"
+	"privcluster/internal/vec"
 )
 
 // RadiusResult is the outcome of Algorithm GoodRadius.
@@ -68,9 +71,79 @@ func GoodRadius(rng *rand.Rand, ix geometry.BallIndex, prm Params) (RadiusResult
 		Privacy: dp.Params{Epsilon: eps / 2, Delta: prm.Privacy.Delta},
 	})
 	if err != nil {
+		// Enrich a promise failure with the concrete regime so callers can
+		// tell "no cluster exists" from "t is too close to Γ for this ε/β":
+		// the t−4Γ slack is the headroom Lemma 3.6 consumes, and a small
+		// value pins the failure on the regime, not the data.
+		var pe *recconcave.PromiseError
+		if errors.As(err, &pe) {
+			pe.T = t
+			pe.Gamma = gamma
+			pe.Slack = float64(t) - 4*gamma
+		}
 		return RadiusResult{}, fmt.Errorf("core: GoodRadius search failed: %w", err)
 	}
 	return RadiusResult{Radius: prm.Grid.RadiusFromIndex(idx), Gamma: gamma}, nil
+}
+
+// ZeroClusterPlausible reports whether the dataset's duplicate structure
+// could plausibly fire GoodRadius's Step-2 radius-zero test under the
+// OneCluster pipeline split (half the (ε, δ) budget): L(0, S) — the top-t
+// average of the duplicate multiplicities — within one extra noise margin
+// of the Step-2 threshold. The radius-zero path bypasses the RecConcave
+// search entirely, so it is the one data shape for which a t below
+// MinFeasibleT still succeeds end to end; the pre-flight feasibility check
+// consults this before rejecting.
+func ZeroClusterPlausible(points []vec.Vector, prm Params) bool {
+	prm.setDefaults()
+	t := prm.T
+	if t < 1 || len(points) == 0 {
+		return false
+	}
+	d := points[0].Dim()
+	mult := make(map[string]int, len(points))
+	buf := make([]byte, 8*d)
+	for _, p := range points {
+		if p.Dim() != d {
+			return false
+		}
+		for a, x := range p {
+			binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
+		}
+		mult[string(buf)]++
+	}
+	ms := make([]int, 0, len(mult))
+	for _, m := range mult {
+		ms = append(ms, m)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(ms)))
+	// L(0): each of a class's m points scores min(m, t); average the top t.
+	remaining := t
+	sum := 0.0
+	for _, m := range ms {
+		if remaining <= 0 {
+			break
+		}
+		take := m
+		if take > remaining {
+			take = remaining
+		}
+		v := m
+		if v > t {
+			v = t
+		}
+		sum += float64(take) * float64(v)
+		remaining -= take
+	}
+	l0 := sum / float64(t)
+
+	half := prm
+	half.Privacy = prm.Privacy.Scale(0.5)
+	eps := half.Privacy.Epsilon
+	margin := (4 / eps) * math.Log(2/prm.Beta)
+	// Step 2 fires when L(0) + Lap(4/ε) > t − 2Γ − margin; grant one extra
+	// margin width of helpful noise so borderline datasets get to try.
+	return l0 > float64(t)-2*half.Gamma()-2*margin
 }
 
 // buildRadiusQuality materializes Q(r_k, S) over radius-grid indices

@@ -32,8 +32,9 @@ const ExactIndexMaxN = 4096
 // on, honoring the policy. The grid supplies the scalable index's radius
 // ladder bounds (resolution floor RadiusUnit, domain diameter
 // MaxDistance) so its approximation error aligns with the radius grid
-// GoodRadius already searches.
-func NewBallIndex(points []vec.Vector, grid geometry.Grid, pol IndexPolicy) (geometry.BallIndex, error) {
+// GoodRadius already searches. workers bounds the scalable index's worker
+// pool (0 = GOMAXPROCS) — the same knob Profile.Workers feeds.
+func NewBallIndex(points []vec.Vector, grid geometry.Grid, pol IndexPolicy, workers int) (geometry.BallIndex, error) {
 	exact := false
 	switch pol {
 	case IndexAuto:
@@ -50,5 +51,6 @@ func NewBallIndex(points []vec.Vector, grid geometry.Grid, pol IndexPolicy) (geo
 	return geometry.NewCellIndex(points, geometry.CellIndexOptions{
 		MinRadius: grid.RadiusUnit(),
 		MaxRadius: grid.MaxDistance(),
+		Workers:   workers,
 	})
 }

@@ -36,7 +36,7 @@ func OneCluster(rng *rand.Rand, points []vec.Vector, prm Params) (ClusterResult,
 	if err := prm.Validate(len(points)); err != nil {
 		return ClusterResult{}, err
 	}
-	ix, err := NewBallIndex(points, prm.Grid, prm.Index)
+	ix, err := NewBallIndex(points, prm.Grid, prm.Index, prm.Profile.Workers)
 	if err != nil {
 		return ClusterResult{}, err
 	}

@@ -13,6 +13,7 @@ import (
 	"privcluster/internal/dp"
 	"privcluster/internal/geometry"
 	"privcluster/internal/recconcave"
+	"privcluster/internal/stability"
 )
 
 // Profile carries the constant factors of the construction. The paper proves
@@ -75,6 +76,16 @@ type Profile struct {
 	// OutRadiusFactor: the released ball radius is OutRadiusFactor·r·√k
 	// (paper: 451).
 	OutRadiusFactor float64
+
+	// Workers bounds the worker pool of the parallel passes — GoodCenter's
+	// per-repetition box-count pass and the scalable ball index's bulk
+	// count passes. 0 means GOMAXPROCS. Parallelism never changes results:
+	// the fanned-out passes are deterministic counts, and only their
+	// final aggregates meet the private mechanisms.
+	Workers int
+	// Packing selects GoodCenter's box-partition key engine (see
+	// PackingPolicy; zero value PackAuto).
+	Packing PackingPolicy
 }
 
 // PaperProfile returns the constants used by the paper's proofs.
@@ -165,19 +176,80 @@ func (p *Params) Validate(n int) error {
 // which the profile optionally caps at GammaFraction·t so that the promise
 // stays below the cluster size on practical inputs.
 func (p *Params) Gamma() float64 {
-	ls := float64(recconcave.LogStar(2 * float64(p.Grid.Size) * math.Sqrt(float64(p.Grid.Dim))))
-	if ls < 1 {
-		ls = 1
-	}
-	eps := p.Privacy.Epsilon
-	paper := math.Pow(8, ls) * (144 * ls / eps) *
-		math.Log(24*ls/(p.Beta*p.Privacy.Delta))
+	paper := p.paperGammaAt(p.Privacy)
 	if p.Profile.GammaFraction > 0 {
 		if cap := p.Profile.GammaFraction * float64(p.T); paper > cap {
 			return cap
 		}
 	}
 	return paper
+}
+
+// paperGammaAt evaluates the paper's (uncapped) Γ formula at the given
+// privacy budget — Gamma() at p.Privacy, MinFeasibleT at the pipeline's
+// halved budget.
+func (p *Params) paperGammaAt(priv dp.Params) float64 {
+	ls := float64(recconcave.LogStar(2 * float64(p.Grid.Size) * math.Sqrt(float64(p.Grid.Dim))))
+	if ls < 1 {
+		ls = 1
+	}
+	return math.Pow(8, ls) * (144 * ls / priv.Epsilon) *
+		math.Log(24*ls/(p.Beta*priv.Delta))
+}
+
+// MinFeasibleT returns a conservative, data-independent floor on the target
+// cluster size t: below it, the OneCluster pipeline (GoodRadius and
+// GoodCenter at half the (ε, δ) budget each, Theorem 2.1) is essentially
+// certain to fail for these parameters — the regime ROADMAP flagged as
+// "flaky when t is within a small factor of Γ". Two release thresholds
+// bound it:
+//
+//   - GoodRadius's RecConcave block choice releases a block only when its
+//     score clears 1 + (4/ε_l)·ln(2/δ_l) at the per-level budget
+//     (ε_l, δ_l) = (ε/4, δ/2)/depth. The best reachable block score is
+//     maxQ − (1−α)Γ ≤ 2Γ − Γ/2 = (3/2)Γ, so once Γ < thresh/3 even the
+//     optimal block sits a ≥ thresh/2 Laplace excursion below release.
+//     With the capped Γ = GammaFraction·t that is t < thresh/(3·GammaFraction);
+//     with the uncapped paper Γ the promise itself exceeds the largest
+//     possible quality max Q ≤ t/2 until t ≥ 2Γ.
+//   - GoodCenter's stability-based box choice releases only when the
+//     ≈ t-point box clears 2 + (2/ε_q)·ln(2/δ_q) at its quarter budget;
+//     below half that threshold the release is equally unreachable.
+//
+// The floor is deliberately the "essentially certain to fail" boundary,
+// not the "comfortably succeeds" one (≈ 4× higher). Two deliberate
+// exclusions keep it honest:
+//
+//   - The uncapped paper profile (GammaFraction = 0) gets no floor: its Γ
+//     is astronomically infeasible by design and by documentation — a
+//     categorical, well-understood failure rather than the flaky capped
+//     regime this floor targets — and flooring it would foreclose the
+//     documented paper-constant exploration path entirely.
+//   - The floor reasons about the RecConcave search and the ≈ t-count box
+//     choice, but a dataset dominated by ≥ t duplicates succeeds through
+//     GoodRadius's Step-2 radius-zero path at any t; callers enforcing the
+//     floor should pair it with ZeroClusterPlausible.
+func (p *Params) MinFeasibleT() float64 {
+	prof := p.Profile
+	if prof == (Profile{}) {
+		prof = DefaultProfile()
+	}
+	g := prof.GammaFraction
+	if g <= 0 {
+		return 0
+	}
+	half := p.Privacy.Scale(0.5)
+
+	depth := float64(recconcave.Depth(p.Grid.RadiusGridSize(), recconcave.DefaultBaseSize))
+	epsL := half.Epsilon / 2 / depth
+	deltaL := half.Delta / depth
+	thresh := 1 + (4/epsL)*math.Log(2/deltaL)
+	radiusFloor := thresh / (3 * g)
+
+	quarter := stability.Params{Epsilon: half.Epsilon / 4, Delta: half.Delta / 4}
+	centerFloor := quarter.Threshold() / 2
+
+	return math.Max(radiusFloor, centerFloor)
 }
 
 // DeltaLoss returns the cluster-size loss bound Δ = 4Γ + (4/ε)·ln(1/β) of

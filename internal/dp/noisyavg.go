@@ -56,7 +56,11 @@ func NoisyAverage(rng *rand.Rand, vectors []vec.Vector, center vec.Vector, radiu
 			return NoisyAverageResult{}, vec.ErrDimMismatch
 		}
 		if v.Dist(center) <= radius {
-			sum.AddInPlace(v.Sub(center))
+			// Accumulate v − center without materializing the difference
+			// (the per-vector allocation dominates at large selected sets).
+			for j := range sum {
+				sum[j] += v[j] - center[j]
+			}
 			m++
 		}
 	}

@@ -64,11 +64,23 @@ func (t *Transform) Apply(x vec.Vector) vec.Vector {
 	return t.a.MulVec(x)
 }
 
-// ApplyAll maps a set of points.
+// ApplyAll maps a set of points. All outputs share one flat backing array
+// (two allocations total instead of one per point — GoodCenter projects
+// every input point, so the difference is n allocations per call).
 func (t *Transform) ApplyAll(xs []vec.Vector) []vec.Vector {
 	out := make([]vec.Vector, len(xs))
+	buf := make([]float64, len(xs)*t.outDim)
 	for i, x := range xs {
-		out[i] = t.Apply(x)
+		if x.Dim() != t.inDim {
+			panic(fmt.Sprintf("jl: ApplyAll dimension %d, want %d", x.Dim(), t.inDim))
+		}
+		dst := vec.Vector(buf[i*t.outDim : (i+1)*t.outDim])
+		if t.identity {
+			copy(dst, x)
+		} else {
+			t.a.MulVecInto(dst, x)
+		}
+		out[i] = dst
 	}
 	return out
 }

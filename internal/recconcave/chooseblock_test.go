@@ -1,0 +1,147 @@
+package recconcave
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"privcluster/internal/dp"
+)
+
+// chooseBlock edge-case coverage: the candidate enumeration around an
+// empty/degenerate level region, block lengths exceeding the domain, and
+// the MaxCandidateBlocks truncation path (previously untested — it silently
+// drops candidates).
+
+func testLevel() dp.Params { return dp.Params{Epsilon: 8, Delta: 0.1} }
+
+// TestChooseBlockEmptyLevelRegion: no point exceeds the target (lo == hi in
+// the degenerate sense — the super-level set is empty), so there are no
+// candidates and the typed promise error must carry that fact.
+func TestChooseBlockEmptyLevelRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := ConstStepFn(1024, 1.0)
+	opt := Options{}
+	opt.setDefaults()
+	_, err := chooseBlock(rng, q, 8, 5.0 /* target above every value */, testLevel(), opt)
+	if !errors.Is(err, ErrPromiseViolated) {
+		t.Fatalf("err = %v, want promise violation", err)
+	}
+	var pe *PromiseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err is %T, want *PromiseError", err)
+	}
+	if pe.Candidates != 0 || pe.Scale != 8 {
+		t.Errorf("PromiseError = %+v, want 0 candidates at scale 8", pe)
+	}
+	if pe.LevelEpsilon != testLevel().Epsilon || pe.LevelDelta != testLevel().Delta {
+		t.Errorf("level budget not recorded: %+v", pe)
+	}
+}
+
+// TestChooseBlockNarrowRegion: the super-level set is a single point
+// (lo + 1 == hi), so no block of length > 1 fits inside it; the cascade to
+// smaller block lengths must still find the length-1 block.
+func TestChooseBlockNarrowRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	q, err := NewStepFn(1024, []int64{0, 500, 501}, []float64{0, 1000, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{}
+	opt.setDefaults()
+	f, err := chooseBlock(rng, q, 8, 1.0, testLevel(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 500 {
+		t.Errorf("narrow region selected %d, want 500", f)
+	}
+}
+
+// TestChooseBlockBExceedsDomain: a block length far beyond N must neither
+// panic nor index outside the domain; the b, b/2, b/4, b/8 cascade reaches
+// a feasible length and the returned midpoint stays in [0, N).
+func TestChooseBlockBExceedsDomain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := int64(64)
+	q := ConstStepFn(n, 1000.0)
+	opt := Options{}
+	opt.setDefaults()
+	f, err := chooseBlock(rng, q, 8*n, 1.0, testLevel(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f < 0 || f >= n {
+		t.Errorf("midpoint %d outside [0, %d)", f, n)
+	}
+}
+
+// TestChooseBlockTruncationRecorded: with a wide plateau of qualifying
+// blocks and a tiny MaxCandidateBlocks, the enumeration must stop at the
+// cap — observable through PromiseError.Candidates when the (deliberately
+// unreachable) release threshold rejects them all.
+func TestChooseBlockTruncationRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	q := ConstStepFn(1<<20, 10.0)
+	opt := Options{MaxCandidateBlocks: 3}
+	opt.setDefaults()
+	// Scores are 10 − 9.9 = 0.1 but the threshold at this level budget is
+	// 1 + (4/ε)·ln(2/δ) ≫ 0.1 for ε = 0.1: every candidate is rejected and
+	// the error reports how many were enumerated.
+	level := dp.Params{Epsilon: 0.1, Delta: 1e-9}
+	_, err := chooseBlock(rng, q, 4, 9.9, level, opt)
+	var pe *PromiseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PromiseError", err)
+	}
+	if pe.Candidates != 3 {
+		t.Errorf("enumerated %d candidates, want the cap 3 (truncation not applied)", pe.Candidates)
+	}
+}
+
+// TestChooseBlockTruncatedSelectionStaysValid: truncation must not break a
+// successful selection — the midpoint still lies in the qualifying region.
+func TestChooseBlockTruncatedSelectionStaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := int64(1 << 16)
+	q, err := NewStepFn(n, []int64{0, 1000, 60000}, []float64{0, 1000, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{MaxCandidateBlocks: 2}
+	opt.setDefaults()
+	f, err := chooseBlock(rng, q, 64, 1.0, testLevel(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Eval(f) <= 1.0 {
+		t.Errorf("truncated selection returned f=%d with Q=%v ≤ target", f, q.Eval(f))
+	}
+}
+
+// TestPromiseErrorSolveStamping: a full Solve that fails must surface a
+// PromiseError stamped with the top-level promise and depth.
+func TestPromiseErrorSolveStamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := ConstStepFn(1<<20, 0.5) // flat, far below any promise
+	opts := Options{Alpha: 0.5, Beta: 0.1, Privacy: dp.Params{Epsilon: 1, Delta: 1e-6}}
+	promise := 1e6
+	_, err := Solve(rng, q, promise, opts)
+	if err == nil {
+		t.Fatal("flat quality met an enormous promise")
+	}
+	var pe *PromiseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PromiseError", err)
+	}
+	if pe.Promise != promise {
+		t.Errorf("stamped promise %v, want %v", pe.Promise, promise)
+	}
+	if want := Depth(q.N(), DefaultBaseSize); pe.Depth != want {
+		t.Errorf("stamped depth %d, want %d", pe.Depth, want)
+	}
+	if !errors.Is(err, ErrPromiseViolated) {
+		t.Error("PromiseError does not unwrap to ErrPromiseViolated")
+	}
+}

@@ -32,9 +32,15 @@ type Options struct {
 	MaxCandidateBlocks int
 }
 
+// DefaultBaseSize is the default recursion base size (see Options.BaseSize).
+// Exported so feasibility analyses (core.Params.MinFeasibleT) can reproduce
+// the recursion depth — and with it the per-level budget — of a default
+// Solve.
+const DefaultBaseSize = 64
+
 func (o *Options) setDefaults() {
 	if o.BaseSize == 0 {
-		o.BaseSize = 64
+		o.BaseSize = DefaultBaseSize
 	}
 	if o.MaxCandidateBlocks == 0 {
 		o.MaxCandidateBlocks = 4096
@@ -63,7 +69,56 @@ func (o *Options) validate() error {
 // ErrPromiseViolated is returned when an internal private selection fails in
 // a way that (with probability ≥ 1−β) only happens when the promise did not
 // hold — the quality was not quasi-concave or no solution reached it.
+// Concrete failures are *PromiseError values wrapping this sentinel, so
+// errors.Is(err, ErrPromiseViolated) keeps working.
 var ErrPromiseViolated = errors.New("recconcave: no solution met the quality promise (promise violated or unlucky noise)")
+
+// PromiseError is the typed form of a promise failure: it carries the
+// regime that caused the block-choosing release to miss its threshold, so a
+// caller can distinguish "no solution exists" from "this t/ε/β regime is
+// infeasible" and report which knob to turn. Solve fills the top-level
+// fields; GoodRadius enriches T, Gamma and Slack with its own regime.
+type PromiseError struct {
+	// Promise is the quality promise the solve was asked to certify
+	// (GoodRadius passes its Γ).
+	Promise float64
+	// Depth is the recursion depth of the whole solve; the (ε, δ) budget is
+	// split evenly across levels.
+	Depth int
+	// LevelEpsilon, LevelDelta are the per-level budget of the failing
+	// choosing step; its release threshold is 1 + (4/LevelEpsilon)·ln(2/LevelDelta).
+	LevelEpsilon float64
+	LevelDelta   float64
+	// Scale is the aligned-block length B at the failing choosing step.
+	Scale int64
+	// Candidates is how many candidate blocks were enumerated (possibly
+	// truncated at Options.MaxCandidateBlocks).
+	Candidates int
+
+	// The caller's regime, filled by GoodRadius (zero when unset):
+	// T is the target cluster size, Gamma the promise Γ of the radius
+	// search, and Slack = t − 4Γ the cluster-size headroom Lemma 3.6
+	// consumes. A small or negative slack means the regime itself — not the
+	// data — made the search fail.
+	T     int
+	Gamma float64
+	Slack float64
+}
+
+func (e *PromiseError) Error() string {
+	msg := fmt.Sprintf(
+		"recconcave: no solution met the quality promise %.4g (depth %d, per-level ε=%.4g δ=%.3g, scale B=%d, %d candidate blocks)",
+		e.Promise, e.Depth, e.LevelEpsilon, e.LevelDelta, e.Scale, e.Candidates)
+	if e.T > 0 {
+		msg += fmt.Sprintf(
+			"; t=%d against Γ=%.4g leaves slack t−4Γ=%.4g — when t is within a small factor of Γ the search is infeasible regardless of the data: raise t or ε, or relax β/δ",
+			e.T, e.Gamma, e.Slack)
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrPromiseViolated) hold for PromiseError.
+func (e *PromiseError) Unwrap() error { return ErrPromiseViolated }
 
 // LogStar returns log*₂(x): the number of times log₂ must be iterated,
 // starting from x, until the value drops to at most 1.
@@ -123,7 +178,17 @@ func Solve(rng *rand.Rand, q *StepFn, promise float64, opt Options) (int64, erro
 		Delta:   opt.Privacy.Delta / float64(depth),
 	}
 	betaLevel := opt.Beta / float64(depth)
-	return solve(rng, q, promise, opt.Alpha, level, betaLevel, opt)
+	f, err := solve(rng, q, promise, opt.Alpha, level, betaLevel, opt)
+	if err != nil {
+		// The failing choosing step may sit at any recursion level; stamp
+		// the top-level context on the way out.
+		var pe *PromiseError
+		if errors.As(err, &pe) {
+			pe.Promise = promise
+			pe.Depth = depth
+		}
+	}
+	return f, err
 }
 
 // solve is one recursion level. level is the per-level privacy budget.
@@ -195,7 +260,7 @@ func solve(rng *rand.Rand, q *StepFn, promise, alpha float64, level dp.Params, b
 	if B > n {
 		B = n
 	}
-	return chooseBlock(rng, q, B, target, gamma, level, beta, opt)
+	return chooseBlock(rng, q, B, target, level, opt)
 }
 
 // baseCase selects f from a small domain via the exponential mechanism.
@@ -228,7 +293,7 @@ func baseCase(rng *rand.Rand, q *StepFn, epsilon float64) (int64, error) {
 // fully-contained high block in the candidate set when the noisy scale
 // overshot. Undershoot is harmless — smaller blocks fit inside the good
 // window even more easily.
-func chooseBlock(rng *rand.Rand, q *StepFn, B int64, target, gamma float64, level dp.Params, beta float64, opt Options) (int64, error) {
+func chooseBlock(rng *rand.Rand, q *StepFn, B int64, target float64, level dp.Params, opt Options) (int64, error) {
 	n := q.N()
 	lo, hi, ok := q.LevelRegion(target)
 	type cand struct {
@@ -274,7 +339,12 @@ func chooseBlock(rng *rand.Rand, q *StepFn, B int64, target, gamma float64, leve
 		}
 	}
 	if bestNoisy == math.Inf(-1) || bestNoisy < thresh {
-		return 0, fmt.Errorf("%w (scale B=%d, %d candidate blocks)", ErrPromiseViolated, B, len(cands))
+		return 0, &PromiseError{
+			Scale:        B,
+			Candidates:   len(cands),
+			LevelEpsilon: level.Epsilon,
+			LevelDelta:   level.Delta,
+		}
 	}
 	mid := best.k*best.b + best.b/2
 	if mid >= n {

@@ -75,32 +75,57 @@ func (p Params) validate() error {
 // order and make seeded runs irreproducible (keys are ordered for exactly
 // this reason — the DP analysis is order-independent).
 func Choose[K cmp.Ordered](rng *rand.Rand, hist map[K]int, p Params) (Result[K], error) {
-	if err := p.validate(); err != nil {
-		return Result[K]{}, err
-	}
 	keys := make([]K, 0, len(hist))
 	for k := range hist {
 		keys = append(keys, k)
 	}
 	slices.Sort(keys)
+	counts := make([]int, len(keys))
+	for i, k := range keys {
+		counts[i] = hist[k]
+	}
+	// One shared noise-consuming loop: delegating keeps the rand stream
+	// bit-identical between the map and positional forms, which GoodCenter's
+	// cross-backend seeded reproducibility depends on.
+	res, err := ChooseIndexed(rng, counts, p)
+	if err != nil || res.Bottom {
+		return Result[K]{Bottom: true}, err
+	}
+	return Result[K]{Key: keys[res.Key], NoisyCount: res.NoisyCount}, nil
+}
+
+// ChooseIndexed is Choose over a histogram presented positionally: counts[i]
+// is the number of dataset elements in bin i, and the returned Result's Key
+// is the selected position. Non-positive counts are skipped, exactly like
+// Choose skips them.
+//
+// The privacy analysis is identical to Choose (iid noise makes it
+// order-independent), but the caller fixes the enumeration order. That is
+// the point: GoodCenter's partition engine enumerates its boxes in a
+// canonical geometric order (sorted cell coordinates), so seeded runs stay
+// bit-identical no matter how the box keys are represented internally
+// (bit-packed, hashed, or the legacy strings).
+func ChooseIndexed(rng *rand.Rand, counts []int, p Params) (Result[int], error) {
+	if err := p.validate(); err != nil {
+		return Result[int]{}, err
+	}
 	thresh := p.Threshold()
-	var best Result[K]
+	var best Result[int]
 	best.Bottom = true
 	bestVal := math.Inf(-1)
-	for _, k := range keys {
-		c := hist[k]
+	for i, c := range counts {
 		if c <= 0 {
 			continue
 		}
 		v := float64(c) + noise.Laplace(rng, 2/p.Epsilon)
 		if v > bestVal {
 			bestVal = v
-			best.Key = k
+			best.Key = i
 			best.NoisyCount = v
 		}
 	}
 	if math.IsInf(bestVal, -1) || bestVal < thresh {
-		return Result[K]{Bottom: true}, nil
+		return Result[int]{Bottom: true}, nil
 	}
 	best.Bottom = false
 	return best, nil

@@ -148,3 +148,31 @@ func TestChooseDeterministicWithSeed(t *testing.T) {
 		t.Error("same seed produced different choices")
 	}
 }
+
+func TestChooseIndexedMatchesChoose(t *testing.T) {
+	// ChooseIndexed over counts laid out in sorted-key order must consume
+	// the noise stream exactly like Choose over the equivalent map.
+	hist := map[int]int{0: 100, 1: 7, 2: 180, 3: 0, 4: -2}
+	counts := []int{100, 7, 180, 0, -2}
+	a, errA := Choose(rand.New(rand.NewSource(10)), hist, params())
+	b, errB := ChooseIndexed(rand.New(rand.NewSource(10)), counts, params())
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if a.Bottom != b.Bottom || a.Key != b.Key || a.NoisyCount != b.NoisyCount {
+		t.Errorf("ChooseIndexed %+v diverged from Choose %+v", b, a)
+	}
+}
+
+func TestChooseIndexedBottom(t *testing.T) {
+	res, err := ChooseIndexed(rand.New(rand.NewSource(11)), []int{0, -3, 0}, params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Bottom {
+		t.Error("all-non-positive counts did not return bottom")
+	}
+	if _, err := ChooseIndexed(rand.New(rand.NewSource(12)), []int{1}, Params{Epsilon: -1, Delta: 0.1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

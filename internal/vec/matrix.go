@@ -64,6 +64,23 @@ func (m *Matrix) MulVec(x Vector) Vector {
 	return out
 }
 
+// MulVecInto computes m·x into dst (length m.Rows), avoiding MulVec's
+// per-call allocation — the difference matters when rotating every point of
+// a large cluster.
+func (m *Matrix) MulVecInto(dst, x Vector) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("vec: MulVecInto dimensions %d→%d, want %d→%d", len(x), len(dst), m.Cols, m.Rows))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		dst[i] = s
+	}
+}
+
 // TMulVec returns mᵀ·x (dimension m.Cols). Used to map a rotated point back
 // to the original coordinates when the rows of m are an orthonormal basis.
 func (m *Matrix) TMulVec(x Vector) Vector {

@@ -228,6 +228,22 @@ func TestMulVec(t *testing.T) {
 	}
 }
 
+func TestMulVecIntoMatchesMulVec(t *testing.T) {
+	m, _ := MatrixFromRows([]Vector{Of(1, 2, 3), Of(4, 5, 6)})
+	x := Of(0.5, -1, 2)
+	dst := New(2)
+	m.MulVecInto(dst, x)
+	if !dst.Equal(m.MulVec(x)) {
+		t.Errorf("MulVecInto = %v, MulVec = %v", dst, m.MulVec(x))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MulVecInto mismatch did not panic")
+		}
+	}()
+	m.MulVecInto(New(3), x)
+}
+
 func TestTMulVecIsTranspose(t *testing.T) {
 	m, _ := MatrixFromRows([]Vector{Of(1, 2, 3), Of(4, 5, 6)})
 	x := Of(1, -1)

@@ -3,6 +3,7 @@ package privcluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -34,6 +35,29 @@ const (
 	// unaffected; the returned radius can be a small constant factor wider
 	// than with IndexExact.
 	IndexScalable
+)
+
+// BoxPacking selects how GoodCenter's box-partition loop — the per-point
+// count pass that runs once per SVT repetition — encodes box keys. The
+// choice never affects which box a point lands in, the privacy analysis,
+// or (thanks to a canonical box enumeration) the seeded output — exactly
+// for the exact encodings, and up to a ≈ 2⁻⁶⁴-probability key collision
+// for PackingHashed; it only trades allocation profile.
+type BoxPacking int
+
+const (
+	// PackingAuto (the default) bit-packs the per-axis cell indices into
+	// one uint64 when they fit and hash-combines them beyond.
+	PackingAuto BoxPacking = iota
+	// PackingPacked requests bit-packed keys (hash fallback when k·bits
+	// exceeds 64, exactly as PackingAuto would).
+	PackingPacked
+	// PackingHashed forces hash-combined uint64 keys.
+	PackingHashed
+	// PackingLegacy keeps the original 8·k-byte string keys — the
+	// allocation-heavy reference backend, retained for equivalence testing
+	// and benchmarking.
+	PackingLegacy
 )
 
 // Options configures the private algorithms. The zero value gives ε = 1,
@@ -70,6 +94,13 @@ type Options struct {
 	// mapped onto the unit cube and outputs mapped back, so released radii
 	// are in the original units. Both zero means the unit cube itself.
 	Min, Max float64
+	// Workers bounds the worker pools of the parallel passes (the scalable
+	// index's bulk counts and GoodCenter's box-partition loop). 0 means
+	// GOMAXPROCS. Parallelism never changes results — only aggregates of
+	// the deterministic count passes reach the private mechanisms.
+	Workers int
+	// BoxPacking selects GoodCenter's box-key engine (default PackingAuto).
+	BoxPacking BoxPacking
 }
 
 func (o Options) withDefaults() Options {
@@ -126,10 +157,22 @@ func (o Options) toUnit(x float64) float64 { return (x - o.Min) / o.span() }
 func (o Options) fromUnit(x float64) float64 { return o.Min + x*o.span() }
 
 func (o Options) profile() core.Profile {
+	p := core.DefaultProfile()
 	if o.Paper {
-		return core.PaperProfile()
+		p = core.PaperProfile()
 	}
-	return core.DefaultProfile()
+	p.Workers = o.Workers
+	p.Packing = core.PackingPolicy(o.BoxPacking)
+	return p
+}
+
+// packingPolicy validates the public packing knob early (the zero value is
+// PackingAuto, so existing callers are unaffected).
+func (o Options) packingPolicy() error {
+	if o.BoxPacking < PackingAuto || o.BoxPacking > PackingLegacy {
+		return fmt.Errorf("privcluster: unknown box packing %d", o.BoxPacking)
+	}
+	return nil
 }
 
 // Cluster is a released ball.
@@ -162,10 +205,25 @@ func (c Cluster) Count(points []Point) int {
 // ErrNoPoints is returned for empty inputs.
 var ErrNoPoints = errors.New("privcluster: no input points")
 
-// prepare converts, rescales (Remark 3.3) and quantizes the input, and
-// assembles core parameters. It applies the option defaults exactly once
-// and hands the defaulted Options back so callers never re-default.
-func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, Options, error) {
+// ErrInfeasible is returned by the pre-flight feasibility check: the target
+// t sits below the floor at which the pipeline's private-selection release
+// thresholds are reachable at all for the given (ε, δ, β, |X|), so the run
+// would fail (flakily, after spending its budget). The wrapping error says
+// which of t/ε/β to raise. The floor itself is a pure function of the
+// parameters; the only data the check consults is the input's duplicate
+// structure — a dataset with ≈ t duplicated points succeeds through the
+// radius-zero path at any t and is never rejected. (Like every error this
+// library releases, that one branch makes the outcome data-dependent; see
+// the privacy disclaimer in the package documentation.)
+var ErrInfeasible = errors.New("privcluster: t is infeasibly small for the privacy regime")
+
+// prepare converts, rescales (Remark 3.3) and quantizes the input,
+// assembles core parameters, and pre-flights feasibility at the per-round
+// budget (rounds > 1 for FindClusters, whose KCover splits (ε, δ) across
+// rounds — each round must be feasible on its share, not on the total). It
+// applies the option defaults exactly once and hands the defaulted Options
+// back so callers never re-default.
+func prepare(points []Point, t, rounds int, o Options) ([]vec.Vector, core.Params, Options, error) {
 	o = o.withDefaults()
 	if len(points) == 0 {
 		return nil, core.Params{}, o, ErrNoPoints
@@ -175,6 +233,9 @@ func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, Optio
 	}
 	pol, err := o.indexPolicy()
 	if err != nil {
+		return nil, core.Params{}, o, err
+	}
+	if err := o.packingPolicy(); err != nil {
 		return nil, core.Params{}, o, err
 	}
 	d := len(points[0])
@@ -201,6 +262,28 @@ func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, Optio
 		Profile: o.profile(),
 		Index:   pol,
 	}
+	// Pre-flight feasibility: below the floor the RecConcave promise Γ and
+	// the stability release thresholds — all scaling as (1/ε)·log(1/δ) —
+	// are unreachable, and the run would fail after spending its budget
+	// with an opaque promise violation (the flaky t ≈ Γ regime). The one
+	// escape is a duplicate-dominated dataset, whose radius-zero path
+	// bypasses the search (core.ZeroClusterPlausible).
+	if rounds < 1 {
+		rounds = 1
+	}
+	check := prm
+	check.Privacy = check.Privacy.Split(rounds)
+	if floor := check.MinFeasibleT(); float64(t) < floor && !core.ZeroClusterPlausible(vs, check) {
+		f := int(math.Ceil(floor))
+		budget := fmt.Sprintf("ε=%g, δ=%g", o.Epsilon, o.Delta)
+		if rounds > 1 {
+			budget = fmt.Sprintf("per-round ε=%g, δ=%g (budget split across %d rounds)",
+				o.Epsilon/float64(rounds), o.Delta/float64(rounds), rounds)
+		}
+		return nil, core.Params{}, o, fmt.Errorf(
+			"%w: t=%d is below the feasible floor ≈%d for %s, β=%g, |X|=%d — raise t to ≥ %d, raise ε, or relax δ/β",
+			ErrInfeasible, t, f, budget, o.Beta, o.GridSize, f)
+	}
 	return vs, prm, o, nil
 }
 
@@ -209,7 +292,7 @@ func prepare(points []Point, t int, o Options) ([]vec.Vector, core.Params, Optio
 // the input points and whose radius is within O(√log n) of the smallest
 // ball containing t points. Points are snapped onto the |X|-per-axis grid.
 func FindCluster(points []Point, t int, o Options) (Cluster, error) {
-	vs, prm, oo, err := prepare(points, t, o)
+	vs, prm, oo, err := prepare(points, t, 1, o)
 	if err != nil {
 		return Cluster{}, err
 	}
@@ -233,7 +316,7 @@ func FindCluster(points []Point, t int, o Options) (Cluster, error) {
 // on the not-yet-covered points, splitting the privacy budget across
 // rounds. It returns the balls found (possibly fewer than k).
 func FindClusters(points []Point, k, t int, o Options) ([]Cluster, error) {
-	vs, prm, oo, err := prepare(points, t, o)
+	vs, prm, oo, err := prepare(points, t, k, o)
 	if err != nil {
 		return nil, err
 	}

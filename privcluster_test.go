@@ -1,8 +1,10 @@
 package privcluster
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -68,6 +70,108 @@ func TestFindClusterErrors(t *testing.T) {
 	}
 	if _, err := FindCluster([]Point{{0.5, 0.5}}, 5, Options{Seed: 1}); err == nil {
 		t.Error("t > n accepted")
+	}
+}
+
+// TestFindClusterInfeasibleRegimeRejected covers the pre-flight feasibility
+// check: the flaky t ≈ Γ regime (e.g. t = 100 at the default ε = 1,
+// δ = 10⁻⁶) must be rejected up front with an actionable typed error
+// instead of failing after the budget is spent, while the long-standing
+// workable regime passes the check untouched.
+func TestFindClusterInfeasibleRegimeRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	pts, _ := plantedPoints(rng, 600, 400, 2, 0.02)
+
+	_, err := FindCluster(pts, 100, Options{Seed: 1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("defaults with t=100: err = %v, want ErrInfeasible", err)
+	}
+	for _, want := range []string{"raise t", "ε=1", "δ=1e-06"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	// The same t at a generous budget is not pre-flight-rejected.
+	if _, err := FindCluster(pts, 400, Options{Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024}); err != nil {
+		t.Errorf("workable regime rejected: %v", err)
+	}
+}
+
+// TestFindClusterDuplicatesBelowFloorStillSucceed: a duplicate-dominated
+// dataset succeeds through the radius-zero path at any t, so the
+// pre-flight must not reject it — with the default profile or the paper
+// constants (which are exempt from the floor entirely).
+func TestFindClusterDuplicatesBelowFloorStillSucceed(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pts := make([]Point, 5000)
+	for i := range pts {
+		if i < 4500 {
+			pts[i] = Point{0.5, 0.5}
+		} else {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+	}
+	c, err := FindCluster(pts, 500, Options{Seed: 1}) // defaults: t=500 ≪ floor
+	if err != nil {
+		t.Fatalf("duplicate cluster rejected: %v", err)
+	}
+	if !c.ZeroRadius {
+		t.Errorf("expected the radius-zero path, got raw radius %v", c.RawRadius)
+	}
+
+	// Paper constants are exempt from the floor: the pre-flight must let
+	// them through (the run may still fail downstream in the center stage's
+	// huge paper thresholds — that categorical behavior is documented).
+	if _, err := FindCluster(pts, 500, Options{Seed: 1, Paper: true}); errors.Is(err, ErrInfeasible) {
+		t.Errorf("paper profile pre-flight-rejected: %v", err)
+	}
+}
+
+// TestFindClustersSplitBudgetPreflight: KCover runs each round at (ε/k,
+// δ/k), so feasibility must be judged on the per-round share — a t that
+// passes at the full budget but not at ε/k is rejected up front instead of
+// silently burning all k rounds.
+func TestFindClustersSplitBudgetPreflight(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts, _ := plantedPoints(rng, 6000, 4000, 2, 0.02)
+	// t=2500 clears the full-budget floor (≈2000 at ε=1, δ=1e-6) but not
+	// the per-round floor at ε=0.25.
+	_, err := FindClusters(pts, 4, 2500, Options{Seed: 3})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("k=4 split-budget regime: err = %v, want ErrInfeasible", err)
+	}
+	if !strings.Contains(err.Error(), "per-round") || !strings.Contains(err.Error(), "4 rounds") {
+		t.Errorf("error %q does not explain the per-round budget", err)
+	}
+}
+
+// The new tuning knobs must not change seeded results (Workers) and must be
+// validated (BoxPacking).
+func TestFindClusterWorkersAndPacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts, _ := plantedPoints(rng, 800, 500, 2, 0.02)
+	base := Options{Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024}
+	ref, err := FindCluster(pts, 400, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range []Options{
+		{Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024, Workers: 1},
+		{Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024, Workers: 4},
+		{Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024, BoxPacking: PackingHashed},
+		{Epsilon: 4, Delta: 0.05, Seed: 7, GridSize: 1024, BoxPacking: PackingLegacy, Workers: 3},
+	} {
+		c, err := FindCluster(pts, 400, o)
+		if err != nil {
+			t.Fatalf("%+v: %v", o, err)
+		}
+		if c.Radius != ref.Radius || c.Center[0] != ref.Center[0] || c.Center[1] != ref.Center[1] {
+			t.Errorf("options %+v changed the seeded result", o)
+		}
+	}
+	if _, err := FindCluster(pts, 400, Options{Seed: 1, BoxPacking: BoxPacking(9)}); err == nil {
+		t.Error("unknown BoxPacking accepted")
 	}
 }
 
