@@ -10,6 +10,7 @@ package privcluster
 // For the full-size experiment tables, use cmd/experiments instead.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -259,7 +260,7 @@ func benchIndexRadiusStage(b *testing.B, n int, pol core.IndexPolicy) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ix.BuildLStep(tt); err != nil {
+		if _, err := ix.BuildLStep(context.Background(), tt); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -279,6 +280,59 @@ func BenchmarkBallIndexScalable(b *testing.B) {
 			benchIndexRadiusStage(b, n, core.IndexScalable)
 		})
 	}
+}
+
+// BenchmarkDatasetReuse pins the handle API's amortization win at
+// n = 100k: "cold" opens a fresh Dataset per query (every iteration pays
+// quantization + index construction, like the one-shot free functions),
+// "warm" queries one prepared handle whose cached index was built before
+// the timer started. The warm numbers must show the preprocessing gone —
+// a large drop in both ns/op and allocs/op:
+//
+//	go test -bench BenchmarkDatasetReuse -benchmem
+func BenchmarkDatasetReuse(b *testing.B) {
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, 100000, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := make([]Point, len(pts))
+	for i, p := range pts {
+		pub[i] = Point(p)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ds, err := Open(pub, DatasetOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ds.FindCluster(context.Background(), tt, QueryOptions{Seed: int64(i) + 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		ds, err := Open(pub, DatasetOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the cached index outside the timer; every timed iteration
+		// is then a pure query.
+		if _, err := ds.FindCluster(context.Background(), tt, QueryOptions{Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.FindCluster(context.Background(), tt, QueryOptions{Seed: int64(i) + 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFindClusterScalable times the full pipeline through the public

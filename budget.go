@@ -1,0 +1,82 @@
+package privcluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Budget is an (ε, δ) differential-privacy budget. On a Dataset handle it
+// is the total the handle will ever spend: every query deducts its cost
+// (FindCluster and FindClusters cost their QueryOptions (ε, δ); an
+// InteriorPoint query costs (2ε, 2δ), the Theorem 5.3 composition of its
+// two stages) and a query whose cost no longer fits is refused with
+// ErrBudgetExhausted before any mechanism runs.
+//
+// The zero value means "no budget": the handle accounts spending (see
+// Dataset.Spent) but never refuses a query — the mode the one-shot free
+// functions use.
+type Budget struct {
+	Epsilon float64
+	Delta   float64
+}
+
+// IsZero reports whether b is the zero value (the "no budget" sentinel).
+func (b Budget) IsZero() bool { return b == Budget{} }
+
+// validate checks b as a total budget: ε ≥ 0 and finite, δ ∈ [0, 1).
+func (b Budget) validate() error {
+	if b.Epsilon < 0 || math.IsNaN(b.Epsilon) || math.IsInf(b.Epsilon, 0) {
+		return fmt.Errorf("privcluster: budget epsilon must be ≥ 0 and finite, got %v", b.Epsilon)
+	}
+	if b.Delta < 0 || b.Delta >= 1 || math.IsNaN(b.Delta) {
+		return fmt.Errorf("privcluster: budget delta must be in [0, 1), got %v", b.Delta)
+	}
+	return nil
+}
+
+func (b Budget) String() string {
+	return fmt.Sprintf("(ε=%g, δ=%g)", b.Epsilon, b.Delta)
+}
+
+// remainingAfter returns the unspent part of b once spent is deducted
+// (coordinates clipped at zero) — the one subtraction Dataset.Remaining
+// and BudgetError.Remaining share.
+func (b Budget) remainingAfter(spent Budget) Budget {
+	return Budget{
+		Epsilon: math.Max(0, b.Epsilon-spent.Epsilon),
+		Delta:   math.Max(0, b.Delta-spent.Delta),
+	}
+}
+
+// ErrBudgetExhausted is the sentinel a Dataset query wraps when its cost no
+// longer fits in the handle's remaining budget. The concrete error is a
+// *BudgetError carrying the totals; errors.Is(err, ErrBudgetExhausted)
+// matches it. A refused query runs no mechanism and consumes nothing.
+var ErrBudgetExhausted = errors.New("privcluster: privacy budget exhausted")
+
+// BudgetError is the typed form of a budget refusal: the handle's total
+// budget, what had been spent when the query arrived, and the cost the
+// query asked for. It wraps ErrBudgetExhausted.
+type BudgetError struct {
+	// Total is the budget the Dataset was opened with.
+	Total Budget
+	// Spent is the amount consumed by earlier queries on the handle.
+	Spent Budget
+	// Requested is the cost of the refused query.
+	Requested Budget
+}
+
+// Remaining returns the unspent budget (coordinates clipped at zero).
+func (e *BudgetError) Remaining() Budget {
+	return e.Total.remainingAfter(e.Spent)
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf(
+		"%v: query cost %v exceeds remaining %v (spent %v of %v)",
+		ErrBudgetExhausted, e.Requested, e.Remaining(), e.Spent, e.Total)
+}
+
+// Unwrap makes errors.Is(err, ErrBudgetExhausted) hold for BudgetError.
+func (e *BudgetError) Unwrap() error { return ErrBudgetExhausted }

@@ -6,10 +6,18 @@
 //
 //	onecluster -t 400 -epsilon 2 -delta 0.05 points.csv
 //	cat points.csv | onecluster -t 400
+//
+// Serving mode: -queries runs several t values against one prepared
+// Dataset handle (the index is built once and reused), each query costing
+// (-epsilon, -delta), optionally capped by a total -budget:
+//
+//	onecluster -queries 300,400,500 -epsilon 1 -budget 2,1e-5 points.csv
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,17 +29,23 @@ import (
 )
 
 func main() {
-	t := flag.Int("t", 0, "target cluster size (required)")
-	epsilon := flag.Float64("epsilon", 1, "privacy parameter ε")
-	delta := flag.Float64("delta", 1e-6, "privacy parameter δ")
+	t := flag.Int("t", 0, "target cluster size (required unless -queries is set)")
+	epsilon := flag.Float64("epsilon", 1, "privacy parameter ε (per query with -queries)")
+	delta := flag.Float64("delta", 1e-6, "privacy parameter δ (per query with -queries)")
 	beta := flag.Float64("beta", 0.1, "failure probability target")
 	gridSize := flag.Int64("grid", 1<<16, "|X|: grid values per axis")
-	seed := flag.Int64("seed", 0, "random seed (0 = from clock)")
+	seed := flag.Int64("seed", 0, "random seed (0 = from clock; with -queries, query i uses seed+i)")
 	k := flag.Int("k", 1, "number of clusters to locate (k-cover when > 1)")
+	queries := flag.String("queries", "", `comma-separated t values run against one Dataset handle (e.g. "300,400,500")`)
+	budget := flag.String("budget", "", `total privacy budget "ε,δ" the handle may spend across -queries (empty = unlimited)`)
 	flag.Parse()
 
-	if *t <= 0 {
+	if *queries == "" && *t <= 0 {
 		fmt.Fprintln(os.Stderr, "onecluster: -t is required and must be positive")
+		os.Exit(2)
+	}
+	if *queries != "" && *k > 1 {
+		fmt.Fprintln(os.Stderr, "onecluster: -k cannot be combined with -queries (each query is a single-cluster release)")
 		os.Exit(2)
 	}
 	var in io.Reader = os.Stdin
@@ -49,11 +63,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "onecluster:", err)
 		os.Exit(1)
 	}
+
+	if *queries != "" {
+		if err := runQueries(points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "onecluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := privcluster.Options{
 		Epsilon: *epsilon, Delta: *delta, Beta: *beta,
 		GridSize: *gridSize, Seed: *seed,
 	}
-
 	if *k <= 1 {
 		c, err := privcluster.FindCluster(points, *t, opts)
 		if err != nil {
@@ -72,6 +94,91 @@ func main() {
 		fmt.Printf("cluster %d:\n", i+1)
 		printCluster(c, points)
 	}
+}
+
+// runQueries exercises the handle API end to end: one Open, then every t
+// from the -queries list as a separate query under the (optional) total
+// budget. A budget refusal reports the accounting and stops; other
+// per-query failures (e.g. an infeasible t) are reported and skipped, since
+// the handle stays usable.
+func runQueries(points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64) error {
+	ts, err := parseQueries(queries)
+	if err != nil {
+		return err
+	}
+	b, err := parseBudget(budget)
+	if err != nil {
+		return err
+	}
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, Budget: b})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for i, t := range ts {
+		q := privcluster.QueryOptions{Epsilon: epsilon, Delta: delta, Beta: beta}
+		if seed != 0 {
+			q.Seed = seed + int64(i)
+			// A derived seed that lands on 0 must stay literal, not become
+			// the from-the-clock sentinel — the flag promises seed+i.
+			q.ZeroSeed = q.Seed == 0
+		}
+		c, err := ds.FindCluster(ctx, t, q)
+		fmt.Printf("query %d (t=%d, ε=%g, δ=%g):\n", i+1, t, epsilon, delta)
+		if err != nil {
+			if errors.Is(err, privcluster.ErrBudgetExhausted) {
+				return err
+			}
+			fmt.Printf("  failed: %v\n", err)
+			continue
+		}
+		printCluster(c, points)
+	}
+	spent := ds.Spent()
+	if rem, ok := ds.Remaining(); ok {
+		fmt.Printf("budget: spent %v, remaining %v\n", spent, rem)
+	} else {
+		fmt.Printf("budget: spent %v (no cap)\n", spent)
+	}
+	return nil
+}
+
+// parseQueries parses the -queries flag: a comma-separated list of positive
+// t values.
+func parseQueries(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	ts := make([]int, 0, len(parts))
+	for _, p := range parts {
+		t, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad -queries entry %q: %v", p, err)
+		}
+		if t <= 0 {
+			return nil, fmt.Errorf("bad -queries entry %d: t must be positive", t)
+		}
+		ts = append(ts, t)
+	}
+	return ts, nil
+}
+
+// parseBudget parses the -budget flag: empty for no budget, or "ε,δ".
+func parseBudget(s string) (privcluster.Budget, error) {
+	if s == "" {
+		return privcluster.Budget{}, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return privcluster.Budget{}, fmt.Errorf(`bad -budget %q: want "ε,δ"`, s)
+	}
+	eps, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return privcluster.Budget{}, fmt.Errorf("bad -budget ε %q: %v", parts[0], err)
+	}
+	del, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return privcluster.Budget{}, fmt.Errorf("bad -budget δ %q: %v", parts[1], err)
+	}
+	return privcluster.Budget{Epsilon: eps, Delta: del}, nil
 }
 
 func printCluster(c privcluster.Cluster, points []privcluster.Point) {

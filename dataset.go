@@ -1,0 +1,563 @@
+package privcluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"privcluster/internal/core"
+	"privcluster/internal/dp"
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// DatasetOptions configures Open: everything about the data and its
+// preparation that is fixed for the lifetime of the handle. Per-query knobs
+// (the (ε, δ) cost, β, the seed) live in QueryOptions instead. The zero
+// value gives the unit-cube domain, |X| = 2¹⁶, the automatic index backend
+// and no budget (queries are accounted but never refused).
+type DatasetOptions struct {
+	// GridSize is |X|: the number of grid values per axis of the finite
+	// domain X^d (default 2¹⁶). Points are snapped onto the grid once, at
+	// Open.
+	GridSize int64
+	// Min and Max describe the data domain [Min, Max]^d (Remark 3.3).
+	// Inputs are affinely mapped onto the unit cube at Open and query
+	// outputs mapped back. Both zero means the unit cube itself.
+	Min, Max float64
+	// IndexPolicy selects the ball-index backend (default IndexAuto). The
+	// handle builds the index lazily on the first query and caches it —
+	// the amortization the handle exists for.
+	IndexPolicy IndexPolicy
+	// Workers bounds the worker pools of the parallel passes (see
+	// Options.Workers). 0 means GOMAXPROCS.
+	Workers int
+	// BoxPacking selects GoodCenter's box-key engine (default PackingAuto).
+	BoxPacking BoxPacking
+	// Paper switches every internal constant to the paper's proof values.
+	Paper bool
+	// Budget is the total (ε, δ) the handle may spend across all queries.
+	// The zero value means "no budget": spending is tracked (Spent) but
+	// never refused — the semantics of the one-shot free functions. Budget
+	// accounting is per-handle: opening two handles over the same people's
+	// data gives each its own budget, and the real-world guarantee is their
+	// composition (the sum). That caveat is the caller's to manage.
+	Budget Budget
+}
+
+func (o DatasetOptions) withDefaults() DatasetOptions {
+	if o.GridSize == 0 {
+		o.GridSize = 1 << 16
+	}
+	return o
+}
+
+// validate rejects malformed handle configuration up front, so no query
+// ever fails late on an Open-time mistake.
+func (o DatasetOptions) validate() error {
+	if (o.Min != 0 || o.Max != 0) && o.Max <= o.Min {
+		return fmt.Errorf("privcluster: domain bounds Max=%v ≤ Min=%v", o.Max, o.Min)
+	}
+	if math.IsNaN(o.Min) || math.IsInf(o.Min, 0) || math.IsNaN(o.Max) || math.IsInf(o.Max, 0) {
+		return fmt.Errorf("privcluster: domain bounds must be finite, got [%v, %v]", o.Min, o.Max)
+	}
+	if _, err := o.IndexPolicy.core(); err != nil {
+		return err
+	}
+	if o.BoxPacking < PackingAuto || o.BoxPacking > PackingLegacy {
+		return fmt.Errorf("privcluster: unknown box packing %d", o.BoxPacking)
+	}
+	return o.Budget.validate()
+}
+
+// span returns the domain width Max−Min, defaulting to the unit interval.
+func (o DatasetOptions) span() float64 {
+	if o.Min == 0 && o.Max == 0 {
+		return 1
+	}
+	return o.Max - o.Min
+}
+
+func (o DatasetOptions) toUnit(x float64) float64   { return (x - o.Min) / o.span() }
+func (o DatasetOptions) fromUnit(x float64) float64 { return o.Min + x*o.span() }
+
+func (o DatasetOptions) profile() core.Profile {
+	p := core.DefaultProfile()
+	if o.Paper {
+		p = core.PaperProfile()
+	}
+	p.Workers = o.Workers
+	p.Packing = core.PackingPolicy(o.BoxPacking)
+	return p
+}
+
+// QueryOptions configures one query on a Dataset handle. The zero value
+// gives ε = 1, δ = 10⁻⁶, β = 0.1 and a time-seeded generator (fresh noise
+// per query — the only safe default for a privacy library).
+type QueryOptions struct {
+	// Epsilon, Delta are the differential-privacy cost of this query; the
+	// handle deducts them from its Budget (twice each for InteriorPoint —
+	// see Budget).
+	Epsilon float64
+	Delta   float64
+	// Beta is the failure-probability target of the utility guarantees.
+	Beta float64
+	// Seed makes the query reproducible; 0 is the "fresh seed from the
+	// clock" sentinel unless ZeroSeed is set (same semantics as
+	// Options.Seed).
+	Seed     int64
+	ZeroSeed bool
+}
+
+func (q QueryOptions) withDefaults() QueryOptions {
+	if q.Epsilon == 0 {
+		q.Epsilon = 1
+	}
+	if q.Delta == 0 {
+		q.Delta = 1e-6
+	}
+	if q.Beta == 0 {
+		q.Beta = 0.1
+	}
+	return q
+}
+
+// validate rejects out-of-range privacy/utility parameters before any
+// budget is consulted or any mechanism runs. It expects defaults to have
+// been applied (the zero values stand for the defaults, not for "invalid").
+func (q QueryOptions) validate() error {
+	if q.Epsilon <= 0 || math.IsNaN(q.Epsilon) || math.IsInf(q.Epsilon, 0) {
+		return fmt.Errorf("privcluster: epsilon must be positive and finite, got %v", q.Epsilon)
+	}
+	if q.Delta <= 0 || q.Delta >= 1 || math.IsNaN(q.Delta) {
+		return fmt.Errorf("privcluster: delta must be in (0, 1), got %v", q.Delta)
+	}
+	if q.Beta <= 0 || q.Beta >= 1 || math.IsNaN(q.Beta) {
+		return fmt.Errorf("privcluster: beta must be in (0, 1), got %v", q.Beta)
+	}
+	return nil
+}
+
+func (q QueryOptions) rng() *rand.Rand {
+	return seededRNG(q.Seed, q.ZeroSeed)
+}
+
+// indexEntry is one lazily built, cached ball index. The once/err pair
+// makes concurrent first queries build it exactly once and share the
+// outcome.
+type indexEntry struct {
+	once sync.Once
+	ix   geometry.BallIndex
+	err  error
+}
+
+// maxCachedLSteps bounds the per-handle L(·, S) cache: one entry per
+// distinct query target t, FIFO-evicted. A serving process typically
+// queries a handful of t values, so a small bound captures the win while
+// keeping the worst case (the exact backend's O(n²)-breakpoint steps)
+// bounded.
+const maxCachedLSteps = 8
+
+// cachedIndex decorates the handle's ball index with a memo of the
+// BuildLStep sweep — the dominant per-query preprocessing cost, and a pure
+// deterministic function of (points, t). Repeated queries at the same t
+// skip the whole sweep, which is where the handle's warm-query amortization
+// comes from (see BenchmarkDatasetReuse). Caching a deterministic
+// preprocessing artifact changes neither the release distribution nor the
+// seeded bit-for-bit equivalence with the free functions.
+type cachedIndex struct {
+	geometry.BallIndex
+
+	mu     sync.Mutex
+	lsteps map[int]*geometry.LStep
+	order  []int // FIFO of cached targets for eviction
+}
+
+func newCachedIndex(ix geometry.BallIndex) *cachedIndex {
+	return &cachedIndex{BallIndex: ix, lsteps: make(map[int]*geometry.LStep)}
+}
+
+func (c *cachedIndex) BuildLStep(ctx context.Context, t int) (*geometry.LStep, error) {
+	c.mu.Lock()
+	ls, ok := c.lsteps[t]
+	c.mu.Unlock()
+	if ok {
+		return ls, nil
+	}
+	// Build outside the lock: concurrent first queries at the same t may
+	// both sweep, but the results are identical and the second recording is
+	// a no-op — queries never serialize behind a multi-second sweep.
+	ls, err := c.BallIndex.BuildLStep(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if _, dup := c.lsteps[t]; !dup {
+		c.lsteps[t] = ls
+		c.order = append(c.order, t)
+		if len(c.order) > maxCachedLSteps {
+			delete(c.lsteps, c.order[0])
+			c.order = c.order[1:]
+		}
+	}
+	c.mu.Unlock()
+	return ls, nil
+}
+
+// Dataset is a prepared, reusable handle over one point set: Open validates
+// the configuration, rescales the domain and quantizes the points exactly
+// once; the first query builds the ball index (the dominant preprocessing
+// cost at n ≥ 10⁵) and caches it so subsequent queries skip straight to the
+// private mechanisms; and every query's (ε, δ) cost is deducted from the
+// handle's Budget under a mutex, so a serving process can enforce a total
+// privacy budget across many queries on the same data.
+//
+// A Dataset is safe for concurrent use. Queries take a context.Context:
+// cancellation is threaded through the long-running inner loops (the cell
+// index's bulk-count worker pools, GoodCenter's SVT repetition loop, the
+// RecConcave recursion, KCover's rounds), so deadlines abort an in-flight
+// query promptly without leaking goroutines. A context that is already
+// cancelled when the query arrives consumes no budget; cancelling an
+// in-flight query does not refund its charge (noise may already have been
+// drawn).
+type Dataset struct {
+	opts   DatasetOptions
+	grid   geometry.Grid
+	dim    int
+	points []vec.Vector // unit-domain, grid-quantized
+	// values holds the original (unit-mapped, unquantized) coordinates of a
+	// 1-D dataset — what InteriorPoint operates on, per Algorithm 3 (which
+	// runs on the raw values, not their grid snaps). Kept sorted: the
+	// algorithm's first step is a sort, so order cannot affect the release,
+	// and pre-sorting turns the per-query sorts into near-linear passes.
+	values []float64
+	pol    core.IndexPolicy
+
+	mu      sync.Mutex
+	spent   Budget
+	indexes map[core.IndexPolicy]*indexEntry
+	// builds counts index constructions (diagnostics; the concurrency test
+	// pins it at one).
+	builds atomic.Int32
+}
+
+// Open prepares a reusable Dataset handle: it validates the options and the
+// points, maps them into the unit cube (Remark 3.3) and snaps them onto the
+// |X|-per-axis grid. No index is built and no budget is spent — both happen
+// on the first query.
+func Open(points []Point, o DatasetOptions) (*Dataset, error) {
+	o = o.withDefaults()
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
+	pol, err := o.IndexPolicy.core()
+	if err != nil {
+		return nil, err
+	}
+	d := len(points[0])
+	grid, err := geometry.NewGrid(o.GridSize, d)
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]vec.Vector, len(points))
+	var values []float64
+	if d == 1 {
+		values = make([]float64, len(points))
+	}
+	for i, p := range points {
+		if len(p) != d {
+			return nil, fmt.Errorf("privcluster: point %d has dimension %d, want %d", i, len(p), d)
+		}
+		u := make(vec.Vector, d)
+		for j, x := range p {
+			u[j] = o.toUnit(x)
+		}
+		if d == 1 {
+			values[i] = u[0]
+		}
+		vs[i] = grid.Quantize(u)
+	}
+	sort.Float64s(values) // no-op for nil; see the Dataset.values doc
+	return &Dataset{
+		opts:    o,
+		grid:    grid,
+		dim:     d,
+		points:  vs,
+		values:  values,
+		pol:     pol,
+		indexes: make(map[core.IndexPolicy]*indexEntry),
+	}, nil
+}
+
+// N returns the number of points in the handle.
+func (ds *Dataset) N() int { return len(ds.points) }
+
+// Dim returns the dimension of the handle's points.
+func (ds *Dataset) Dim() int { return ds.dim }
+
+// Remaining returns the unspent budget and whether the handle enforces one;
+// handles opened without a Budget return (Budget{}, false) and never refuse
+// a query.
+func (ds *Dataset) Remaining() (Budget, bool) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.opts.Budget.IsZero() {
+		return Budget{}, false
+	}
+	return ds.opts.Budget.remainingAfter(ds.spent), true
+}
+
+// Spent returns the budget consumed by the handle's queries so far (also
+// tracked on handles without a Budget).
+func (ds *Dataset) Spent() Budget {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.spent
+}
+
+// charge atomically deducts cost from the budget, refusing (with a
+// *BudgetError wrapping ErrBudgetExhausted, and recording nothing) a query
+// that no longer fits. ctx is re-checked under the lock so a query
+// cancelled during index construction never charges.
+func (ds *Dataset) charge(ctx context.Context, cost Budget) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if b := ds.opts.Budget; !b.IsZero() {
+		const slack = 1e-9 // tolerate float accumulation error
+		if ds.spent.Epsilon+cost.Epsilon > b.Epsilon*(1+slack)+slack ||
+			ds.spent.Delta+cost.Delta > b.Delta*(1+slack)+slack {
+			return &BudgetError{Total: b, Spent: ds.spent, Requested: cost}
+		}
+	}
+	ds.spent.Epsilon += cost.Epsilon
+	ds.spent.Delta += cost.Delta
+	return nil
+}
+
+// effectiveKey resolves IndexAuto to the backend it would pick, so the
+// cache is keyed by what is actually built (an explicit policy and an Auto
+// that resolves to it share one index).
+func (ds *Dataset) effectiveKey() core.IndexPolicy {
+	return core.ResolveIndexPolicy(ds.pol, len(ds.points))
+}
+
+// index returns the cached ball index, building it exactly once per
+// effective policy even under concurrent first queries. Index construction
+// draws no randomness, so a cached index releases bit-identical seeded
+// results to a per-call build.
+func (ds *Dataset) index() (geometry.BallIndex, error) {
+	key := ds.effectiveKey()
+	ds.mu.Lock()
+	e, ok := ds.indexes[key]
+	if !ok {
+		e = &indexEntry{}
+		ds.indexes[key] = e
+	}
+	ds.mu.Unlock()
+	e.once.Do(func() {
+		ds.builds.Add(1)
+		ix, err := core.NewBallIndex(ds.points, ds.grid, key, ds.opts.Workers)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.ix = newCachedIndex(ix)
+	})
+	return e.ix, e.err
+}
+
+// params assembles the core configuration for one cluster query.
+func (ds *Dataset) params(ctx context.Context, t int, q QueryOptions) core.Params {
+	return core.Params{
+		T:       t,
+		Privacy: dp.Params{Epsilon: q.Epsilon, Delta: q.Delta},
+		Beta:    q.Beta,
+		Grid:    ds.grid,
+		Profile: ds.opts.profile(),
+		Index:   ds.pol,
+		Ctx:     ctx,
+	}
+}
+
+// prepareQuery is the shared front door of the cluster queries: defaults,
+// parameter validation, the prompt pre-cancellation check (before any
+// budget is consulted), the t range check, and the feasibility pre-flight
+// at the per-round budget. It spends nothing.
+func (ds *Dataset) prepareQuery(ctx context.Context, t, rounds int, q QueryOptions) (QueryOptions, core.Params, error) {
+	q = q.withDefaults()
+	if err := q.validate(); err != nil {
+		return q, core.Params{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return q, core.Params{}, err
+	}
+	if t < 1 || t > len(ds.points) {
+		return q, core.Params{}, fmt.Errorf("privcluster: t=%d out of [1, n=%d]", t, len(ds.points))
+	}
+	prm := ds.params(ctx, t, q)
+	if err := checkFeasible(ds.points, prm, rounds, q, ds.opts.GridSize); err != nil {
+		return q, core.Params{}, err
+	}
+	return q, prm, nil
+}
+
+// FindCluster is the 1-cluster query (Theorem 3.2) on the prepared handle:
+// identical semantics and — under the same seed — bit-identical releases to
+// the free FindCluster, with the index amortized across the handle's
+// queries and the (ε, δ) cost deducted from its Budget.
+func (ds *Dataset) FindCluster(ctx context.Context, t int, q QueryOptions) (Cluster, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q, prm, err := ds.prepareQuery(ctx, t, 1, q)
+	if err != nil {
+		return Cluster{}, err
+	}
+	ix, err := ds.index()
+	if err != nil {
+		return Cluster{}, err
+	}
+	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
+		return Cluster{}, err
+	}
+	res, err := core.OneClusterIndexed(q.rng(), ix, prm)
+	if err != nil {
+		return Cluster{}, err
+	}
+	center := make(Point, len(res.Ball.Center))
+	for j, x := range res.Ball.Center {
+		center[j] = ds.opts.fromUnit(x)
+	}
+	return Cluster{
+		Center:     center,
+		Radius:     res.Ball.Radius * ds.opts.span(),
+		RawRadius:  res.RawRadius * ds.opts.span(),
+		ZeroRadius: res.ZeroCluster,
+	}, nil
+}
+
+// FindClusters is the k-ball covering query (Observation 3.5): one (ε, δ)
+// charge, split internally across the k rounds. Round 1 runs on the cached
+// index; later rounds cover the not-yet-covered remainder.
+func (ds *Dataset) FindClusters(ctx context.Context, k, t int, q QueryOptions) ([]Cluster, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("privcluster: FindClusters needs k ≥ 1, got %d", k)
+	}
+	q, prm, err := ds.prepareQuery(ctx, t, k, q)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := ds.index()
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
+		return nil, err
+	}
+	balls, err := core.KCoverIndexed(q.rng(), ix, k, prm)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Cluster, len(balls))
+	for i, b := range balls {
+		center := make(Point, len(b.Center))
+		for j, x := range b.Center {
+			center[j] = ds.opts.fromUnit(x)
+		}
+		out[i] = Cluster{Center: center, Radius: b.Radius * ds.opts.span()}
+	}
+	return out, nil
+}
+
+// InteriorPoint is the Algorithm 3 query on a 1-dimensional handle: a value
+// between the dataset's min and max (Theorem 5.3), in the handle's original
+// domain units. Its budget cost is (2ε, 2δ) — the reduction composes the
+// inner 1-cluster stage with the final RecConcave selection, each at
+// (ε, δ). Like the free function, it runs on the raw (unquantized) values;
+// the handle's grid only discretizes the inner cluster search.
+func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions) (float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ds.dim != 1 {
+		return 0, fmt.Errorf("privcluster: InteriorPoint needs a 1-dimensional dataset, got dimension %d", ds.dim)
+	}
+	q = q.withDefaults()
+	if err := q.validate(); err != nil {
+		return 0, err
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	m := len(ds.values)
+	if innerN <= 0 || innerN >= m {
+		return 0, fmt.Errorf("privcluster: InteriorPoint needs 0 < innerN < n, got innerN=%d, n=%d", innerN, m)
+	}
+	if innerN < 2 {
+		// The inner 1-cluster stage targets t = innerN/2 ≥ 1; reject the
+		// degenerate case here, before any budget is consulted.
+		return 0, fmt.Errorf("privcluster: InteriorPoint needs innerN ≥ 2 (inner cluster target innerN/2), got %d", innerN)
+	}
+	cprm := ds.params(ctx, innerN/2, q)
+	// Feasibility pre-flight on exactly the middle sub-database the inner
+	// 1-cluster stage will see — the same check FindCluster gets, run
+	// before any budget is charged. ds.values is kept sorted, so the
+	// middle extraction is a slice, not a fresh sort.
+	if err := checkFeasible(core.IntPointMiddleSorted(ds.values, innerN), cprm, 1, q, ds.opts.GridSize); err != nil {
+		return 0, err
+	}
+	if err := ds.charge(ctx, Budget{Epsilon: 2 * q.Epsilon, Delta: 2 * q.Delta}); err != nil {
+		return 0, err
+	}
+	res, err := core.IntPoint(q.rng(), ds.values, core.IntPointParams{
+		InnerN:  innerN,
+		Cluster: cprm,
+		Privacy: dp.Params{Epsilon: q.Epsilon, Delta: q.Delta},
+		Beta:    q.Beta,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return ds.opts.fromUnit(res.Point), nil
+}
+
+// checkFeasible pre-flights the t/ε regime at the per-round budget (rounds
+// > 1 for FindClusters, whose KCover splits (ε, δ) across rounds — each
+// round must be feasible on its share, not on the total). Below the floor
+// the RecConcave promise Γ and the stability release thresholds — all
+// scaling as (1/ε)·log(1/δ) — are unreachable, and the run would fail
+// after spending its budget with an opaque promise violation (the flaky
+// t ≈ Γ regime). The one escape is a duplicate-dominated dataset, whose
+// radius-zero path bypasses the search (core.ZeroClusterPlausible).
+func checkFeasible(vs []vec.Vector, prm core.Params, rounds int, q QueryOptions, gridSize int64) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	check := prm
+	check.Privacy = check.Privacy.Split(rounds)
+	if floor := check.MinFeasibleT(); float64(prm.T) < floor && !core.ZeroClusterPlausible(vs, check) {
+		f := int(math.Ceil(floor))
+		budget := fmt.Sprintf("ε=%g, δ=%g", q.Epsilon, q.Delta)
+		if rounds > 1 {
+			budget = fmt.Sprintf("per-round ε=%g, δ=%g (budget split across %d rounds)",
+				q.Epsilon/float64(rounds), q.Delta/float64(rounds), rounds)
+		}
+		return fmt.Errorf(
+			"%w: t=%d is below the feasible floor ≈%d for %s, β=%g, |X|=%d — raise t to ≥ %d, raise ε, or relax δ/β",
+			ErrInfeasible, prm.T, f, budget, q.Beta, gridSize, f)
+	}
+	return nil
+}

@@ -29,6 +29,53 @@
 // The module path is privcluster (see go.mod); import the root package as
 // `import "privcluster"`.
 //
+// # The Dataset handle
+//
+// The free functions above are one-shot: every call re-validates, rescales
+// and quantizes the points and rebuilds the ball index — the dominant
+// preprocessing cost at n ≥ 10⁵ — and nothing stops a caller from silently
+// over-spending a privacy budget across repeated calls on the same data.
+// A serving process should open a reusable handle instead:
+//
+//	ds, err := privcluster.Open(points, privcluster.DatasetOptions{
+//		Budget: privcluster.Budget{Epsilon: 3, Delta: 3e-6},
+//	})
+//	c1, err := ds.FindCluster(ctx, 400, privcluster.QueryOptions{Epsilon: 1, Delta: 1e-6})
+//	c2, err := ds.FindCluster(ctx, 500, privcluster.QueryOptions{Epsilon: 1, Delta: 1e-6})
+//
+// Open performs validation, domain rescaling and grid quantization once.
+// The first query lazily builds the ball index and caches it (keyed by the
+// effective index policy), along with the radius stage's L(·, S) step
+// function per queried t, so warm queries skip preprocessing entirely —
+// BenchmarkDatasetReuse measures the drop at n = 100k (seconds →
+// milliseconds). Under the same seed a handle query releases bit-for-bit
+// what the free function releases; the free functions are in fact thin
+// wrappers that open a single-use, budget-less handle.
+//
+// Budget semantics: the handle carries a total (ε, δ) budget from which
+// each query deducts its cost — FindCluster and FindClusters cost their
+// QueryOptions (ε, δ) (the k-cover splits its share internally), and
+// InteriorPoint costs (2ε, 2δ), the Theorem 5.3 two-stage composition. A
+// query that no longer fits is refused with a *BudgetError wrapping
+// ErrBudgetExhausted (carrying total/spent/requested) before any mechanism
+// runs, and Dataset.Remaining/Spent expose the accounting. Under basic
+// composition (Theorem 2.1) the handle's releases jointly satisfy
+// (ε, δ)-DP at the budget. The composition caveat: accounting is
+// per-handle, not per-person across handles — two handles opened over the
+// same individuals' data each enforce only their own budget, and the
+// real-world guarantee is the sum. Budgeting across handles (or across
+// processes) is the caller's responsibility.
+//
+// Queries take a context.Context. Cancellation is threaded through the
+// long-running inner loops — the cell index's bulk-count worker pools, the
+// SVT repetition loop in GoodCenter, the RecConcave recursion, KCover's
+// rounds — so deadlines abort in-flight queries promptly without leaking
+// goroutines. A context already cancelled at query entry consumes no
+// budget; cancelling mid-flight does not refund the charge (noise may
+// already have been drawn). The handle is safe for concurrent queries: the
+// accountant and index cache are mutex-guarded, the index is built exactly
+// once, and the budget can never be over-spent by racing queries.
+//
 // # Scaling and index backends
 //
 // The pipeline's preprocessing runs on one of two interchangeable ball
@@ -69,25 +116,29 @@
 //
 // Two mechanisms make that regime visible:
 //
-//   - FindCluster and FindClusters pre-flight the parameters and return an
-//     error wrapping ErrInfeasible (with the concrete floor and which of
-//     t/ε/δ/β to adjust) when t sits below the feasibility floor —
-//     evaluated at the per-round budget for FindClusters, since k-cover
-//     splits (ε, δ) across rounds. The floor is a pure function of the
-//     parameters; the only data consulted is the duplicate structure, so a
-//     dataset with ≈ t duplicated points (which succeeds through the
-//     radius-zero path at any t) is never rejected. The uncapped paper
-//     profile (Options.Paper) is exempt: its infeasibility at practical
-//     scale is categorical and documented, not flaky. As a reference
-//     point, the defaults (ε = 1, δ = 10⁻⁶, |X| = 2¹⁶) put the floor near
-//     t ≈ 2000.
+//   - Every entry point pre-flights the parameters and returns an error
+//     wrapping ErrInfeasible (with the concrete floor and which of t/ε/δ/β
+//     to adjust) when the cluster target sits below the feasibility floor:
+//     FindCluster and FindClusters (evaluated at the per-round budget,
+//     since k-cover splits (ε, δ) across rounds), InteriorPoint (whose
+//     inner 1-cluster stage targets innerN/2 on the middle sub-database),
+//     and Aggregate (whose target αk/2 is checked on the evaluations just
+//     before the budget-spending aggregation). The floor is a pure function
+//     of the parameters; the only data consulted is the duplicate
+//     structure, so a dataset with ≈ t duplicated points (which succeeds
+//     through the radius-zero path at any t) is never rejected. The
+//     uncapped paper profile (Options.Paper) is exempt: its infeasibility
+//     at practical scale is categorical and documented, not flaky. As a
+//     reference point, the defaults (ε = 1, δ = 10⁻⁶, |X| = 2¹⁶) put the
+//     floor near t ≈ 2000.
 //   - Promise failures that do occur carry a typed diagnostic
 //     (internal/recconcave.PromiseError) whose message reports the promise
 //     Γ, the recursion depth, the per-level (ε, δ), and the t − 4Γ slack —
 //     distinguishing "no cluster exists" from "this regime is infeasible".
 //
 // See the examples/ directory for runnable programs (examples/scale runs
-// n = 200,000) and DESIGN.md for the system inventory, the
+// n = 200,000; examples/serving demonstrates the handle's amortization,
+// budget accounting and deadlines) and DESIGN.md for the system inventory, the
 // paper-vs-implementation substitutions, and the experiment index.
 // EXPERIMENTS.md reports paper-vs-measured results for every table and
 // figure.

@@ -1,13 +1,17 @@
 // Quickstart: privately locate a planted cluster in R^4.
 //
-// The program plants 600 of 1000 points inside a small ball, runs the
-// differentially private 1-cluster algorithm (ε = 2, δ = 0.05), and reports
-// how well the released ball matches the planted one.
+// The program plants 600 of 1000 points inside a small ball, opens a
+// Dataset handle over them, runs the differentially private 1-cluster
+// query (ε = 2, δ = 0.05), and reports how well the released ball matches
+// the planted one. The handle API shown here is the serving-oriented entry
+// point; for one-shot use, privcluster.FindCluster(points, t, opts) does
+// the same in a single call.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -47,8 +51,13 @@ func main() {
 		points = append(points, p)
 	}
 
-	cluster, err := privcluster.FindCluster(points, t, privcluster.Options{
-		Epsilon: 2, Delta: 0.05, Seed: 7, GridSize: 1 << 12,
+	// Open validates and quantizes once; queries reuse the prepared state.
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: 1 << 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := ds.FindCluster(context.Background(), t, privcluster.QueryOptions{
+		Epsilon: 2, Delta: 0.05, Seed: 7,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -66,4 +75,5 @@ func main() {
 	fmt.Printf("  released: radius %.4f (radius-stage estimate %.4f)\n", cluster.Radius, cluster.RawRadius)
 	fmt.Printf("  released ball holds %d of %d points (target t=%d)\n", cluster.Count(points), n, t)
 	fmt.Printf("  released center is %.4f from the planted center\n", centerDist)
+	fmt.Printf("  privacy spent so far: %v\n", ds.Spent())
 }

@@ -39,6 +39,14 @@ type Params struct {
 	// with αk/2 per Algorithm 4 Step 3; its Privacy is the (ε, δ) of the
 	// aggregator, which the subsampling lemma then amplifies).
 	Cluster core.Params
+	// Preflight, when non-nil, is invoked with the quantized evaluations
+	// and the cluster target t = αk/2 just before the budget-spending
+	// aggregation; a non-nil return aborts the run with that error. The
+	// public API uses it to route Aggregate through the same feasibility
+	// pre-flight as FindCluster. It runs after the f evaluations (which
+	// consume rng) and must not draw from the rng itself, so a passing
+	// check leaves the seeded release stream untouched.
+	Preflight func(evals []vec.Vector, t int) error
 }
 
 // Result is the outcome of one SA run.
@@ -101,6 +109,12 @@ func Run[R any](rng *rand.Rand, rows []R, f Analysis[R], prm Params) (Result, er
 			return Result{}, fmt.Errorf("agg: analysis returned dimension %d, grid says %d", y.Dim(), d)
 		}
 		evals[i] = prm.Cluster.Grid.Quantize(y)
+	}
+
+	if prm.Preflight != nil {
+		if err := prm.Preflight(evals, t); err != nil {
+			return Result{}, err
+		}
 	}
 
 	// Step 3: aggregate with the 1-cluster algorithm at t = αk/2.

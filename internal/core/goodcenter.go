@@ -118,6 +118,11 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 	reps := 0
 	offsets := make([]float64, kOut)
 	for rep := 0; rep < maxReps && !fired; rep++ {
+		// Each repetition is a full O(n·k) count pass, so a per-repetition
+		// context check keeps cancellation latency at one pass.
+		if err := prm.interrupted(); err != nil {
+			return CenterResult{}, err
+		}
 		reps++
 		for i := range offsets {
 			offsets[i] = noise.Uniform(rng, 0, boxSide)
@@ -179,6 +184,9 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 	// reallocated) across all axes.
 	axisHist := make(map[int64]int, len(rotated))
 	for axis := 0; axis < d; axis++ {
+		if err := prm.interrupted(); err != nil {
+			return CenterResult{}, err
+		}
 		clear(axisHist)
 		for _, x := range rotated {
 			axisHist[int64(math.Floor(x[axis]/pLen))]++

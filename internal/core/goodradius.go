@@ -47,7 +47,10 @@ func GoodRadius(rng *rand.Rand, ix geometry.BallIndex, prm Params) (RadiusResult
 	eps := prm.Privacy.Epsilon
 	gamma := prm.Gamma()
 
-	ls, err := ix.BuildLStep(t)
+	if err := prm.interrupted(); err != nil {
+		return RadiusResult{}, err
+	}
+	ls, err := ix.BuildLStep(prm.Ctx, t)
 	if err != nil {
 		return RadiusResult{}, err
 	}
@@ -69,6 +72,7 @@ func GoodRadius(rng *rand.Rand, ix geometry.BallIndex, prm Params) (RadiusResult
 		Alpha:   0.5,
 		Beta:    prm.Beta / 2,
 		Privacy: dp.Params{Epsilon: eps / 2, Delta: prm.Privacy.Delta},
+		Ctx:     prm.Ctx,
 	})
 	if err != nil {
 		// Enrich a promise failure with the concrete regime so callers can

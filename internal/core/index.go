@@ -28,6 +28,21 @@ const (
 // cheap. 4096 points ≈ 134 MB.
 const ExactIndexMaxN = 4096
 
+// ResolveIndexPolicy returns the concrete backend NewBallIndex builds for
+// the policy at dataset size n: IndexAuto resolves by the ExactIndexMaxN
+// cutover, explicit policies pass through. Exported so the serving layer's
+// index cache keys by exactly the rule NewBallIndex applies (one resolver,
+// no drift).
+func ResolveIndexPolicy(pol IndexPolicy, n int) IndexPolicy {
+	if pol == IndexAuto {
+		if n <= ExactIndexMaxN {
+			return IndexExact
+		}
+		return IndexScalable
+	}
+	return pol
+}
+
 // NewBallIndex builds the dataset index the pipeline's radius stage runs
 // on, honoring the policy. The grid supplies the scalable index's radius
 // ladder bounds (resolution floor RadiusUnit, domain diameter
@@ -35,17 +50,12 @@ const ExactIndexMaxN = 4096
 // GoodRadius already searches. workers bounds the scalable index's worker
 // pool (0 = GOMAXPROCS) — the same knob Profile.Workers feeds.
 func NewBallIndex(points []vec.Vector, grid geometry.Grid, pol IndexPolicy, workers int) (geometry.BallIndex, error) {
-	exact := false
 	switch pol {
-	case IndexAuto:
-		exact = len(points) <= ExactIndexMaxN
-	case IndexExact:
-		exact = true
-	case IndexScalable:
+	case IndexAuto, IndexExact, IndexScalable:
 	default:
 		return nil, fmt.Errorf("core: unknown index policy %d", pol)
 	}
-	if exact {
+	if ResolveIndexPolicy(pol, len(points)) == IndexExact {
 		return geometry.NewDistanceIndex(points)
 	}
 	return geometry.NewCellIndex(points, geometry.CellIndexOptions{

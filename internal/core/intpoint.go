@@ -38,6 +38,22 @@ type IntPointParams struct {
 	WidthFactor int
 }
 
+// IntPointMiddleSorted returns Algorithm 3 Step 1's sub-database — the
+// middle innerN entries of the (already sorted) values, as 1-D vectors.
+// Exported so the public API, which keeps a handle's 1-D values sorted,
+// can run the same feasibility pre-flight on exactly the points the
+// 1-cluster stage will see — before any budget is spent — without paying
+// a fresh copy and sort per query.
+func IntPointMiddleSorted(sorted []float64, innerN int) []vec.Vector {
+	lo := (len(sorted) - innerN) / 2
+	middle := sorted[lo : lo+innerN]
+	pts := make([]vec.Vector, len(middle))
+	for i, v := range middle {
+		pts[i] = vec.Vector{v}
+	}
+	return pts
+}
+
 // IntPoint implements Algorithm 3 (Section 5): it solves the interior-point
 // problem on X via any solver for the 1-cluster problem, the reduction that
 // transfers the Bun et al. lower bound (n = Ω(log*|X|)) to 1-cluster.
@@ -61,15 +77,11 @@ func IntPoint(rng *rand.Rand, values []float64, prm IntPointParams) (IntPointRes
 		return IntPointResult{}, err
 	}
 
-	// Step 1: D = the middle n entries of sorted S.
+	// Step 1: D = the middle n entries of sorted S. The sorted copy is kept
+	// for Step 4's quality counts.
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
-	lo := (m - prm.InnerN) / 2
-	middle := sorted[lo : lo+prm.InnerN]
-	pts := make([]vec.Vector, len(middle))
-	for i, v := range middle {
-		pts[i] = vec.Vector{v}
-	}
+	pts := IntPointMiddleSorted(sorted, prm.InnerN)
 
 	// Step 2: run the 1-cluster algorithm on D.
 	res, err := OneCluster(rng, pts, prm.Cluster)
@@ -112,6 +124,7 @@ func IntPoint(rng *rand.Rand, values []float64, prm IntPointParams) (IntPointRes
 		Alpha:   0.5,
 		Beta:    prm.Beta,
 		Privacy: prm.Privacy,
+		Ctx:     prm.Cluster.Ctx,
 	})
 	if err != nil {
 		return IntPointResult{}, fmt.Errorf("core: IntPoint selection: %w", err)

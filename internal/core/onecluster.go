@@ -36,8 +36,25 @@ func OneCluster(rng *rand.Rand, points []vec.Vector, prm Params) (ClusterResult,
 	if err := prm.Validate(len(points)); err != nil {
 		return ClusterResult{}, err
 	}
+	if err := prm.interrupted(); err != nil {
+		return ClusterResult{}, err
+	}
 	ix, err := NewBallIndex(points, prm.Grid, prm.Index, prm.Profile.Workers)
 	if err != nil {
+		return ClusterResult{}, err
+	}
+	return oneClusterIndexed(rng, ix, prm)
+}
+
+// OneClusterIndexed is OneCluster on a prebuilt ball index — the seam a
+// serving layer uses to amortize the (dominant) index construction across
+// repeated queries on the same dataset. The index must have been built by
+// NewBallIndex over the same grid and worker budget prm describes; since
+// index construction draws no randomness, a prebuilt index releases
+// bit-identical seeded results to OneCluster on the same points.
+func OneClusterIndexed(rng *rand.Rand, ix geometry.BallIndex, prm Params) (ClusterResult, error) {
+	prm.setDefaults()
+	if err := prm.Validate(ix.N()); err != nil {
 		return ClusterResult{}, err
 	}
 	return oneClusterIndexed(rng, ix, prm)
@@ -51,6 +68,9 @@ func oneClusterIndexed(rng *rand.Rand, ix geometry.BallIndex, prm Params) (Clust
 	rad, err := GoodRadius(rng, ix, half)
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("core: radius stage: %w", err)
+	}
+	if err := prm.interrupted(); err != nil {
+		return ClusterResult{}, err
 	}
 	cen, err := GoodCenter(rng, ix.Points(), rad.Radius, half)
 	if err != nil {
@@ -73,6 +93,19 @@ func oneClusterIndexed(rng *rand.Rand, ix geometry.BallIndex, prm Params) (Clust
 // rounds (Theorem 2.1). Rounds that fail (e.g. too few points remain) are
 // skipped; the balls found so far are returned.
 func KCover(rng *rand.Rand, points []vec.Vector, k int, prm Params) ([]geometry.Ball, error) {
+	return kCover(rng, points, nil, k, prm)
+}
+
+// KCoverIndexed is KCover with a prebuilt index over the full point set:
+// round 1 runs on it directly (skipping the dominant preprocessing cost);
+// later rounds operate on the not-yet-covered subsets, for which the index
+// is rebuilt exactly as KCover would. Results are bit-identical to KCover
+// under the same seed, for the same reason OneClusterIndexed's are.
+func KCoverIndexed(rng *rand.Rand, ix geometry.BallIndex, k int, prm Params) ([]geometry.Ball, error) {
+	return kCover(rng, ix.Points(), ix, k, prm)
+}
+
+func kCover(rng *rand.Rand, points []vec.Vector, full geometry.BallIndex, k int, prm Params) ([]geometry.Ball, error) {
 	prm.setDefaults()
 	if k < 1 {
 		return nil, fmt.Errorf("core: KCover needs k ≥ 1, got %d", k)
@@ -86,11 +119,25 @@ func KCover(rng *rand.Rand, points []vec.Vector, k int, prm Params) ([]geometry.
 	remaining := points
 	var balls []geometry.Ball
 	for i := 0; i < k; i++ {
+		if err := prm.interrupted(); err != nil {
+			return nil, err
+		}
 		if len(remaining) < round.T {
 			break
 		}
-		res, err := OneCluster(rng, remaining, round)
+		var res ClusterResult
+		var err error
+		if i == 0 && full != nil {
+			res, err = OneClusterIndexed(rng, full, round)
+		} else {
+			res, err = OneCluster(rng, remaining, round)
+		}
 		if err != nil {
+			if ctxErr := prm.interrupted(); ctxErr != nil {
+				// Cancellation must not be mistaken for a failed round: it
+				// aborts the whole cover, not just this round's share.
+				return nil, ctxErr
+			}
 			// A failed round spends its budget share without producing a
 			// ball; later rounds may still succeed on the same points.
 			continue

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -137,6 +138,32 @@ type Params struct {
 	// Index selects the ball-index backend (zero value IndexAuto: exact up
 	// to ExactIndexMaxN points, scalable beyond).
 	Index IndexPolicy
+	// Ctx, when non-nil, threads cancellation through the pipeline's
+	// long-running inner loops: the index's bulk-count worker pools, the
+	// SVT repetition loop of GoodCenter, the RecConcave recursion, and
+	// KCover's rounds all check it and abort with ctx.Err(). nil means
+	// "never cancel" — every pre-existing caller keeps its behavior.
+	// Cancellation is a serving concern, not a privacy one: an aborted run
+	// may already have drawn noise, so callers doing budget accounting must
+	// treat it as spent.
+	Ctx context.Context
+}
+
+// Context returns the params' context, normalizing nil to Background.
+func (p *Params) Context() context.Context {
+	if p.Ctx == nil {
+		return context.Background()
+	}
+	return p.Ctx
+}
+
+// interrupted returns ctx.Err() of a non-nil Ctx; the pipeline's
+// cancellation checkpoints are all `if err := prm.interrupted(); ...`.
+func (p *Params) interrupted() error {
+	if p.Ctx == nil {
+		return nil
+	}
+	return p.Ctx.Err()
 }
 
 func (p *Params) setDefaults() {

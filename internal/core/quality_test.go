@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -38,7 +39,7 @@ func TestRadiusQualityQuasiConcave(t *testing.T) {
 			t.Fatal(err)
 		}
 		tt := 2 + rng.Intn(n-2)
-		ls, err := ix.BuildLStep(tt)
+		ls, err := ix.BuildLStep(context.Background(), tt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func TestRadiusQualityValuesMatchDefinition(t *testing.T) {
 		t.Fatal(err)
 	}
 	const tt = 40
-	ls, err := ix.BuildLStep(tt)
+	ls, err := ix.BuildLStep(context.Background(), tt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestRadiusQualityPromiseHolds(t *testing.T) {
 		}
 		const tt = 120
 		gamma := float64(tt) / 6
-		ls, err := ix.BuildLStep(tt)
+		ls, err := ix.BuildLStep(context.Background(), tt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -211,7 +212,7 @@ func ablationRecConcaveVsSVT(seed int64, quick bool) *bench.Table {
 
 		// SVT noisy binary search over the radius grid: find the smallest
 		// grid radius with L(r) ≥ t − slack. Each comparison gets ε/levels.
-		ls2, err := ix.BuildLStep(t)
+		ls2, err := ix.BuildLStep(context.Background(), t)
 		if err != nil {
 			panic(err)
 		}

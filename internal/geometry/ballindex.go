@@ -1,6 +1,10 @@
 package geometry
 
-import "privcluster/internal/vec"
+import (
+	"context"
+
+	"privcluster/internal/vec"
+)
 
 // BallIndex is the ball-counting abstraction the 1-cluster pipeline runs
 // on. It answers the queries of Section 3 — B_r(x_i) counts around input
@@ -44,8 +48,11 @@ type BallIndex interface {
 	// ball count at radius r.
 	MaxCountWithin(r float64) int
 	// BuildLStep materializes the capped-average score L(·, S) of
-	// Section 3.1 as a step function of the radius.
-	BuildLStep(t int) (*LStep, error)
+	// Section 3.1 as a step function of the radius. It is the dominant
+	// per-query preprocessing cost at scale, so it honors ctx: a cancelled
+	// context aborts the sweep promptly and returns ctx.Err(). A nil ctx
+	// means "never cancel".
+	BuildLStep(ctx context.Context, t int) (*LStep, error)
 	// LValue computes L(r, S) directly at a single radius.
 	LValue(r float64, t int) (float64, error)
 }

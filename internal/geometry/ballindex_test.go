@@ -8,6 +8,7 @@ package geometry_test
 // random sets and on the clustered workloads the pipeline actually serves.
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -82,7 +83,7 @@ func TestCellIndexValidation(t *testing.T) {
 	if _, err := ix.LValue(0.1, 2); err == nil {
 		t.Error("LValue t > n accepted")
 	}
-	if _, err := ix.BuildLStep(0); err == nil {
+	if _, err := ix.BuildLStep(context.Background(), 0); err == nil {
 		t.Error("BuildLStep t = 0 accepted")
 	}
 }
@@ -199,7 +200,7 @@ func TestCellIndexBuildLStepBounds(t *testing.T) {
 	pts, grid := clusteredInstance(t, rng, 400, 2)
 	exact, cell := bothIndexes(t, pts, grid)
 	for _, tt := range []int{2, 40, 240, 400} {
-		ls, err := cell.BuildLStep(tt)
+		ls, err := cell.BuildLStep(context.Background(), tt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -251,7 +252,7 @@ func TestCellIndexDuplicates(t *testing.T) {
 	if r != 0 || !pts[c].Equal(vec.Of(0.5, 0.5)) {
 		t.Fatalf("TwoApprox on duplicates = (%d, %v), want a radius-0 duplicate ball", c, r)
 	}
-	ls, err := ix.BuildLStep(20)
+	ls, err := ix.BuildLStep(context.Background(), 20)
 	if err != nil {
 		t.Fatal(err)
 	}

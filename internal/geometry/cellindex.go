@@ -1,6 +1,7 @@
 package geometry
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -495,11 +496,17 @@ func boxBoxDistSq(a, b []int64, side float64) (minSq, maxSq float64) {
 // pair rather than per point pair — a large win exactly where the data is
 // dense. Source cells fan out over the worker pool; each cell's points are
 // written by exactly one worker.
-func (ix *CellIndex) countAll(lv *cellLevel, r float64, limit int32, exactBoundary bool) []int32 {
+//
+// A cancelled ctx aborts the pass: the feeder stops handing out chunks,
+// every worker skips its remaining work (so the pool always drains and
+// exits — no leaked goroutines), and the call returns ctx.Err() instead of
+// the partial counts.
+func (ix *CellIndex) countAll(ctx context.Context, lv *cellLevel, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	ctx = ctxOrBackground(ctx)
 	n := len(ix.points)
 	out := make([]int32, n)
 	if r < 0 || limit <= 0 {
-		return out
+		return out, nil
 	}
 	rsq := r * r
 	side := lv.side
@@ -517,6 +524,9 @@ func (ix *CellIndex) countAll(lv *cellLevel, r float64, limit int32, exactBounda
 			defer wg.Done()
 			sc := newCellScratch(ix.dim)
 			for rg := range ranges {
+				if ctx.Err() != nil {
+					continue // drain the channel so the feeder never blocks
+				}
 				for src := rg[0]; src < rg[1]; src++ {
 					srcB := &lv.buckets[src]
 					// The block around the source cell's box covers the
@@ -566,7 +576,7 @@ func (ix *CellIndex) countAll(lv *cellLevel, r float64, limit int32, exactBounda
 			}
 		}()
 	}
-	for lo := 0; lo < nb; lo += chunk {
+	for lo := 0; lo < nb && ctx.Err() == nil; lo += chunk {
 		hi := lo + chunk
 		if hi > nb {
 			hi = nb
@@ -575,7 +585,10 @@ func (ix *CellIndex) countAll(lv *cellLevel, r float64, limit int32, exactBounda
 	}
 	close(ranges)
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // CountWithin returns B_r(x_i) exactly.
@@ -653,7 +666,9 @@ func (ix *CellIndex) TwoApprox(t int) (center int, radius float64, err error) {
 		if c, ok := memo[j]; ok {
 			return c
 		}
-		c := ix.countAll(ix.level(j), ix.levelRadius(j), int32(t), true)
+		// Background context: point/ladder queries are not cancellable —
+		// countAll never errors under it.
+		c, _ := ix.countAll(context.Background(), ix.level(j), ix.levelRadius(j), int32(t), true)
 		memo[j] = c
 		return c
 	}
@@ -688,15 +703,15 @@ func maxInt32(xs []int32) int32 {
 
 // MaxCountWithin returns max_i B_r(x_i) exactly.
 func (ix *CellIndex) MaxCountWithin(r float64) int {
-	counts := ix.countAll(ix.level(ix.levelFor(r)), r, math.MaxInt32, true)
+	counts, _ := ix.countAll(context.Background(), ix.level(ix.levelFor(r)), r, math.MaxInt32, true)
 	return int(maxInt32(counts))
 }
 
 // lCounts returns the capped estimated counts the L estimators are built
 // from (center rule — see the exactness contract in the type doc).
-func (ix *CellIndex) lCounts(r float64, t int) []int32 {
+func (ix *CellIndex) lCounts(ctx context.Context, r float64, t int) ([]int32, error) {
 	j := ix.levelFor(r)
-	return ix.countAll(ix.level(j), r, int32(t), false)
+	return ix.countAll(ctx, ix.level(j), r, int32(t), false)
 }
 
 // dupLValue is L at radius 0 (and below the resolution floor): the exact
@@ -721,7 +736,11 @@ func (ix *CellIndex) LValue(r float64, t int) (float64, error) {
 	if r < ix.opts.MinRadius {
 		return ix.dupLValue(t), nil
 	}
-	return topTAvg(ix.lCounts(r, t), t), nil
+	counts, err := ix.lCounts(context.Background(), r, t)
+	if err != nil {
+		return 0, err
+	}
+	return topTAvg(counts, t), nil
 }
 
 // topTAvg returns the average of the t largest values (each clamped to
@@ -757,8 +776,10 @@ func topTAvg(counts []int32, t int) float64 {
 // as soon as L saturates at t — guaranteed at the ladder top, which covers
 // the data diameter plus the center-rule slack. Runtime
 // O(n·(2·CellsPerRadius+2)^d) per ladder level over Workers cores; memory
-// O(n) per transient level.
-func (ix *CellIndex) BuildLStep(t int) (*LStep, error) {
+// O(n) per transient level. ctx cancellation aborts between (and inside)
+// ladder levels — this sweep is the dominant per-query cost at scale.
+func (ix *CellIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
+	ctx = ctxOrBackground(ctx)
 	n := len(ix.points)
 	if t < 1 || t > n {
 		return nil, fmt.Errorf("geometry: BuildLStep t=%d out of [1,%d]", t, n)
@@ -780,7 +801,11 @@ func (ix *CellIndex) BuildLStep(t int) (*LStep, error) {
 	// rule, and a pointwise max of sensitivity-2 values has sensitivity
 	// ≤ 2.
 	for j := 0; j <= ix.top && prev < float64(t); j++ {
-		v := topTAvg(ix.lCounts(ix.levelRadius(j), t), t)
+		counts, err := ix.lCounts(ctx, ix.levelRadius(j), t)
+		if err != nil {
+			return nil, err
+		}
+		v := topTAvg(counts, t)
 		if v > prev {
 			l.Breaks = append(l.Breaks, ix.levelRadius(j))
 			l.Vals = append(l.Vals, v)

@@ -1,6 +1,7 @@
 package geometry
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestBuildLStepTEqualsN(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ls, err := ix.BuildLStep(3)
+	ls, err := ix.BuildLStep(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestBuildLStepTEqualsN(t *testing.T) {
 func TestLStepEvalBetweenBreaks(t *testing.T) {
 	pts := []vec.Vector{vec.Of(0), vec.Of(0.4), vec.Of(0.9)}
 	ix, _ := NewDistanceIndex(pts)
-	ls, err := ix.BuildLStep(2)
+	ls, err := ix.BuildLStep(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}

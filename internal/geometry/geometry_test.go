@@ -1,6 +1,7 @@
 package geometry
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -240,7 +241,7 @@ func TestBuildLStepMatchesLValue(t *testing.T) {
 			t.Fatal(err)
 		}
 		tt := 2 + rng.Intn(n/2)
-		ls, err := ix.BuildLStep(tt)
+		ls, err := ix.BuildLStep(context.Background(), tt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -270,7 +271,7 @@ func TestBuildLStepDuplicatePoints(t *testing.T) {
 		pts[i] = vec.Of(0.5, 0.5)
 	}
 	ix, _ := NewDistanceIndex(pts)
-	ls, err := ix.BuildLStep(10)
+	ls, err := ix.BuildLStep(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestBuildLStepMonotone(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	pts := clusterWithNoise(rng, 80, 2, 0.5, 0.02)
 	ix, _ := NewDistanceIndex(pts)
-	ls, err := ix.BuildLStep(20)
+	ls, err := ix.BuildLStep(context.Background(), 20)
 	if err != nil {
 		t.Fatal(err)
 	}

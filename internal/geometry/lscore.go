@@ -1,9 +1,19 @@
 package geometry
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
+
+// ctxOrBackground normalizes the "nil means never cancel" contract the
+// BallIndex implementations share.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // LStep is the score L(r, S) of Section 3.1 materialized as a step function
 // of the radius r:
@@ -123,8 +133,10 @@ func (f *topTFenwick) topTSum() float64 {
 // BuildLStep constructs the L(·, S) step function by sweeping the pairwise
 // distances in ascending order: at each distance d_ij, the balls around
 // point i and point j each gain one member, and L changes only there.
-// Runtime O(n² log n); memory O(n²).
-func (ix *DistanceIndex) BuildLStep(t int) (*LStep, error) {
+// Runtime O(n² log n); memory O(n²). The Θ(n²) event build checks ctx once
+// per source point, so cancellation aborts within one O(n) row.
+func (ix *DistanceIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
+	ctx = ctxOrBackground(ctx)
 	n := ix.N()
 	if t < 1 || t > n {
 		return nil, fmt.Errorf("geometry: BuildLStep t=%d out of [1,%d]", t, n)
@@ -135,11 +147,17 @@ func (ix *DistanceIndex) BuildLStep(t int) (*LStep, error) {
 	}
 	events := make([]event, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < n; j++ {
 			events = append(events, event{ix.points[i].Dist(ix.points[j]), i, j})
 		}
 	}
 	sort.Slice(events, func(a, b int) bool { return events[a].d < events[b].d })
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	fen := newTopTFenwick(n, t)
 	l := &LStep{T: t}

@@ -1,6 +1,7 @@
 package recconcave
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,6 +20,11 @@ type Options struct {
 	Beta float64
 	// Privacy is the total (ε, δ) budget for the entire recursion.
 	Privacy dp.Params
+	// Ctx, when non-nil, is checked at every recursion level: a cancelled
+	// context aborts the solve with ctx.Err(). Noise drawn before the
+	// cancellation point has been consumed from the rng stream, so callers
+	// should treat an aborted solve as having spent its budget.
+	Ctx context.Context
 	// BaseSize is the domain size at which the recursion bottoms out into a
 	// direct exponential-mechanism selection. Defaults to 64, which makes
 	// the recursion depth exactly 2 for every domain representable in an
@@ -193,6 +199,11 @@ func Solve(rng *rand.Rand, q *StepFn, promise float64, opt Options) (int64, erro
 
 // solve is one recursion level. level is the per-level privacy budget.
 func solve(rng *rand.Rand, q *StepFn, promise, alpha float64, level dp.Params, beta float64, opt Options) (int64, error) {
+	if opt.Ctx != nil {
+		if err := opt.Ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
 	n := q.N()
 	if n <= opt.BaseSize {
 		return baseCase(rng, q, level.Epsilon)

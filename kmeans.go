@@ -44,7 +44,7 @@ func KMeans(points []Point, k int, o KMeansOptions) (KMeansResult, error) {
 	if len(points) == 0 {
 		return KMeansResult{}, ErrNoPoints
 	}
-	pol, err := oo.indexPolicy()
+	pol, err := oo.IndexPolicy.core()
 	if err != nil {
 		return KMeansResult{}, err
 	}

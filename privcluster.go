@@ -1,9 +1,9 @@
 package privcluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 
@@ -119,17 +119,21 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) rng() *rand.Rand {
-	seed := o.Seed
-	if seed == 0 && !o.ZeroSeed {
+// seededRNG implements the shared seed semantics of Options and
+// QueryOptions: 0 draws from the clock unless zeroSeed makes it literal.
+func seededRNG(seed int64, zeroSeed bool) *rand.Rand {
+	if seed == 0 && !zeroSeed {
 		seed = time.Now().UnixNano()
 	}
 	return rand.New(rand.NewSource(seed))
 }
 
-// indexPolicy maps the public policy onto the core one.
-func (o Options) indexPolicy() (core.IndexPolicy, error) {
-	switch o.IndexPolicy {
+func (o Options) rng() *rand.Rand { return seededRNG(o.Seed, o.ZeroSeed) }
+
+// core maps the public index policy onto the core one, rejecting unknown
+// values.
+func (p IndexPolicy) core() (core.IndexPolicy, error) {
+	switch p {
 	case IndexAuto:
 		return core.IndexAuto, nil
 	case IndexExact:
@@ -137,24 +141,9 @@ func (o Options) indexPolicy() (core.IndexPolicy, error) {
 	case IndexScalable:
 		return core.IndexScalable, nil
 	default:
-		return 0, fmt.Errorf("privcluster: unknown index policy %d", o.IndexPolicy)
+		return 0, fmt.Errorf("privcluster: unknown index policy %d", p)
 	}
 }
-
-// span returns the domain width Max−Min, defaulting to the unit interval.
-// Options with Max ≤ Min (other than both zero) are rejected in prepare.
-func (o Options) span() float64 {
-	if o.Min == 0 && o.Max == 0 {
-		return 1
-	}
-	return o.Max - o.Min
-}
-
-// toUnit maps a raw coordinate into the unit interval.
-func (o Options) toUnit(x float64) float64 { return (x - o.Min) / o.span() }
-
-// fromUnit maps a unit-cube coordinate back to the original domain.
-func (o Options) fromUnit(x float64) float64 { return o.Min + x*o.span() }
 
 func (o Options) profile() core.Profile {
 	p := core.DefaultProfile()
@@ -166,13 +155,30 @@ func (o Options) profile() core.Profile {
 	return p
 }
 
-// packingPolicy validates the public packing knob early (the zero value is
-// PackingAuto, so existing callers are unaffected).
-func (o Options) packingPolicy() error {
-	if o.BoxPacking < PackingAuto || o.BoxPacking > PackingLegacy {
-		return fmt.Errorf("privcluster: unknown box packing %d", o.BoxPacking)
+// datasetOptions splits Options into its handle half: everything that is a
+// property of the prepared data rather than of one query.
+func (o Options) datasetOptions() DatasetOptions {
+	return DatasetOptions{
+		GridSize:    o.GridSize,
+		Min:         o.Min,
+		Max:         o.Max,
+		IndexPolicy: o.IndexPolicy,
+		Workers:     o.Workers,
+		BoxPacking:  o.BoxPacking,
+		Paper:       o.Paper,
+		// No Budget: the one-shot free functions never refuse a query.
 	}
-	return nil
+}
+
+// queryOptions splits Options into its per-query half.
+func (o Options) queryOptions() QueryOptions {
+	return QueryOptions{
+		Epsilon:  o.Epsilon,
+		Delta:    o.Delta,
+		Beta:     o.Beta,
+		Seed:     o.Seed,
+		ZeroSeed: o.ZeroSeed,
+	}
 }
 
 // Cluster is a released ball.
@@ -217,122 +223,33 @@ var ErrNoPoints = errors.New("privcluster: no input points")
 // the privacy disclaimer in the package documentation.)
 var ErrInfeasible = errors.New("privcluster: t is infeasibly small for the privacy regime")
 
-// prepare converts, rescales (Remark 3.3) and quantizes the input,
-// assembles core parameters, and pre-flights feasibility at the per-round
-// budget (rounds > 1 for FindClusters, whose KCover splits (ε, δ) across
-// rounds — each round must be feasible on its share, not on the total). It
-// applies the option defaults exactly once and hands the defaulted Options
-// back so callers never re-default.
-func prepare(points []Point, t, rounds int, o Options) ([]vec.Vector, core.Params, Options, error) {
-	o = o.withDefaults()
-	if len(points) == 0 {
-		return nil, core.Params{}, o, ErrNoPoints
-	}
-	if (o.Min != 0 || o.Max != 0) && o.Max <= o.Min {
-		return nil, core.Params{}, o, fmt.Errorf("privcluster: domain bounds Max=%v ≤ Min=%v", o.Max, o.Min)
-	}
-	pol, err := o.indexPolicy()
-	if err != nil {
-		return nil, core.Params{}, o, err
-	}
-	if err := o.packingPolicy(); err != nil {
-		return nil, core.Params{}, o, err
-	}
-	d := len(points[0])
-	grid, err := geometry.NewGrid(o.GridSize, d)
-	if err != nil {
-		return nil, core.Params{}, o, err
-	}
-	vs := make([]vec.Vector, len(points))
-	for i, p := range points {
-		if len(p) != d {
-			return nil, core.Params{}, o, fmt.Errorf("privcluster: point %d has dimension %d, want %d", i, len(p), d)
-		}
-		u := make(vec.Vector, d)
-		for j, x := range p {
-			u[j] = o.toUnit(x)
-		}
-		vs[i] = grid.Quantize(u)
-	}
-	prm := core.Params{
-		T:       t,
-		Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
-		Beta:    o.Beta,
-		Grid:    grid,
-		Profile: o.profile(),
-		Index:   pol,
-	}
-	// Pre-flight feasibility: below the floor the RecConcave promise Γ and
-	// the stability release thresholds — all scaling as (1/ε)·log(1/δ) —
-	// are unreachable, and the run would fail after spending its budget
-	// with an opaque promise violation (the flaky t ≈ Γ regime). The one
-	// escape is a duplicate-dominated dataset, whose radius-zero path
-	// bypasses the search (core.ZeroClusterPlausible).
-	if rounds < 1 {
-		rounds = 1
-	}
-	check := prm
-	check.Privacy = check.Privacy.Split(rounds)
-	if floor := check.MinFeasibleT(); float64(t) < floor && !core.ZeroClusterPlausible(vs, check) {
-		f := int(math.Ceil(floor))
-		budget := fmt.Sprintf("ε=%g, δ=%g", o.Epsilon, o.Delta)
-		if rounds > 1 {
-			budget = fmt.Sprintf("per-round ε=%g, δ=%g (budget split across %d rounds)",
-				o.Epsilon/float64(rounds), o.Delta/float64(rounds), rounds)
-		}
-		return nil, core.Params{}, o, fmt.Errorf(
-			"%w: t=%d is below the feasible floor ≈%d for %s, β=%g, |X|=%d — raise t to ≥ %d, raise ε, or relax δ/β",
-			ErrInfeasible, t, f, budget, o.Beta, o.GridSize, f)
-	}
-	return vs, prm, o, nil
-}
-
 // FindCluster solves the 1-cluster problem (Theorem 3.2): it privately
 // locates a ball that, with probability ≥ 1−β, contains at least t − Δ of
 // the input points and whose radius is within O(√log n) of the smallest
 // ball containing t points. Points are snapped onto the |X|-per-axis grid.
+//
+// It is a thin wrapper over the Dataset handle — Open followed by one
+// query on a budget-less handle — so every call re-prepares the points and
+// rebuilds the index. A serving process issuing repeated queries on the
+// same data should Open a handle once instead.
 func FindCluster(points []Point, t int, o Options) (Cluster, error) {
-	vs, prm, oo, err := prepare(points, t, 1, o)
+	ds, err := Open(points, o.datasetOptions())
 	if err != nil {
 		return Cluster{}, err
 	}
-	res, err := core.OneCluster(oo.rng(), vs, prm)
-	if err != nil {
-		return Cluster{}, err
-	}
-	center := make(Point, len(res.Ball.Center))
-	for j, x := range res.Ball.Center {
-		center[j] = oo.fromUnit(x)
-	}
-	return Cluster{
-		Center:     center,
-		Radius:     res.Ball.Radius * oo.span(),
-		RawRadius:  res.RawRadius * oo.span(),
-		ZeroRadius: res.ZeroCluster,
-	}, nil
+	return ds.FindCluster(context.Background(), t, o.queryOptions())
 }
 
 // FindClusters iterates FindCluster k times (Observation 3.5), each round
 // on the not-yet-covered points, splitting the privacy budget across
-// rounds. It returns the balls found (possibly fewer than k).
+// rounds. It returns the balls found (possibly fewer than k). Like
+// FindCluster, it is a single-use-handle wrapper over Dataset.FindClusters.
 func FindClusters(points []Point, k, t int, o Options) ([]Cluster, error) {
-	vs, prm, oo, err := prepare(points, t, k, o)
+	ds, err := Open(points, o.datasetOptions())
 	if err != nil {
 		return nil, err
 	}
-	balls, err := core.KCover(oo.rng(), vs, k, prm)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Cluster, len(balls))
-	for i, b := range balls {
-		center := make(Point, len(b.Center))
-		for j, x := range b.Center {
-			center[j] = oo.fromUnit(x)
-		}
-		out[i] = Cluster{Center: center, Radius: b.Radius * oo.span()}
-	}
-	return out, nil
+	return ds.FindClusters(context.Background(), k, t, o.queryOptions())
 }
 
 // InteriorPoint privately returns a value between min(values) and
@@ -341,37 +258,28 @@ func FindClusters(points []Point, k, t int, o Options) ([]Cluster, error) {
 // innerN is the size of the middle sub-database handed to the 1-cluster
 // stage; the (len(values)−innerN)/2 extreme values on each side provide the
 // selection quality margin.
+//
+// It is a single-use-handle wrapper over Dataset.InteriorPoint, and — like
+// the other handle queries — pre-flights the inner stage's feasibility,
+// returning ErrInfeasible instead of a late promise failure when
+// innerN/2 sits below the floor for the privacy regime.
 func InteriorPoint(values []float64, innerN int, o Options) (float64, error) {
-	o = o.withDefaults()
 	if len(values) == 0 {
 		return 0, ErrNoPoints
 	}
-	pol, err := o.indexPolicy()
+	pts := make([]Point, len(values))
+	for i, v := range values {
+		pts[i] = Point{v}
+	}
+	do := o.datasetOptions()
+	// The documented contract is values in [0, 1]; the legacy function
+	// never honored Min/Max, so the wrapper pins the unit domain.
+	do.Min, do.Max = 0, 0
+	ds, err := Open(pts, do)
 	if err != nil {
 		return 0, err
 	}
-	grid, err := geometry.NewGrid(o.GridSize, 1)
-	if err != nil {
-		return 0, err
-	}
-	prm := core.IntPointParams{
-		InnerN: innerN,
-		Cluster: core.Params{
-			T:       innerN / 2,
-			Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
-			Beta:    o.Beta,
-			Grid:    grid,
-			Profile: o.profile(),
-			Index:   pol,
-		},
-		Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
-		Beta:    o.Beta,
-	}
-	res, err := core.IntPoint(o.rng(), values, prm)
-	if err != nil {
-		return 0, err
-	}
-	return res.Point, nil
+	return ds.InteriorPoint(context.Background(), innerN, o.queryOptions())
 }
 
 // Aggregate compiles the non-private analysis f into a private one via
@@ -381,9 +289,21 @@ func InteriorPoint(values []float64, innerN int, o Options) (float64, error) {
 // (m, r, alpha)-stable on the rows (Definition 6.1), the returned point is,
 // with probability ≥ 1−β, an (m, O(r·√log n), alpha/8)-stable point — a
 // private stand-in for f(rows).
+//
+// Aggregate cannot ride a Dataset handle: the aggregated points are the f
+// evaluations, which exist only mid-run (and are drawn with the same rng
+// stream the aggregation continues with). It shares the handle's
+// validation path instead — parameters are checked up front, and the
+// 1-cluster stage's feasibility is pre-flighted on the evaluations (via
+// the same check as FindCluster) right before the budget-spending
+// aggregation, returning ErrInfeasible instead of a late promise failure.
 func Aggregate[R any](rows []R, f func([]R) Point, dim, m int, alpha float64, o Options) (Point, error) {
 	o = o.withDefaults()
-	pol, err := o.indexPolicy()
+	q := o.queryOptions().withDefaults()
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	pol, err := o.IndexPolicy.core()
 	if err != nil {
 		return nil, err
 	}
@@ -391,15 +311,21 @@ func Aggregate[R any](rows []R, f func([]R) Point, dim, m int, alpha float64, o 
 	if err != nil {
 		return nil, err
 	}
+	cprm := core.Params{
+		Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
+		Beta:    o.Beta,
+		Grid:    grid,
+		Profile: o.profile(),
+		Index:   pol,
+	}
 	prm := agg.Params{
-		M:     m,
-		Alpha: alpha,
-		Cluster: core.Params{
-			Privacy: dp.Params{Epsilon: o.Epsilon, Delta: o.Delta},
-			Beta:    o.Beta,
-			Grid:    grid,
-			Profile: o.profile(),
-			Index:   pol,
+		M:       m,
+		Alpha:   alpha,
+		Cluster: cprm,
+		Preflight: func(evals []vec.Vector, t int) error {
+			check := cprm
+			check.T = t
+			return checkFeasible(evals, check, 1, q, o.GridSize)
 		},
 	}
 	res, err := agg.Run(o.rng(), rows, func(rs []R) vec.Vector { return vec.Vector(f(rs)) }, prm)
