@@ -1,0 +1,90 @@
+package privcluster
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Query is one independent query in a batch (see Dataset.FindClustersBatch):
+// the 1-cluster query at target T (K ≤ 1), or the K-ball covering query
+// (K > 1), at the (ε, δ) cost, β and seed of Opts.
+type Query struct {
+	T    int
+	K    int
+	Opts QueryOptions
+}
+
+// BatchResult is the outcome of one batch query: the released clusters
+// (exactly one for K ≤ 1) or the error the equivalent sequential call would
+// have returned — including a *BudgetError refusal when the query's cost no
+// longer fit the handle's budget.
+type BatchResult struct {
+	Clusters []Cluster
+	Err      error
+}
+
+// FindClustersBatch runs independent queries concurrently against the
+// handle's shared cached index, under the handle's single budget — the
+// amortization examples/serving performs by hand, packaged: the first
+// query to need the (possibly sharded) index builds it once, and every
+// other query blocks on that build and then runs purely on cached state.
+// The number of in-flight queries is bounded by the handle's Workers
+// option (GOMAXPROCS when 0). Note the bound is per query, not per
+// goroutine: each in-flight query still runs its own internal worker
+// pools, so cold batches (distinct uncached t values) briefly
+// oversubscribe cores; warm queries are cheap enough that it does not
+// matter. Callers who care should set Workers explicitly.
+//
+// Results are returned in input order. Each query is validated, charged
+// and seeded exactly as the equivalent sequential call, so a batch whose
+// queries carry their own seeds releases bit-identical clusters to issuing
+// them one at a time. The only scheduling-dependent outcome is budget
+// admission order: when the remaining budget cannot cover the whole batch,
+// which queries are refused with ErrBudgetExhausted depends on timing —
+// callers needing deterministic admission should issue queries
+// sequentially. ctx applies to every query; a nil ctx means Background.
+func (ds *Dataset) FindClustersBatch(ctx context.Context, queries []Query) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	workers := ds.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				q := queries[i]
+				if q.K > 1 {
+					cs, err := ds.FindClusters(ctx, q.K, q.T, q.Opts)
+					out[i] = BatchResult{Clusters: cs, Err: err}
+					continue
+				}
+				c, err := ds.FindCluster(ctx, q.T, q.Opts)
+				if err != nil {
+					out[i] = BatchResult{Err: err}
+					continue
+				}
+				out[i] = BatchResult{Clusters: []Cluster{c}}
+			}
+		}()
+	}
+	for i := range queries {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,142 @@
+package privcluster
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestFindClustersBatchMatchesSequential: a batch whose queries carry
+// their own seeds releases bit-identical clusters to issuing the same
+// queries sequentially on an identically configured handle — the batch
+// executor only schedules, it never changes what runs.
+func TestFindClustersBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	pts, _ := plantedPoints(rng, 800, 500, 2, 0.02)
+	open := func() *Dataset {
+		t.Helper()
+		ds, err := Open(pts, DatasetOptions{GridSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	queries := []Query{
+		{T: 400, Opts: QueryOptions{Epsilon: 4, Delta: 0.05, Seed: 1}},
+		{T: 450, Opts: QueryOptions{Epsilon: 4, Delta: 0.05, Seed: 2}},
+		{T: 300, K: 2, Opts: QueryOptions{Epsilon: 12, Delta: 0.06, Seed: 3}},
+		{T: 5000, Opts: QueryOptions{Epsilon: 4, Delta: 0.05, Seed: 4}}, // t > n: per-query error
+	}
+
+	seq := open()
+	var want []BatchResult
+	for _, q := range queries {
+		if q.K > 1 {
+			cs, err := seq.FindClusters(context.Background(), q.K, q.T, q.Opts)
+			want = append(want, BatchResult{Clusters: cs, Err: err})
+			continue
+		}
+		c, err := seq.FindCluster(context.Background(), q.T, q.Opts)
+		if err != nil {
+			want = append(want, BatchResult{Err: err})
+			continue
+		}
+		want = append(want, BatchResult{Clusters: []Cluster{c}})
+	}
+
+	got := open().FindClustersBatch(context.Background(), queries)
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if (got[i].Err == nil) != (want[i].Err == nil) {
+			t.Errorf("query %d: err = %v, sequential err = %v", i, got[i].Err, want[i].Err)
+			continue
+		}
+		if len(got[i].Clusters) != len(want[i].Clusters) {
+			t.Errorf("query %d: %d clusters, want %d", i, len(got[i].Clusters), len(want[i].Clusters))
+			continue
+		}
+		for k := range want[i].Clusters {
+			g, w := got[i].Clusters[k], want[i].Clusters[k]
+			if g.Radius != w.Radius || g.RawRadius != w.RawRadius || g.Center[0] != w.Center[0] {
+				t.Errorf("query %d cluster %d differs: %+v vs %+v", i, k, g, w)
+			}
+		}
+	}
+	if got[3].Err == nil {
+		t.Error("t > n query succeeded in batch")
+	}
+}
+
+// TestFindClustersBatchBudget: the batch runs under the handle's single
+// budget — exactly the affordable number of queries get through, the rest
+// are refused with ErrBudgetExhausted, and the total spend never exceeds
+// the cap (the race-safety the shared accountant guarantees).
+func TestFindClustersBatchBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts, _ := plantedPoints(rng, 800, 500, 2, 0.02)
+	const affordable = 2
+	ds, err := Open(pts, DatasetOptions{
+		GridSize: 1024,
+		Budget:   Budget{Epsilon: 4 * affordable, Delta: 0.05 * affordable},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Query, 5)
+	for i := range queries {
+		queries[i] = Query{T: 400, Opts: QueryOptions{Epsilon: 4, Delta: 0.05, Seed: int64(i) + 1}}
+	}
+	results := ds.FindClustersBatch(context.Background(), queries)
+	ran, refused := 0, 0
+	for _, r := range results {
+		switch {
+		case errors.Is(r.Err, ErrBudgetExhausted):
+			refused++
+		default:
+			ran++
+		}
+	}
+	if ran != affordable || refused != len(queries)-affordable {
+		t.Errorf("batch ran %d queries (want %d), refused %d (want %d)",
+			ran, affordable, refused, len(queries)-affordable)
+	}
+	if got := ds.Spent(); got != (Budget{Epsilon: 4 * affordable, Delta: 0.05 * affordable}) {
+		t.Errorf("batch spend = %v, want the full budget", got)
+	}
+	if builds := ds.builds.Load(); builds != 1 {
+		t.Errorf("concurrent batch built the index %d times, want 1", builds)
+	}
+}
+
+// TestFindClustersBatchEdgeCases: empty batches, nil contexts and
+// pre-cancelled contexts behave like their sequential counterparts.
+func TestFindClustersBatchEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	pts, _ := plantedPoints(rng, 800, 500, 2, 0.02)
+	do := DatasetOptions{GridSize: 1024, Budget: Budget{Epsilon: 8, Delta: 0.1}}
+	ds, err := Open(pts, do)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.FindClustersBatch(nil, nil); len(got) != 0 {
+		t.Errorf("empty batch returned %d results", len(got))
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := ds.FindClustersBatch(ctx, []Query{
+		{T: 400, Opts: QueryOptions{Epsilon: 4, Delta: 0.05, Seed: 1}},
+		{T: 300, K: 2, Opts: QueryOptions{Epsilon: 4, Delta: 0.05, Seed: 2}},
+	})
+	for i, r := range results {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("pre-cancelled batch query %d: err = %v, want context.Canceled", i, r.Err)
+		}
+	}
+	if got := ds.Spent(); !got.IsZero() {
+		t.Errorf("pre-cancelled batch consumed %v of budget", got)
+	}
+}

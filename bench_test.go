@@ -256,7 +256,7 @@ func benchIndexRadiusStage(b *testing.B, n int, pol core.IndexPolicy) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix, err := core.NewBallIndex(pts, grid, pol, 0)
+		ix, err := core.NewBallIndex(nil, pts, grid, pol, 0, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -280,6 +280,115 @@ func BenchmarkBallIndexScalable(b *testing.B) {
 			benchIndexRadiusStage(b, n, core.IndexScalable)
 		})
 	}
+}
+
+// ---- Sharded index benchmarks ------------------------------------------
+//
+// BenchmarkShardedBuild times the cold preprocessing (index construction +
+// the BuildLStep radius sweep — the pipeline's dominant cost) of the
+// scalable backend unsharded (shards=1) versus sharded. Per-shard cell
+// indexes build in parallel and the bulk count passes keep their worker
+// pools, so on ≥ 4 cores the sharded build should be ≥ 1.5× faster at
+// n = 500k; on a single core the comparison mostly measures sharding
+// overhead. Equivalence tests (internal/geometry, shard_test.go) prove the
+// outputs bit-identical, so the delta here is pure build speed:
+//
+//	go test -bench BenchmarkShardedBuild -benchmem
+
+func benchShardedBuild(b *testing.B, n, shards int) {
+	b.Helper()
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, n, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := core.NewBallIndex(nil, pts, grid, core.IndexScalable, 0, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ix.BuildLStep(context.Background(), tt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShardedBuild(b *testing.B) {
+	for _, n := range []int{100000, 500000} {
+		for _, s := range []int{1, 4} {
+			b.Run(fmt.Sprintf("n=%d/shards=%d", n, s), func(b *testing.B) {
+				benchShardedBuild(b, n, s)
+			})
+		}
+	}
+}
+
+// BenchmarkFindClustersBatch compares issuing four warm queries
+// sequentially against running them through the batch executor on the same
+// prepared handle. Releases are identical; the batch overlaps the
+// per-query mechanism work across cores (equal on a single core).
+func BenchmarkFindClustersBatch(b *testing.B) {
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, 100000, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := make([]Point, len(pts))
+	for i, p := range pts {
+		pub[i] = Point(p)
+	}
+	ts := []int{tt - 2000, tt - 1000, tt, tt + 1000}
+	open := func(b *testing.B) *Dataset {
+		b.Helper()
+		ds, err := Open(pub, DatasetOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Prime the cached index and the per-t L sweeps outside the timer;
+		// every timed iteration is then pure query work.
+		for _, t := range ts {
+			if _, err := ds.FindCluster(context.Background(), t, QueryOptions{Seed: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return ds
+	}
+	b.Run("sequential", func(b *testing.B) {
+		ds := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k, t := range ts {
+				if _, err := ds.FindCluster(context.Background(), t, QueryOptions{Seed: int64(4*i+k) + 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		ds := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch := make([]Query, len(ts))
+			for k, t := range ts {
+				batch[k] = Query{T: t, Opts: QueryOptions{Seed: int64(4*i+k) + 2}}
+			}
+			for _, res := range ds.FindClustersBatch(context.Background(), batch) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkDatasetReuse pins the handle API's amortization win at

@@ -49,6 +49,17 @@ func (b Budget) remainingAfter(spent Budget) Budget {
 	}
 }
 
+// allows reports whether charging cost on top of spent still fits within
+// the total budget b — the one admission rule every accounting path
+// (sequential queries and the batch executor alike) must share. A small
+// relative-plus-absolute slack tolerates float accumulation error, so a
+// budget sized for exactly k queries admits all k.
+func (b Budget) allows(spent, cost Budget) bool {
+	const slack = 1e-9
+	return spent.Epsilon+cost.Epsilon <= b.Epsilon*(1+slack)+slack &&
+		spent.Delta+cost.Delta <= b.Delta*(1+slack)+slack
+}
+
 // ErrBudgetExhausted is the sentinel a Dataset query wraps when its cost no
 // longer fits in the handle's remaining budget. The concrete error is a
 // *BudgetError carrying the totals; errors.Is(err, ErrBudgetExhausted)

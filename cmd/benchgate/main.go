@@ -1,0 +1,200 @@
+// Command benchgate is the CI benchmark-regression gate: it compares two
+// files of `go test -bench` output (a checked-in baseline and the current
+// run) and exits nonzero when any benchmark present in both regressed by
+// more than the threshold on a gated metric.
+//
+// Usage:
+//
+//	benchgate -baseline bench/baseline.txt -current bench_pr.txt [-threshold 20] [-metrics ns/op,allocs/op]
+//
+// Per benchmark and metric the gate compares medians across the repeated
+// runs (-count=N), so a single noisy sample cannot fail the job; the
+// GOMAXPROCS suffix (`-8`) is stripped from benchmark names so baselines
+// transfer across machine shapes. allocs/op is deterministic and therefore
+// the most portable gated metric; ns/op comparisons are only meaningful
+// against a baseline recorded on comparable hardware (see bench/README.md
+// for the refresh procedure and the CI override label).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one metric observation of one benchmark run line.
+type sample struct {
+	name   string // benchmark name, GOMAXPROCS suffix stripped
+	metric string // e.g. "ns/op", "allocs/op"
+	value  float64
+}
+
+// benchLine matches a Go benchmark result line: name, iteration count,
+// then value/unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// gomaxprocsSuffix strips the trailing -N the testing package appends to
+// benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench reads benchmark output, returning all metric samples.
+func parseBench(path string) ([]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []sample
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			out = append(out, sample{name: name, metric: fields[i+1], value: v})
+		}
+	}
+	return out, sc.Err()
+}
+
+// medians folds samples into per-(benchmark, metric) medians.
+func medians(samples []sample) map[string]map[string]float64 {
+	vals := make(map[string]map[string][]float64)
+	for _, s := range samples {
+		if vals[s.name] == nil {
+			vals[s.name] = make(map[string][]float64)
+		}
+		vals[s.name][s.metric] = append(vals[s.name][s.metric], s.value)
+	}
+	out := make(map[string]map[string]float64, len(vals))
+	for name, byMetric := range vals {
+		out[name] = make(map[string]float64, len(byMetric))
+		for metric, xs := range byMetric {
+			sort.Float64s(xs)
+			if len(xs)%2 == 1 {
+				out[name][metric] = xs[len(xs)/2]
+			} else {
+				out[name][metric] = (xs[len(xs)/2-1] + xs[len(xs)/2]) / 2
+			}
+		}
+	}
+	return out
+}
+
+// delta is one gated comparison.
+type delta struct {
+	name, metric       string
+	baseline, current  float64
+	pct                float64 // signed percent change (positive = worse)
+	regressed, missing bool
+}
+
+// compare gates current against baseline on the given metrics at the
+// threshold (percent). Benchmarks only in the baseline are flagged
+// missing — a gate failure, since a benchmark that crashed or was renamed
+// without a baseline refresh must not silently drop out of the gate
+// (report treats missing as failed). Benchmarks only in the current run
+// are ungated (new, no baseline yet).
+func compare(baseline, current map[string]map[string]float64, metrics []string, thresholdPct float64) []delta {
+	names := make([]string, 0, len(baseline))
+	for name := range baseline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []delta
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			out = append(out, delta{name: name, missing: true})
+			continue
+		}
+		for _, metric := range metrics {
+			b, okB := baseline[name][metric]
+			c, okC := cur[metric]
+			if !okB || !okC {
+				continue
+			}
+			d := delta{name: name, metric: metric, baseline: b, current: c}
+			if b > 0 {
+				d.pct = (c - b) / b * 100
+			} else if c > 0 {
+				d.pct = 100
+			}
+			d.regressed = d.pct > thresholdPct
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// report renders the comparison and returns whether the gate failed.
+func report(w *os.File, deltas []delta, thresholdPct float64) bool {
+	failed := false
+	for _, d := range deltas {
+		switch {
+		case d.missing:
+			failed = true
+			fmt.Fprintf(w, "FAIL  %s: in baseline but not in current run — crashed benchmark or un-refreshed rename; update bench/baseline.txt\n", d.name)
+		case d.regressed:
+			failed = true
+			fmt.Fprintf(w, "FAIL  %s %s: %.6g -> %.6g (%+.1f%%, threshold +%.0f%%)\n",
+				d.name, d.metric, d.baseline, d.current, d.pct, thresholdPct)
+		default:
+			fmt.Fprintf(w, "ok    %s %s: %.6g -> %.6g (%+.1f%%)\n",
+				d.name, d.metric, d.baseline, d.current, d.pct)
+		}
+	}
+	return failed
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "bench/baseline.txt", "checked-in baseline benchmark output")
+	currentPath := flag.String("current", "", "benchmark output of the current run (required)")
+	threshold := flag.Float64("threshold", 20, "maximum tolerated regression, percent")
+	metricsFlag := flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics to gate")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := parseBench(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark lines in baseline %s\n", *baselinePath)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark lines in current %s\n", *currentPath)
+		os.Exit(2)
+	}
+	metrics := strings.Split(*metricsFlag, ",")
+	for i := range metrics {
+		metrics[i] = strings.TrimSpace(metrics[i])
+	}
+	deltas := compare(medians(base), medians(cur), metrics, *threshold)
+	if report(os.Stdout, deltas, *threshold) {
+		fmt.Fprintf(os.Stderr, "benchgate: regression beyond %.0f%% — if intentional, apply the perf-regression-ok label and refresh bench/baseline.txt (see bench/README.md)\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no regressions beyond threshold")
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const baselineOut = `
+goos: linux
+BenchmarkDatasetReuse/warm-4   120   10000000 ns/op   500000 B/op   273 allocs/op
+BenchmarkDatasetReuse/warm-4   118   10100000 ns/op   500100 B/op   273 allocs/op
+BenchmarkDatasetReuse/warm-4   121    9900000 ns/op   499900 B/op   273 allocs/op
+BenchmarkShardedBuild/n=100000/shards=4-4   1   5000000000 ns/op   600000000 B/op   5000000 allocs/op
+PASS
+`
+
+func TestParseBenchAndMedians(t *testing.T) {
+	path := writeBench(t, "base.txt", baselineOut)
+	samples, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := medians(samples)
+	warm, ok := med["BenchmarkDatasetReuse/warm"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: have %v", med)
+	}
+	if warm["ns/op"] != 10000000 {
+		t.Errorf("median ns/op = %v, want 1e7", warm["ns/op"])
+	}
+	if warm["allocs/op"] != 273 {
+		t.Errorf("median allocs/op = %v", warm["allocs/op"])
+	}
+	if _, ok := med["BenchmarkShardedBuild/n=100000/shards=4"]; !ok {
+		t.Errorf("sub-benchmark name lost: %v", med)
+	}
+}
+
+// The acceptance check of the satellite: a synthetic >20% time regression
+// must fail the gate, and the same data with allocs inflated past 20% must
+// fail on allocs/op — while changes inside the threshold pass.
+func TestGateFailsOnSyntheticRegression(t *testing.T) {
+	base := medians(mustParse(t, writeBench(t, "base.txt", baselineOut)))
+	metrics := []string{"ns/op", "allocs/op"}
+
+	regressed := `
+BenchmarkDatasetReuse/warm-8   100   12500000 ns/op   500000 B/op   273 allocs/op
+BenchmarkShardedBuild/n=100000/shards=4-8   1   5000000000 ns/op   600000000 B/op   5000000 allocs/op
+`
+	deltas := compare(base, medians(mustParse(t, writeBench(t, "bad.txt", regressed))), metrics, 20)
+	if !anyRegressed(deltas) {
+		t.Error("a +25% warm-query time regression passed the 20% gate")
+	}
+
+	allocRegressed := `
+BenchmarkDatasetReuse/warm-8   120   10000000 ns/op   500000 B/op   400 allocs/op
+BenchmarkShardedBuild/n=100000/shards=4-8   1   5000000000 ns/op   600000000 B/op   5000000 allocs/op
+`
+	deltas = compare(base, medians(mustParse(t, writeBench(t, "allocs.txt", allocRegressed))), metrics, 20)
+	if !anyRegressed(deltas) {
+		t.Error("a +47% allocs/op regression passed the 20% gate")
+	}
+
+	within := `
+BenchmarkDatasetReuse/warm-8   110   11500000 ns/op   500000 B/op   300 allocs/op
+BenchmarkShardedBuild/n=100000/shards=4-8   1   4000000000 ns/op   600000000 B/op   5200000 allocs/op
+`
+	deltas = compare(base, medians(mustParse(t, writeBench(t, "ok.txt", within))), metrics, 20)
+	if anyRegressed(deltas) {
+		t.Errorf("a +15%%/+10%% change failed the 20%% gate: %+v", deltas)
+	}
+}
+
+// A single outlier among repeated runs must not fail the gate: medians,
+// not maxima, are compared.
+func TestGateIgnoresSingleOutlier(t *testing.T) {
+	base := medians(mustParse(t, writeBench(t, "base.txt", baselineOut)))
+	noisy := `
+BenchmarkDatasetReuse/warm-8   100   50000000 ns/op   500000 B/op   273 allocs/op
+BenchmarkDatasetReuse/warm-8   120   10000000 ns/op   500000 B/op   273 allocs/op
+BenchmarkDatasetReuse/warm-8   119   10050000 ns/op   500000 B/op   273 allocs/op
+BenchmarkShardedBuild/n=100000/shards=4-8   1   5000000000 ns/op   600000000 B/op   5000000 allocs/op
+`
+	deltas := compare(base, medians(mustParse(t, writeBench(t, "noisy.txt", noisy))), []string{"ns/op", "allocs/op"}, 20)
+	if anyRegressed(deltas) {
+		t.Errorf("one outlier among five runs failed the gate: %+v", deltas)
+	}
+}
+
+// Benchmarks present only in the baseline fail the gate (a crashed
+// benchmark or un-refreshed rename must not silently drop out of it);
+// benchmarks only in the current run are ungated.
+func TestGateMissingBenchmarks(t *testing.T) {
+	base := medians(mustParse(t, writeBench(t, "base.txt", baselineOut)))
+	current := `
+BenchmarkDatasetReuse/warm-8   120   10000000 ns/op   500000 B/op   273 allocs/op
+BenchmarkBrandNew-8   10   1000 ns/op   0 B/op   0 allocs/op
+`
+	deltas := compare(base, medians(mustParse(t, writeBench(t, "cur.txt", current))), []string{"ns/op"}, 20)
+	missing := false
+	for _, d := range deltas {
+		if d.missing && d.name == "BenchmarkShardedBuild/n=100000/shards=4" {
+			missing = true
+		}
+		if d.name == "BenchmarkBrandNew" {
+			t.Errorf("new benchmark gated without a baseline: %+v", d)
+		}
+	}
+	if !missing {
+		t.Error("baseline-only benchmark not flagged as missing")
+	}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if !report(devnull, deltas, 20) {
+		t.Error("a baseline-only (missing) benchmark did not fail the gate")
+	}
+}
+
+func mustParse(t *testing.T, path string) []sample {
+	t.Helper()
+	s, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func anyRegressed(deltas []delta) bool {
+	for _, d := range deltas {
+		if d.regressed {
+			return true
+		}
+	}
+	return false
+}

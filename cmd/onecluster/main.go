@@ -9,9 +9,15 @@
 //
 // Serving mode: -queries runs several t values against one prepared
 // Dataset handle (the index is built once and reused), each query costing
-// (-epsilon, -delta), optionally capped by a total -budget:
+// (-epsilon, -delta), optionally capped by a total -budget; -parallel runs
+// them concurrently through the batch executor:
 //
 //	onecluster -queries 300,400,500 -epsilon 1 -budget 2,1e-5 points.csv
+//	onecluster -queries 300,400,500 -parallel -seed 1 points.csv
+//
+// -shards controls the scalable index's data partitioning (0 = automatic);
+// sharding is a pure performance knob — releases are identical at any
+// value under the same seed.
 package main
 
 import (
@@ -38,6 +44,8 @@ func main() {
 	k := flag.Int("k", 1, "number of clusters to locate (k-cover when > 1)")
 	queries := flag.String("queries", "", `comma-separated t values run against one Dataset handle (e.g. "300,400,500")`)
 	budget := flag.String("budget", "", `total privacy budget "ε,δ" the handle may spend across -queries (empty = unlimited)`)
+	shards := flag.Int("shards", 0, "scalable-index shards (0 = automatic: GOMAXPROCS shards at n ≥ 100000); results are identical at any value")
+	parallel := flag.Bool("parallel", false, "with -queries: run the queries concurrently through the batch executor")
 	flag.Parse()
 
 	if *queries == "" && *t <= 0 {
@@ -65,7 +73,7 @@ func main() {
 	}
 
 	if *queries != "" {
-		if err := runQueries(points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed); err != nil {
+		if err := runQueries(points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed, *shards, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
@@ -74,7 +82,7 @@ func main() {
 
 	opts := privcluster.Options{
 		Epsilon: *epsilon, Delta: *delta, Beta: *beta,
-		GridSize: *gridSize, Seed: *seed,
+		GridSize: *gridSize, Seed: *seed, Shards: *shards,
 	}
 	if *k <= 1 {
 		c, err := privcluster.FindCluster(points, *t, opts)
@@ -98,10 +106,14 @@ func main() {
 
 // runQueries exercises the handle API end to end: one Open, then every t
 // from the -queries list as a separate query under the (optional) total
-// budget. A budget refusal reports the accounting and stops; other
-// per-query failures (e.g. an infeasible t) are reported and skipped, since
-// the handle stays usable.
-func runQueries(points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64) error {
+// budget. Sequentially (the default), a budget refusal reports the
+// accounting and stops; other per-query failures (e.g. an infeasible t)
+// are reported and skipped, since the handle stays usable. With parallel
+// set, the queries run concurrently through the batch executor instead —
+// same releases under the same seeds, but when the budget cannot cover
+// them all, which queries are refused depends on scheduling, so refusals
+// are reported per query rather than stopping the run.
+func runQueries(points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64, shards int, parallel bool) error {
 	ts, err := parseQueries(queries)
 	if err != nil {
 		return err
@@ -110,12 +122,13 @@ func runQueries(points []privcluster.Point, queries, budget string, epsilon, del
 	if err != nil {
 		return err
 	}
-	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, Budget: b})
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, Budget: b, Shards: shards})
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
-	for i, t := range ts {
+	qopts := make([]privcluster.QueryOptions, len(ts))
+	for i := range ts {
 		q := privcluster.QueryOptions{Epsilon: epsilon, Delta: delta, Beta: beta}
 		if seed != 0 {
 			q.Seed = seed + int64(i)
@@ -123,16 +136,34 @@ func runQueries(points []privcluster.Point, queries, budget string, epsilon, del
 			// the from-the-clock sentinel — the flag promises seed+i.
 			q.ZeroSeed = q.Seed == 0
 		}
-		c, err := ds.FindCluster(ctx, t, q)
-		fmt.Printf("query %d (t=%d, ε=%g, δ=%g):\n", i+1, t, epsilon, delta)
-		if err != nil {
-			if errors.Is(err, privcluster.ErrBudgetExhausted) {
-				return err
-			}
-			fmt.Printf("  failed: %v\n", err)
-			continue
+		qopts[i] = q
+	}
+	if parallel {
+		batch := make([]privcluster.Query, len(ts))
+		for i, t := range ts {
+			batch[i] = privcluster.Query{T: t, Opts: qopts[i]}
 		}
-		printCluster(c, points)
+		for i, res := range ds.FindClustersBatch(ctx, batch) {
+			fmt.Printf("query %d (t=%d, ε=%g, δ=%g):\n", i+1, ts[i], epsilon, delta)
+			if res.Err != nil {
+				fmt.Printf("  failed: %v\n", res.Err)
+				continue
+			}
+			printCluster(res.Clusters[0], points)
+		}
+	} else {
+		for i, t := range ts {
+			c, err := ds.FindCluster(ctx, t, qopts[i])
+			fmt.Printf("query %d (t=%d, ε=%g, δ=%g):\n", i+1, t, epsilon, delta)
+			if err != nil {
+				if errors.Is(err, privcluster.ErrBudgetExhausted) {
+					return err
+				}
+				fmt.Printf("  failed: %v\n", err)
+				continue
+			}
+			printCluster(c, points)
+		}
 	}
 	spent := ds.Spent()
 	if rem, ok := ds.Remaining(); ok {

@@ -36,6 +36,11 @@ type DatasetOptions struct {
 	// Workers bounds the worker pools of the parallel passes (see
 	// Options.Workers). 0 means GOMAXPROCS.
 	Workers int
+	// Shards splits the scalable ball index into per-shard cell indexes
+	// built in parallel and queried as exact partial sums (see
+	// Options.Shards). 0 means automatic: GOMAXPROCS shards at
+	// n ≥ 100,000, unsharded below. Sharding never changes releases.
+	Shards int
 	// BoxPacking selects GoodCenter's box-key engine (default PackingAuto).
 	BoxPacking BoxPacking
 	// Paper switches every internal constant to the paper's proof values.
@@ -71,6 +76,9 @@ func (o DatasetOptions) validate() error {
 	if o.BoxPacking < PackingAuto || o.BoxPacking > PackingLegacy {
 		return fmt.Errorf("privcluster: unknown box packing %d", o.BoxPacking)
 	}
+	if o.Shards < 0 {
+		return fmt.Errorf("privcluster: shards must be ≥ 0 (0 = automatic), got %d", o.Shards)
+	}
 	return o.Budget.validate()
 }
 
@@ -91,6 +99,7 @@ func (o DatasetOptions) profile() core.Profile {
 		p = core.PaperProfile()
 	}
 	p.Workers = o.Workers
+	p.Shards = o.Shards
 	p.Packing = core.PackingPolicy(o.BoxPacking)
 	return p
 }
@@ -154,6 +163,25 @@ type indexEntry struct {
 	ix   geometry.BallIndex
 	err  error
 }
+
+// indexKey identifies one cached ball index by every input that affects
+// what core.NewBallIndex builds: the resolved policy, the resolved shard
+// count, and the worker budget baked into the index's pools. Keying by the
+// full tuple (rather than the policy alone) guarantees a configuration
+// whose resolution drifts between queries — e.g. the automatic shard count
+// following a runtime.GOMAXPROCS change — builds a matching index instead
+// of serving a stale one.
+type indexKey struct {
+	pol     core.IndexPolicy
+	shards  int
+	workers int
+}
+
+// maxCachedIndexes bounds the per-handle index cache, FIFO-evicted. A
+// handle's effective key is nearly always constant, so the bound only
+// matters when resolution drifts (see indexKey); evicting an entry never
+// invalidates in-flight queries, which keep their reference.
+const maxCachedIndexes = 4
 
 // maxCachedLSteps bounds the per-handle L(·, S) cache: one entry per
 // distinct query target t, FIFO-evicted. A serving process typically
@@ -237,9 +265,10 @@ type Dataset struct {
 	values []float64
 	pol    core.IndexPolicy
 
-	mu      sync.Mutex
-	spent   Budget
-	indexes map[core.IndexPolicy]*indexEntry
+	mu       sync.Mutex
+	spent    Budget
+	indexes  map[indexKey]*indexEntry
+	keyOrder []indexKey // FIFO of cached keys for eviction
 	// builds counts index constructions (diagnostics; the concurrency test
 	// pins it at one).
 	builds atomic.Int32
@@ -292,7 +321,7 @@ func Open(points []Point, o DatasetOptions) (*Dataset, error) {
 		points:  vs,
 		values:  values,
 		pol:     pol,
-		indexes: make(map[core.IndexPolicy]*indexEntry),
+		indexes: make(map[indexKey]*indexEntry),
 	}, nil
 }
 
@@ -332,41 +361,55 @@ func (ds *Dataset) charge(ctx context.Context, cost Budget) error {
 	}
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	if b := ds.opts.Budget; !b.IsZero() {
-		const slack = 1e-9 // tolerate float accumulation error
-		if ds.spent.Epsilon+cost.Epsilon > b.Epsilon*(1+slack)+slack ||
-			ds.spent.Delta+cost.Delta > b.Delta*(1+slack)+slack {
-			return &BudgetError{Total: b, Spent: ds.spent, Requested: cost}
-		}
+	if b := ds.opts.Budget; !b.IsZero() && !b.allows(ds.spent, cost) {
+		return &BudgetError{Total: b, Spent: ds.spent, Requested: cost}
 	}
 	ds.spent.Epsilon += cost.Epsilon
 	ds.spent.Delta += cost.Delta
 	return nil
 }
 
-// effectiveKey resolves IndexAuto to the backend it would pick, so the
-// cache is keyed by what is actually built (an explicit policy and an Auto
-// that resolves to it share one index).
-func (ds *Dataset) effectiveKey() core.IndexPolicy {
-	return core.ResolveIndexPolicy(ds.pol, len(ds.points))
+// effectiveKey resolves the handle's configuration to what would actually
+// be built right now — IndexAuto to its backend, automatic shards to the
+// concrete count — so the cache is keyed by the built artifact (an
+// explicit policy and an Auto that resolves to it share one index) and a
+// resolution drift can never serve a stale index.
+func (ds *Dataset) effectiveKey() indexKey {
+	n := len(ds.points)
+	pol := core.ResolveIndexPolicy(ds.pol, n)
+	shards := 1
+	if pol == core.IndexScalable {
+		shards = core.ResolveShards(ds.opts.Shards, n)
+	}
+	return indexKey{pol: pol, shards: shards, workers: core.ResolveWorkers(ds.opts.Workers)}
 }
 
-// index returns the cached ball index, building it exactly once per
-// effective policy even under concurrent first queries. Index construction
+// index returns the cached ball index for the key, building it exactly
+// once per key even under concurrent first queries. Index construction
 // draws no randomness, so a cached index releases bit-identical seeded
-// results to a per-call build.
-func (ds *Dataset) index() (geometry.BallIndex, error) {
-	key := ds.effectiveKey()
+// results to a per-call build. The build gets no query context: the index
+// is shared by every later query on the handle, so one caller's deadline
+// must not poison it (cancellation still aborts the per-query BuildLStep
+// sweep, the dominant cost).
+func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 	ds.mu.Lock()
 	e, ok := ds.indexes[key]
 	if !ok {
 		e = &indexEntry{}
 		ds.indexes[key] = e
+		ds.keyOrder = append(ds.keyOrder, key)
+		if len(ds.keyOrder) > maxCachedIndexes {
+			delete(ds.indexes, ds.keyOrder[0])
+			ds.keyOrder = ds.keyOrder[1:]
+		}
 	}
 	ds.mu.Unlock()
 	e.once.Do(func() {
 		ds.builds.Add(1)
-		ix, err := core.NewBallIndex(ds.points, ds.grid, key, ds.opts.Workers)
+		// key.shards is already resolved, so the build matches the key even
+		// if GOMAXPROCS changed since effectiveKey ran (ResolveShards is
+		// idempotent on resolved values).
+		ix, err := core.NewBallIndex(context.Background(), ds.points, ds.grid, key.pol, key.workers, key.shards)
 		if err != nil {
 			e.err = err
 			return
@@ -423,7 +466,7 @@ func (ds *Dataset) FindCluster(ctx context.Context, t int, q QueryOptions) (Clus
 	if err != nil {
 		return Cluster{}, err
 	}
-	ix, err := ds.index()
+	ix, err := ds.index(ds.effectiveKey())
 	if err != nil {
 		return Cluster{}, err
 	}
@@ -460,7 +503,7 @@ func (ds *Dataset) FindClusters(ctx context.Context, k, t int, q QueryOptions) (
 	if err != nil {
 		return nil, err
 	}
-	ix, err := ds.index()
+	ix, err := ds.index(ds.effectiveKey())
 	if err != nil {
 		return nil, err
 	}

@@ -74,7 +74,17 @@
 // budget; cancelling mid-flight does not refund the charge (noise may
 // already have been drawn). The handle is safe for concurrent queries: the
 // accountant and index cache are mutex-guarded, the index is built exactly
-// once, and the budget can never be over-spent by racing queries.
+// once per configuration, and the budget can never be over-spent by racing
+// queries.
+//
+// Independent queries on one handle batch: Dataset.FindClustersBatch runs
+// a []Query concurrently against the shared cached index under the
+// handle's single budget, with concurrency bounded by the Workers option.
+// Each query is validated, charged and seeded exactly as the equivalent
+// sequential call — seeded batches release bit-identical clusters to
+// one-at-a-time queries; only budget admission order is
+// scheduling-dependent when the remaining budget cannot cover the whole
+// batch.
 //
 // # Scaling and index backends
 //
@@ -91,6 +101,36 @@
 //   - IndexAuto (default) picks IndexExact up to a few thousand points and
 //     IndexScalable beyond, so FindCluster handles 10⁵–10⁶ points without
 //     ever allocating the quadratic matrix.
+//
+// # Sharding semantics
+//
+// The scalable index shards (Options.Shards / DatasetOptions.Shards): the
+// points are partitioned into S shards — by a Z-order space-filling curve,
+// so shards are spatially compact — each holding its own cell index, built
+// in parallel. Every ball count is a sum over data partitions,
+// B_r(x) = Σ_s |{y ∈ shard s : ‖x−y‖ ≤ r}|, so queries are answered by
+// summing exact per-shard partial counts through the same worker pools.
+// Three facts make sharding invisible to everything above it:
+//
+//   - Whether a member point contributes to a (exact or cell-granularity)
+//     count depends only on its own position and the query point, never on
+//     which other points share its shard — so per-shard counts are exact
+//     partial sums, and the estimated L̂ is the same function of the
+//     dataset as the unsharded one. The sensitivity-2 argument of
+//     Lemma 4.5 (the heart of GoodRadius's privacy analysis) is therefore
+//     byte-for-byte unchanged: sharding needs no new privacy accounting.
+//   - Capping commutes with the partial sums:
+//     min(Σ_s min(B_s, t), t) = min(B, t).
+//   - Every shard is pinned to the global radius ladder, so all shards
+//     (and the unsharded index) resolve a query radius at the same scale.
+//
+// Consequently sharded releases are bit-identical to unsharded ones under
+// the same seed — a tested guarantee, not an approximation. Shards = 0
+// (the default) is automatic: GOMAXPROCS shards at n ≥ 100,000, unsharded
+// below; any explicit value is clamped to [1, n]. Sum-decomposition across
+// data partitions is also the seam a distributed backend plugs into: a
+// remote shard answering "how many of my points lie within r of x" drops
+// into the same summation.
 //
 // GoodCenter's box-partition loop — one O(n·k) count pass per
 // sparse-vector repetition — runs on a packed-key engine: per-axis cell

@@ -6,10 +6,13 @@
 // Run with:
 //
 //	go run ./examples/scale
+//	go run ./examples/scale -n 6000   # small, CI-sized
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
@@ -17,10 +20,12 @@ import (
 )
 
 func main() {
-	const (
-		n       = 200000
-		cluster = 120000
-		t       = 100000
+	nFlag := flag.Int("n", 200000, "number of points (cluster and target scale with it)")
+	flag.Parse()
+	var (
+		n       = *nFlag
+		cluster = 3 * n / 5
+		t       = n / 2
 	)
 	rng := rand.New(rand.NewSource(1))
 	points := make([]privcluster.Point, 0, n)
@@ -49,8 +54,7 @@ func main() {
 		Workers: 0,
 	})
 	if err != nil {
-		fmt.Println("failed:", err)
-		return
+		log.Fatal("failed: ", err)
 	}
 	fmt.Printf("found in %v (no Θ(n²) distance matrix — that would be ≈ %.0f GB)\n",
 		time.Since(start).Round(time.Millisecond), float64(n)*float64(n)*8/1e9)

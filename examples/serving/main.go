@@ -21,11 +21,13 @@
 // Run it with:
 //
 //	go run ./examples/serving
+//	go run ./examples/serving -n 6000   # small, CI-sized
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,10 +37,12 @@ import (
 )
 
 func main() {
-	const (
-		n           = 100000
-		clusterSize = 60000
-		t           = 50000
+	nFlag := flag.Int("n", 100000, "number of points (cluster and target scale with it)")
+	flag.Parse()
+	var (
+		n           = *nFlag
+		clusterSize = 3 * n / 5
+		t           = n / 2
 	)
 	rng := rand.New(rand.NewSource(1))
 	points := make([]privcluster.Point, 0, n)

@@ -1,0 +1,104 @@
+// Sharded: the sharded ball-index backend and the batched query executor.
+//
+// The scalable cell index answers ball counts that are sums over data
+// partitions, so it shards: S per-shard indexes build in parallel and every
+// query is an exact sum of per-shard counts — releases are bit-identical to
+// the unsharded index under the same seed, which this program checks rather
+// than claims. It then runs a batch of queries concurrently on the warm
+// sharded handle under one budget — the serving pattern FindClustersBatch
+// packages.
+//
+// Run it with:
+//
+//	go run ./examples/sharded
+//	go run ./examples/sharded -n 6000 -shards 4   # small, CI-sized
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"privcluster"
+)
+
+func main() {
+	n := flag.Int("n", 50000, "number of points")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "shard count for the sharded handle")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(1))
+	points := make([]privcluster.Point, 0, *n)
+	for i := 0; i < 3**n/5; i++ {
+		points = append(points, privcluster.Point{
+			0.4 + 0.03*(rng.Float64()*2-1),
+			0.6 + 0.03*(rng.Float64()*2-1),
+		})
+	}
+	for len(points) < *n {
+		points = append(points, privcluster.Point{rng.Float64(), rng.Float64()})
+	}
+	t := *n / 2
+	ctx := context.Background()
+
+	// One query on an unsharded handle, the same seeded query on a sharded
+	// one: the releases must agree bit for bit.
+	run := func(s int) (privcluster.Cluster, time.Duration) {
+		ds, err := privcluster.Open(points, privcluster.DatasetOptions{Shards: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		c, err := ds.FindCluster(ctx, t, privcluster.QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 7})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c, time.Since(start)
+	}
+	ref, refTime := run(1)
+	got, gotTime := run(*shards)
+	fmt.Printf("n=%d, t=%d on %d core(s)\n", *n, t, runtime.GOMAXPROCS(0))
+	fmt.Printf("unsharded cold query: %v\n", refTime.Round(time.Millisecond))
+	fmt.Printf("%d-shard  cold query: %v\n", *shards, gotTime.Round(time.Millisecond))
+	if got.Radius != ref.Radius || got.Center[0] != ref.Center[0] || got.Center[1] != ref.Center[1] {
+		log.Fatalf("sharded release differs from unsharded:\n  %+v\nvs\n  %+v", got, ref)
+	}
+	fmt.Printf("releases bit-identical: center (%.3f, %.3f), radius %.4f\n\n",
+		ref.Center[0], ref.Center[1], ref.Radius)
+
+	// A batch of independent queries on one warm sharded handle under one
+	// budget: concurrent execution, per-query accounting.
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{
+		Shards: *shards,
+		Budget: privcluster.Budget{Epsilon: 8, Delta: 4e-5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	batch := []privcluster.Query{
+		{T: t, Opts: privcluster.QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 1}},
+		{T: t - *n/10, Opts: privcluster.QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 2}},
+		{T: t + *n/10, Opts: privcluster.QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 3}},
+		{T: t, K: 2, Opts: privcluster.QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 4}},
+	}
+	start := time.Now()
+	results := ds.FindClustersBatch(ctx, batch)
+	fmt.Printf("batch of %d queries in %v under budget (ε=8, δ=4e-5):\n",
+		len(batch), time.Since(start).Round(time.Millisecond))
+	for i, res := range results {
+		if res.Err != nil {
+			fmt.Printf("  query %d: failed: %v\n", i+1, res.Err)
+			continue
+		}
+		for _, c := range res.Clusters {
+			fmt.Printf("  query %d: center (%.3f, %.3f), radius %.4f, holds %d points\n",
+				i+1, c.Center[0], c.Center[1], c.Radius, c.Count(points))
+		}
+	}
+	spent := ds.Spent()
+	fmt.Printf("budget spent: %v\n", spent)
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 
 	"privcluster/internal/geometry"
 	"privcluster/internal/vec"
@@ -19,7 +21,8 @@ const (
 	// IndexExact forces the Θ(n²) DistanceIndex (exact L, exact counts).
 	IndexExact
 	// IndexScalable forces the O(n·d) CellIndex (approximate L within the
-	// bounds documented on geometry.CellIndex).
+	// bounds documented on geometry.CellIndex), sharded per the Shards
+	// knob.
 	IndexScalable
 )
 
@@ -27,6 +30,15 @@ const (
 // exact index's Θ(n²) distance matrix (≈ 8n² bytes) is still considered
 // cheap. 4096 points ≈ 134 MB.
 const ExactIndexMaxN = 4096
+
+// ShardAutoMinN is the dataset size at which the automatic shard policy
+// (Shards == 0) starts sharding the scalable index: below it a single
+// CellIndex wins (the parallel worker pools already saturate small
+// inputs), at or above it the index build fans out over GOMAXPROCS
+// shards. Sharding never changes results — per-shard counts compose by
+// exact summation (see geometry.ShardedIndex) — so the cutover is a pure
+// performance rule.
+const ShardAutoMinN = 100_000
 
 // ResolveIndexPolicy returns the concrete backend NewBallIndex builds for
 // the policy at dataset size n: IndexAuto resolves by the ExactIndexMaxN
@@ -43,13 +55,54 @@ func ResolveIndexPolicy(pol IndexPolicy, n int) IndexPolicy {
 	return pol
 }
 
+// ResolveShards returns the concrete shard count NewBallIndex uses for the
+// requested value at dataset size n: 0 (automatic) resolves to GOMAXPROCS
+// at n ≥ ShardAutoMinN and to 1 below; explicit requests are clamped to
+// [1, n], so no shard is ever empty. Exported for the same reason as
+// ResolveIndexPolicy: the serving layer's index cache must key by exactly
+// the rule NewBallIndex applies. (Shards only affect the scalable backend;
+// the exact index ignores them.)
+func ResolveShards(shards, n int) int {
+	if shards == 0 {
+		if n < ShardAutoMinN {
+			return 1
+		}
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 1 {
+		return 1
+	}
+	if shards > n {
+		return n
+	}
+	return shards
+}
+
+// ResolveWorkers returns the concrete worker-pool width the scalable
+// index builds with: values below 1 resolve to GOMAXPROCS — the same rule
+// geometry.CellIndexOptions.withDefaults applies. Exported for the same
+// reason as ResolveIndexPolicy and ResolveShards: the serving layer's
+// index cache must key by the resolved width, so a GOMAXPROCS change
+// between queries builds a matching index instead of serving a stale one.
+func ResolveWorkers(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // NewBallIndex builds the dataset index the pipeline's radius stage runs
 // on, honoring the policy. The grid supplies the scalable index's radius
 // ladder bounds (resolution floor RadiusUnit, domain diameter
 // MaxDistance) so its approximation error aligns with the radius grid
 // GoodRadius already searches. workers bounds the scalable index's worker
-// pool (0 = GOMAXPROCS) — the same knob Profile.Workers feeds.
-func NewBallIndex(points []vec.Vector, grid geometry.Grid, pol IndexPolicy, workers int) (geometry.BallIndex, error) {
+// pool (0 = GOMAXPROCS) — the same knob Profile.Workers feeds. shards
+// splits the scalable index into ResolveShards(shards, n) partitions whose
+// cell indexes build in parallel and answer by exact partial sums
+// (Morton/space-filling-curve assignment; results bit-identical to the
+// unsharded index). ctx cancels a sharded build in flight; a nil ctx means
+// "never cancel".
+func NewBallIndex(ctx context.Context, points []vec.Vector, grid geometry.Grid, pol IndexPolicy, workers, shards int) (geometry.BallIndex, error) {
 	switch pol {
 	case IndexAuto, IndexExact, IndexScalable:
 	default:
@@ -58,9 +111,17 @@ func NewBallIndex(points []vec.Vector, grid geometry.Grid, pol IndexPolicy, work
 	if ResolveIndexPolicy(pol, len(points)) == IndexExact {
 		return geometry.NewDistanceIndex(points)
 	}
-	return geometry.NewCellIndex(points, geometry.CellIndexOptions{
+	cell := geometry.CellIndexOptions{
 		MinRadius: grid.RadiusUnit(),
 		MaxRadius: grid.MaxDistance(),
 		Workers:   workers,
-	})
+	}
+	if s := ResolveShards(shards, len(points)); s > 1 {
+		return geometry.NewShardedIndex(ctx, points, geometry.ShardedIndexOptions{
+			Shards: s,
+			Policy: geometry.ShardMorton,
+			Cell:   cell,
+		})
+	}
+	return geometry.NewCellIndex(points, cell)
 }

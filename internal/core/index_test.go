@@ -12,14 +12,14 @@ func TestNewBallIndexPolicy(t *testing.T) {
 	grid := testGrid(t, 1024, 2)
 	small := []vec.Vector{vec.Of(0.1, 0.1), vec.Of(0.9, 0.9)}
 
-	ix, err := NewBallIndex(small, grid, IndexAuto, 0)
+	ix, err := NewBallIndex(nil, small, grid, IndexAuto, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := ix.(*geometry.DistanceIndex); !ok {
 		t.Errorf("auto policy on n=2 picked %T, want the exact index", ix)
 	}
-	ix, err = NewBallIndex(small, grid, IndexScalable, 0)
+	ix, err = NewBallIndex(nil, small, grid, IndexScalable, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,14 +32,14 @@ func TestNewBallIndexPolicy(t *testing.T) {
 	for i := range big {
 		big[i] = grid.Quantize(vec.Of(rng.Float64(), rng.Float64()))
 	}
-	ix, err = NewBallIndex(big, grid, IndexAuto, 0)
+	ix, err = NewBallIndex(nil, big, grid, IndexAuto, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := ix.(*geometry.CellIndex); !ok {
 		t.Errorf("auto policy above the cutover picked %T, want the cell index", ix)
 	}
-	ix, err = NewBallIndex(big, grid, IndexExact, 0)
+	ix, err = NewBallIndex(nil, big, grid, IndexExact, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestNewBallIndexPolicy(t *testing.T) {
 		t.Errorf("forced exact policy picked %T", ix)
 	}
 
-	if _, err := NewBallIndex(small, grid, IndexPolicy(99), 0); err == nil {
+	if _, err := NewBallIndex(nil, small, grid, IndexPolicy(99), 0, 0); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -60,7 +60,7 @@ func TestGoodRadiusScalableQuality(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	grid := testGrid(t, 1<<16, 2)
 	inst := plantedInstance(t, rng, grid, 6000, 4000, 0.02)
-	ix, err := NewBallIndex(inst.Points, grid, IndexScalable, 0)
+	ix, err := NewBallIndex(nil, inst.Points, grid, IndexScalable, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

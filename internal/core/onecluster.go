@@ -39,7 +39,7 @@ func OneCluster(rng *rand.Rand, points []vec.Vector, prm Params) (ClusterResult,
 	if err := prm.interrupted(); err != nil {
 		return ClusterResult{}, err
 	}
-	ix, err := NewBallIndex(points, prm.Grid, prm.Index, prm.Profile.Workers)
+	ix, err := NewBallIndex(prm.Ctx, points, prm.Grid, prm.Index, prm.Profile.Workers, prm.Profile.Shards)
 	if err != nil {
 		return ClusterResult{}, err
 	}

@@ -12,7 +12,7 @@ import (
 // 2-approximation of "known fact 3", and the capped-average step function
 // L(r, S) of Section 3.1 that Algorithm GoodRadius searches.
 //
-// Two implementations exist:
+// Three implementations exist:
 //
 //   - DistanceIndex materializes all n² pairwise distances. Every answer is
 //     exact, but memory is Θ(n²) float64s, so it is only viable for n in the
@@ -25,6 +25,11 @@ import (
 //     MaxCountWithin) are exact; TwoApprox, BuildLStep and LValue are
 //     approximate — see the CellIndex documentation for the bounds. Memory
 //     is O(n·d).
+//   - ShardedIndex partitions the points into S shards holding per-shard
+//     CellIndexes (built in parallel) and answers every query by summing
+//     exact per-shard partial counts — bit-identical to a CellIndex over
+//     the same points, with a multi-core build and the seam a distributed
+//     backend plugs into.
 //
 // Implementations must be safe for concurrent readers.
 type BallIndex interface {
@@ -57,8 +62,9 @@ type BallIndex interface {
 	LValue(r float64, t int) (float64, error)
 }
 
-// The two backends must keep satisfying the interface.
+// The three backends must keep satisfying the interface.
 var (
 	_ BallIndex = (*DistanceIndex)(nil)
 	_ BallIndex = (*CellIndex)(nil)
+	_ BallIndex = (*ShardedIndex)(nil)
 )

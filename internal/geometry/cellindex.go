@@ -47,6 +47,14 @@ type CellIndexOptions struct {
 	// are kept alive; least recently built levels are dropped first.
 	// Default: 8.
 	MaxCachedLevels int
+
+	// skipDupTable elides the O(n)-allocation duplicate table. Package
+	// internal, for composite indexes (ShardedIndex) that maintain their
+	// own global table: a per-shard table cannot see cross-shard
+	// duplicates and would be dead weight on the cold-build path. With it
+	// set, the dup-dependent queries (TwoApprox, LValue, BuildLStep) must
+	// not be called on this index — only the count paths are valid.
+	skipDupTable bool
 }
 
 func (o CellIndexOptions) withDefaults(dim int) CellIndexOptions {
@@ -117,14 +125,70 @@ type CellIndex struct {
 	// cannot resolve radius 0.
 	dupCount []int32
 
-	maxR  float64 // ladder top ≥ max(opts.MaxRadius, data diameter)
-	stopR float64 // radius at which the L estimator provably saturates
-	ratio float64 // ladder ratio ρ
-	top   int     // largest ladder level index
+	lad radiusLadder
 
 	mu     sync.Mutex
 	levels map[int]*cellLevel
 	order  []int // FIFO of built levels for eviction
+}
+
+// radiusLadder is the geometric radius ladder of the scalable backends: the
+// levels MinRadius·ρ^j the L estimators sweep and the level-selection rule
+// for point queries. It is a pure function of (CellIndexOptions, dim, data
+// diameter), factored out so ShardedIndex can pin every shard to exactly
+// the ladder the unsharded CellIndex would build — the invariant its
+// exact-sum equivalence rests on.
+type radiusLadder struct {
+	minR  float64
+	maxR  float64 // ladder top ≥ max(opts.MaxRadius, data diameter)
+	stopR float64 // radius at which the L estimator provably saturates
+	ratio float64 // ladder ratio ρ
+	top   int     // largest ladder level index
+}
+
+// newRadiusLadder derives the ladder from defaulted options and the data's
+// bounding-box diagonal. The ladder must reach past the diameter so the L
+// estimator and TwoApprox provably saturate; for in-contract inputs (unit
+// cube) the diagonal never exceeds the default MaxRadius = √d, so the
+// ladder stays data-independent.
+func newRadiusLadder(opts CellIndexOptions, dim int, diag float64) radiusLadder {
+	l := radiusLadder{
+		minR:  opts.MinRadius,
+		maxR:  opts.MaxRadius,
+		ratio: math.Pow(2, 1/float64(opts.LevelsPerOctave)),
+	}
+	if diag > l.maxR {
+		l.maxR = diag
+	}
+	// At r ≥ stopR every cell center is within r of every point
+	// (diam + h(r) ≤ r), so every estimated count is n.
+	slack := 1 - math.Sqrt(float64(dim))/(2*float64(opts.CellsPerRadius))
+	l.stopR = l.maxR / slack
+	if l.stopR > l.minR {
+		l.top = int(math.Ceil(math.Log(l.stopR/l.minR) / math.Log(l.ratio)))
+	}
+	return l
+}
+
+// radius returns ladder radius j: MinRadius·ρ^j.
+func (l radiusLadder) radius(j int) float64 {
+	return l.minR * math.Pow(l.ratio, float64(j))
+}
+
+// levelFor returns the ladder level whose cell size best fits queries at
+// radius r. Exactness never depends on the choice — only speed does.
+func (l radiusLadder) levelFor(r float64) int {
+	if r <= l.minR {
+		return 0
+	}
+	j := int(math.Floor(math.Log(r/l.minR)/math.Log(l.ratio) + 0.5))
+	if j < 0 {
+		j = 0
+	}
+	if j > l.top {
+		j = l.top
+	}
+	return j
 }
 
 // cellBucket is one occupied cell: its integer coordinates (cell a spans
@@ -143,6 +207,10 @@ type cellBucket struct {
 type cellLevel struct {
 	side    float64
 	buckets []cellBucket
+	// lo, hi bound the occupied cell coordinates per axis — the O(1)
+	// intersection prefilter the sharded cross pass uses to skip member
+	// shards whose (spatially compact) cells cannot reach a source cell.
+	lo, hi []int64
 }
 
 // NewCellIndex builds the scalable index. It returns an error for an empty
@@ -163,51 +231,48 @@ func NewCellIndex(points []vec.Vector, opts CellIndexOptions) (*CellIndex, error
 		points: points,
 		dim:    d,
 		opts:   opts,
-		ratio:  math.Pow(2, 1/float64(opts.LevelsPerOctave)),
 		levels: make(map[int]*cellLevel),
 	}
 
 	// Exact duplicate table (the radius-0 counts) and the data's bounding
-	// box in one pass.
+	// box in one pass (box only when the caller keeps its own table).
 	lo, hi := points[0].Clone(), points[0].Clone()
-	dups := make(map[string]int32, n)
-	keys := make([]string, n)
-	buf := make([]byte, 8*d)
-	for i, p := range points {
-		for a, x := range p {
-			binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
-			if x < lo[a] {
-				lo[a] = x
-			}
-			if x > hi[a] {
-				hi[a] = x
+	if opts.skipDupTable {
+		for _, p := range points {
+			for a, x := range p {
+				if x < lo[a] {
+					lo[a] = x
+				}
+				if x > hi[a] {
+					hi[a] = x
+				}
 			}
 		}
-		k := string(buf)
-		keys[i] = k
-		dups[k]++
-	}
-	ix.dupCount = make([]int32, n)
-	for i, k := range keys {
-		ix.dupCount[i] = dups[k]
+	} else {
+		dups := make(map[string]int32, n)
+		keys := make([]string, n)
+		buf := make([]byte, 8*d)
+		for i, p := range points {
+			for a, x := range p {
+				binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
+				if x < lo[a] {
+					lo[a] = x
+				}
+				if x > hi[a] {
+					hi[a] = x
+				}
+			}
+			k := string(buf)
+			keys[i] = k
+			dups[k]++
+		}
+		ix.dupCount = make([]int32, n)
+		for i, k := range keys {
+			ix.dupCount[i] = dups[k]
+		}
 	}
 
-	// The ladder must reach past the data diameter so the L estimator and
-	// TwoApprox provably saturate; for in-contract inputs (unit cube) the
-	// bounding-box diagonal never exceeds the default MaxRadius = √d, so
-	// the ladder stays data-independent.
-	ix.maxR = opts.MaxRadius
-	if diag := hi.Dist(lo); diag > ix.maxR {
-		ix.maxR = diag
-	}
-	// At r ≥ stopR every cell center is within r of every point
-	// (diam + h(r) ≤ r), so every estimated count is n.
-	slack := 1 - math.Sqrt(float64(d))/(2*float64(opts.CellsPerRadius))
-	ix.stopR = ix.maxR / slack
-	ix.top = 0
-	if ix.stopR > opts.MinRadius {
-		ix.top = int(math.Ceil(math.Log(ix.stopR/opts.MinRadius) / math.Log(ix.ratio)))
-	}
+	ix.lad = newRadiusLadder(opts, d, hi.Dist(lo))
 	return ix, nil
 }
 
@@ -218,25 +283,11 @@ func (ix *CellIndex) N() int { return len(ix.points) }
 func (ix *CellIndex) Points() []vec.Vector { return ix.points }
 
 // levelRadius returns ladder radius j: MinRadius·ρ^j.
-func (ix *CellIndex) levelRadius(j int) float64 {
-	return ix.opts.MinRadius * math.Pow(ix.ratio, float64(j))
-}
+func (ix *CellIndex) levelRadius(j int) float64 { return ix.lad.radius(j) }
 
 // levelFor returns the ladder level whose cell size best fits queries at
-// radius r. Exactness never depends on the choice — only speed does.
-func (ix *CellIndex) levelFor(r float64) int {
-	if r <= ix.opts.MinRadius {
-		return 0
-	}
-	j := int(math.Floor(math.Log(r/ix.opts.MinRadius)/math.Log(ix.ratio) + 0.5))
-	if j < 0 {
-		j = 0
-	}
-	if j > ix.top {
-		j = ix.top
-	}
-	return j
-}
+// radius r (see radiusLadder.levelFor).
+func (ix *CellIndex) levelFor(r float64) int { return ix.lad.levelFor(r) }
 
 // level returns (building lazily) the cell hash for ladder level j.
 func (ix *CellIndex) level(j int) *cellLevel {
@@ -278,6 +329,18 @@ func newCellLevel(points []vec.Vector, side float64) *cellLevel {
 	sort.Slice(lv.buckets, func(i, j int) bool {
 		return cmpCoords(lv.buckets[i].coord, lv.buckets[j].coord) < 0
 	})
+	lv.lo = append([]int64(nil), lv.buckets[0].coord...)
+	lv.hi = append([]int64(nil), lv.buckets[0].coord...)
+	for _, b := range lv.buckets[1:] {
+		for a, c := range b.coord {
+			if c < lv.lo[a] {
+				lv.lo[a] = c
+			}
+			if c > lv.hi[a] {
+				lv.hi[a] = c
+			}
+		}
+	}
 	return lv
 }
 
@@ -486,16 +549,83 @@ func boxBoxDistSq(a, b []int64, side float64) (minSq, maxSq float64) {
 	return minSq, maxSq
 }
 
-// countAll computes the capped within-r count for every input point. The
-// pass is bucket-centric: the candidate cells of one source cell are
-// enumerated once and classified cell-pair first — candidates entirely
-// within (or beyond) reach of the whole source cell are resolved in O(1)
-// for all of its points at once, and only candidates straddling some
-// point's ball boundary fall back to per-point classification. The
-// (dominant) candidate-enumeration cost is thus paid per occupied cell
-// pair rather than per point pair — a large win exactly where the data is
-// dense. Source cells fan out over the worker pool; each cell's points are
-// written by exactly one worker.
+// accumulateCellCounts adds to out the capped within-r counts that ix's
+// points (the "members") contribute around every point of one source cell.
+// The pass is cell-pair first: candidate member cells entirely within (or
+// beyond) reach of the whole source cell are resolved in O(1) for all of
+// its points at once, and only candidates straddling some point's ball
+// boundary fall back to per-point classification. The (dominant)
+// candidate-enumeration cost is thus paid per occupied cell pair rather
+// than per point pair — a large win exactly where the data is dense.
+//
+// srcB's ids index srcPts; the out slot of id is gids[id] (nil gids: ids
+// index out directly — the single-index case where sources are members).
+// Counts saturate at limit, and contributions accumulate onto whatever out
+// already holds: nonnegative saturating addition is order-independent, so a
+// sharded caller summing per-shard member contributions lands on exactly
+// min(total, limit), bit-identical to a single pass over all members —
+// provided srcB and lv use the same cell side (the shared-ladder invariant
+// ShardedIndex maintains).
+func (ix *CellIndex) accumulateCellCounts(lv *cellLevel, srcB *cellBucket, srcPts []vec.Vector, gids []int32, r float64, limit int32, exactBoundary bool, out []int32, sc *cellScratch) {
+	side := lv.side
+	rsq := r * r
+	// The block around the source cell's box covers the ball bounding
+	// boxes of all its points (pad = side/2 beyond the per-point radius,
+	// from the cell center).
+	for a := 0; a < ix.dim; a++ {
+		sc.center[a] = (float64(srcB.coord[a]) + 0.5) * side
+	}
+	var base int32 // count shared by every point of the cell
+	capped := false
+	ix.forCandidates(lv, sc.center, r, side/2, sc, func(b *cellBucket) bool {
+		minSq, maxSq := boxBoxDistSq(srcB.coord, b.coord, side)
+		switch {
+		case minSq > rsq: // beyond reach of the whole cell
+		case maxSq <= rsq: // inside reach of the whole cell
+			base += int32(len(b.ids))
+			if base >= limit {
+				capped = true
+				return false
+			}
+		default:
+			for _, pid := range srcB.ids {
+				gid := pid
+				if gids != nil {
+					gid = gids[pid]
+				}
+				if out[gid] >= limit {
+					continue
+				}
+				if c := out[gid] + ix.bucketCount(b, side, srcPts[pid], rsq, exactBoundary); c < limit {
+					out[gid] = c
+				} else {
+					out[gid] = limit
+				}
+			}
+		}
+		return true
+	})
+	for _, pid := range srcB.ids {
+		gid := pid
+		if gids != nil {
+			gid = gids[pid]
+		}
+		if capped {
+			out[gid] = limit
+			continue
+		}
+		if c := out[gid] + base; c < limit {
+			out[gid] = c
+		} else {
+			out[gid] = limit
+		}
+	}
+}
+
+// countAll computes the capped within-r count for every input point via
+// accumulateCellCounts over every occupied source cell. Source cells fan
+// out over the worker pool; each cell's points are written by exactly one
+// worker.
 //
 // A cancelled ctx aborts the pass: the feeder stops handing out chunks,
 // every worker skips its remaining work (so the pool always drains and
@@ -508,8 +638,6 @@ func (ix *CellIndex) countAll(ctx context.Context, lv *cellLevel, r float64, lim
 	if r < 0 || limit <= 0 {
 		return out, nil
 	}
-	rsq := r * r
-	side := lv.side
 	nb := len(lv.buckets)
 	workers := ix.opts.Workers
 	if workers > nb {
@@ -528,50 +656,7 @@ func (ix *CellIndex) countAll(ctx context.Context, lv *cellLevel, r float64, lim
 					continue // drain the channel so the feeder never blocks
 				}
 				for src := rg[0]; src < rg[1]; src++ {
-					srcB := &lv.buckets[src]
-					// The block around the source cell's box covers the
-					// ball bounding boxes of all its points (pad = side/2
-					// beyond the per-point radius, from the cell center).
-					for a := 0; a < ix.dim; a++ {
-						sc.center[a] = (float64(srcB.coord[a]) + 0.5) * side
-					}
-					var base int32 // count shared by every point of the cell
-					capped := false
-					ix.forCandidates(lv, sc.center, r, side/2, sc, func(b *cellBucket) bool {
-						minSq, maxSq := boxBoxDistSq(srcB.coord, b.coord, side)
-						switch {
-						case minSq > rsq: // beyond reach of the whole cell
-						case maxSq <= rsq: // inside reach of the whole cell
-							base += int32(len(b.ids))
-							if base >= limit {
-								capped = true
-								return false
-							}
-						default:
-							for _, pid := range srcB.ids {
-								if out[pid] >= limit {
-									continue
-								}
-								if c := out[pid] + ix.bucketCount(b, side, ix.points[pid], rsq, exactBoundary); c < limit {
-									out[pid] = c
-								} else {
-									out[pid] = limit
-								}
-							}
-						}
-						return true
-					})
-					for _, pid := range srcB.ids {
-						if capped {
-							out[pid] = limit
-							continue
-						}
-						if c := out[pid] + base; c < limit {
-							out[pid] = c
-						} else {
-							out[pid] = limit
-						}
-					}
+					ix.accumulateCellCounts(lv, &lv.buckets[src], ix.points, nil, r, limit, exactBoundary, out, sc)
 				}
 			}
 		}()
@@ -600,13 +685,20 @@ func (ix *CellIndex) CountWithin(i int, r float64) int {
 // RadiusForCount returns the t-th smallest distance from point i — exact,
 // via a direct O(n·d) scan (cheap for point queries, and never Θ(n²)).
 func (ix *CellIndex) RadiusForCount(i, t int) (float64, error) {
-	n := len(ix.points)
+	return radiusForCount(ix.points, i, t)
+}
+
+// radiusForCount is the exact t-th-smallest-distance scan shared by the
+// scalable backends (the sharded index runs it over the global points, so
+// both must stay one implementation).
+func radiusForCount(points []vec.Vector, i, t int) (float64, error) {
+	n := len(points)
 	if t < 1 || t > n {
 		return 0, fmt.Errorf("geometry: RadiusForCount t=%d out of [1,%d]", t, n)
 	}
 	ds := make([]float64, n)
-	for j, q := range ix.points {
-		ds[j] = ix.points[i].DistSq(q)
+	for j, q := range points {
+		ds[j] = points[i].DistSq(q)
 	}
 	return math.Sqrt(kthSmallest(ds, t)), nil
 }
@@ -646,43 +738,52 @@ func kthSmallest(xs []float64, k int) float64 {
 
 // TwoApprox returns an input-centered ball with at least t points whose
 // radius is at most max(MinRadius, ρ·r₂), r₂ being the exact TwoApprox
-// radius (≤ 2·r_opt by "known fact 3") and ρ the ladder ratio: the
-// predicate "some input-centered ball of ladder radius r_j holds ≥ t
-// points" is monotone in j, so a binary search over the ladder finds the
-// smallest satisfying level with exact (capped) counts.
+// radius (≤ 2·r_opt by "known fact 3") and ρ the ladder ratio.
 func (ix *CellIndex) TwoApprox(t int) (center int, radius float64, err error) {
-	n := len(ix.points)
+	return twoApproxLadder(len(ix.points), t, ix.dupCount, ix.lad, func(j int) []int32 {
+		// Background context: point/ladder queries are not cancellable —
+		// countAll never errors under it.
+		c, _ := ix.countAll(context.Background(), ix.level(j), ix.levelRadius(j), int32(t), true)
+		return c
+	})
+}
+
+// twoApproxLadder is the TwoApprox search shared by the scalable backends
+// (one implementation, so the sharded index cannot drift from the cell
+// index — their bit-identical equivalence depends on it): duplicate
+// classes resolve radius 0 exactly, and otherwise the predicate "some
+// input-centered ball of ladder radius r_j holds ≥ t points" is monotone
+// in j, so a binary search over the ladder finds the smallest satisfying
+// level from the backend's exact capped counts (countsAt, memoized here).
+func twoApproxLadder(n, t int, dupCount []int32, lad radiusLadder, countsAt func(j int) []int32) (center int, radius float64, err error) {
 	if t < 1 || t > n {
 		return 0, 0, fmt.Errorf("geometry: TwoApprox t=%d out of [1,%d]", t, n)
 	}
-	for i, c := range ix.dupCount {
+	for i, c := range dupCount {
 		if int(c) >= t {
 			return i, 0, nil
 		}
 	}
-	lo, hi := 0, ix.top
 	memo := make(map[int][]int32)
-	countsAt := func(j int) []int32 {
+	memoized := func(j int) []int32 {
 		if c, ok := memo[j]; ok {
 			return c
 		}
-		// Background context: point/ladder queries are not cancellable —
-		// countAll never errors under it.
-		c, _ := ix.countAll(context.Background(), ix.level(j), ix.levelRadius(j), int32(t), true)
+		c := countsAt(j)
 		memo[j] = c
 		return c
 	}
+	lo, hi := 0, lad.top
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if maxInt32(countsAt(mid)) >= int32(t) {
+		if maxInt32(memoized(mid)) >= int32(t) {
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
 	}
-	r := ix.levelRadius(lo)
-	counts := countsAt(lo)
-	for i, c := range counts {
+	r := lad.radius(lo)
+	for i, c := range memoized(lo) {
 		if int(c) >= t {
 			return i, r, nil
 		}
@@ -800,7 +901,7 @@ func (ix *CellIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
 	// level's estimate has sensitivity ≤ 2 under the deterministic pair
 	// rule, and a pointwise max of sensitivity-2 values has sensitivity
 	// ≤ 2.
-	for j := 0; j <= ix.top && prev < float64(t); j++ {
+	for j := 0; j <= ix.lad.top && prev < float64(t); j++ {
 		counts, err := ix.lCounts(ctx, ix.levelRadius(j), t)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,552 @@
+package geometry
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"privcluster/internal/vec"
+)
+
+// ShardPolicy selects how NewShardedIndex assigns points to shards. The
+// assignment never affects query results — every answer is an exact sum of
+// per-shard partial counts — only build parallelism and query-time cache
+// behavior, so the policy is a pure performance knob.
+type ShardPolicy int
+
+const (
+	// ShardRoundRobin assigns point i to shard i mod S: perfectly balanced
+	// shard sizes with no data-dependent structure. Every shard then spans
+	// the whole domain, so each shard's cell levels have roughly as many
+	// occupied cells as the unsharded index — the safe, boring default for
+	// adversarial layouts.
+	ShardRoundRobin ShardPolicy = iota
+	// ShardMorton orders the points along a Z-order space-filling curve and
+	// cuts the order into S contiguous blocks: spatially compact shards
+	// whose cell levels hold fewer, denser occupied cells, which shrinks
+	// the per-shard candidate enumeration of the bulk count passes. Sizes
+	// still differ by at most one point.
+	ShardMorton
+)
+
+// ShardedIndexOptions configures NewShardedIndex.
+type ShardedIndexOptions struct {
+	// Shards is the number of data partitions S. Values below 1 mean 1;
+	// values above n are clamped to n (so no shard is ever empty).
+	Shards int
+	// Policy selects the partition rule (default ShardRoundRobin).
+	Policy ShardPolicy
+	// Cell configures the per-shard cell indexes. MaxRadius is pinned
+	// internally to the global radius ladder (see ShardedIndex); every
+	// other field applies to each shard as it would to a single CellIndex.
+	Cell CellIndexOptions
+}
+
+// indexShard is one data partition: a CellIndex over the subset plus the
+// mapping from its local point ids back to global ones.
+type indexShard struct {
+	ix     *CellIndex
+	global []int32 // local id -> global id, in local id order
+}
+
+// ShardedIndex is the sharded BallIndex backend: the quantized points are
+// partitioned into S shards, each holding its own CellIndex, built in
+// parallel. Ball counts are sums over data partitions — B_r(x) =
+// Σ_s |{y ∈ shard s : ‖x−y‖ ≤ r}| — so every query is answered by summing
+// per-shard partial counts.
+//
+// Equivalence contract: a ShardedIndex answers every BallIndex query
+// bit-identically to a CellIndex over the same points with the same
+// options, for any shard count and policy. Three invariants carry it:
+//
+//   - Shared ladder. Every shard's radius ladder is pinned to the global
+//     one (MaxRadius is forced to the global ladder top, which dominates
+//     each shard's smaller bounding box), so a query at radius r resolves
+//     at the same ladder level, with the same cell side, in every shard.
+//   - Positional cell rule. A member point's contribution to a count —
+//     whether resolved exactly or by the center rule of the L estimators —
+//     depends only on its own cell coordinates and the query point, never
+//     on which other points share its cell. Splitting a cell's occupants
+//     across shards therefore splits its contribution into exact partial
+//     sums. In particular L̂ keeps the sensitivity-2 property of Lemma 4.5:
+//     the estimate is the same function of the dataset as the unsharded
+//     one, so GoodRadius's privacy analysis is untouched by sharding.
+//   - Capping commutes. Capped counts min(B, t) are recovered from
+//     per-shard capped partials by nonnegative saturating addition:
+//     min(Σ_s min(B_s, t), t) = min(B, t).
+//
+// Because releases are bit-identical, DP noise draws consume the same rng
+// stream and sharded pipelines release exactly what unsharded ones do under
+// the same seed. ShardedIndex is safe for concurrent use.
+type ShardedIndex struct {
+	points []vec.Vector // global order — what Points() must expose
+	dim    int
+	opts   CellIndexOptions
+	lad    radiusLadder
+	shards []*indexShard
+
+	// dupCount[i] is the number of input points identical to points[i]
+	// across ALL shards — the exact global B_0 counts (per-shard duplicate
+	// tables cannot see cross-shard duplicates).
+	dupCount []int32
+}
+
+// NewShardedIndex partitions the points per opts and builds the per-shard
+// cell indexes in parallel. It returns an error for an empty input or
+// mismatched dimensions, and ctx.Err() when cancelled mid-build (in-flight
+// shard builds are waited for, so no goroutines leak). A nil ctx means
+// "never cancel".
+func NewShardedIndex(ctx context.Context, points []vec.Vector, opts ShardedIndexOptions) (*ShardedIndex, error) {
+	ctx = ctxOrBackground(ctx)
+	n := len(points)
+	if n == 0 {
+		return nil, fmt.Errorf("geometry: sharded index over empty point set")
+	}
+	d := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != d {
+			return nil, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+	}
+	s := opts.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	cellOpts := opts.Cell.withDefaults(d)
+
+	// Global bounding box → the ladder every shard must share.
+	lo, hi := points[0].Clone(), points[0].Clone()
+	for _, p := range points {
+		for a, x := range p {
+			if x < lo[a] {
+				lo[a] = x
+			}
+			if x > hi[a] {
+				hi[a] = x
+			}
+		}
+	}
+	ix := &ShardedIndex{
+		points: points,
+		dim:    d,
+		opts:   cellOpts,
+		lad:    newRadiusLadder(cellOpts, d, hi.Dist(lo)),
+	}
+
+	// Per-shard indexes are built with MaxRadius pinned to the global
+	// ladder top, so a shard's (smaller) bounding box can never shrink its
+	// ladder: every shard resolves radius r at the same level, with the
+	// same cell side, as the unsharded index — the shared-ladder invariant
+	// the exact-sum equivalence rests on. Shards skip their duplicate
+	// tables: a per-shard table cannot see cross-shard duplicates, and the
+	// sharded index keeps the global one (dupCount) for every radius-0
+	// path, so only the shards' count paths are ever queried.
+	shardCell := cellOpts
+	shardCell.MaxRadius = ix.lad.maxR
+	shardCell.skipDupTable = true
+
+	for _, gids := range assignShards(points, s, opts.Policy) {
+		if len(gids) == 0 {
+			continue // unreachable for s ≤ n; defensive
+		}
+		ix.shards = append(ix.shards, &indexShard{global: gids})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(ix.shards))
+	for si, sh := range ix.shards {
+		wg.Add(1)
+		go func(si int, sh *indexShard) {
+			defer wg.Done()
+			sub := make([]vec.Vector, len(sh.global))
+			for k, g := range sh.global {
+				sub[k] = points[g]
+			}
+			sh.ix, errs[si] = NewCellIndex(sub, shardCell)
+		}(si, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	dup, err := globalDupCount(ctx, points, cellOpts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	ix.dupCount = dup
+	return ix, nil
+}
+
+// assignShards partitions global point ids into s shards per the policy.
+// Every shard receives at least one point when s ≤ n.
+func assignShards(points []vec.Vector, s int, pol ShardPolicy) [][]int32 {
+	n := len(points)
+	out := make([][]int32, s)
+	if pol != ShardMorton {
+		for i := 0; i < n; i++ {
+			out[i%s] = append(out[i%s], int32(i))
+		}
+		return out
+	}
+	d := points[0].Dim()
+	bits := 64 / d
+	if bits < 1 {
+		bits = 1
+	}
+	if bits > 16 {
+		bits = 16
+	}
+	keys := make([]uint64, n)
+	cells := make([]uint64, d)
+	for i, p := range points {
+		keys[i] = mortonKey(p, bits, cells)
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	// Ties (and the block cuts) break by global id, so the assignment is a
+	// deterministic function of the point set alone.
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	for b, lo := 0, 0; b < s; b++ {
+		hi := lo + n/s
+		if b < n%s {
+			hi++
+		}
+		out[b] = order[lo:hi:hi]
+		lo = hi
+	}
+	return out
+}
+
+// mortonKey returns the Z-order (Morton) code of p at the given bits per
+// axis: per-axis cell indices over [0,1] are interleaved from the most
+// significant bit down, so nearby points share long key prefixes. cells is
+// caller-provided scratch of length dim.
+func mortonKey(p vec.Vector, bits int, cells []uint64) uint64 {
+	hi := uint64(1)<<bits - 1
+	for a, x := range p {
+		c := uint64(0)
+		if x > 0 {
+			c = uint64(x * float64(uint64(1)<<bits))
+			if c > hi {
+				c = hi
+			}
+		}
+		cells[a] = c
+	}
+	var code uint64
+	for b := bits - 1; b >= 0; b-- {
+		for _, c := range cells {
+			code = code<<1 | (c>>uint(b))&1
+		}
+	}
+	return code
+}
+
+// fnv64 is FNV-1a over b — the partition hash of the parallel duplicate
+// table. Only the partition of keys matters, never the hash values, so any
+// deterministic mixing function works here.
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// globalDupCount computes, for every point, how many input points are
+// identical to it — the exact radius-0 counts the sharded L estimators
+// need. The build is parallel end to end: coordinate keys are encoded by a
+// worker pool, points are partitioned by key hash (identical points always
+// land in one partition), and each partition counts its duplicate classes
+// with an independent map.
+func globalDupCount(ctx context.Context, points []vec.Vector, workers int) ([]int32, error) {
+	n := len(points)
+	d := points[0].Dim()
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	keys := make([]string, n)
+	hash := make([]uint64, n)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			buf := make([]byte, 8*d)
+			for i := lo; i < hi; i++ {
+				for a, x := range points[i] {
+					binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
+				}
+				keys[i] = string(buf)
+				hash[i] = fnv64(buf)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	parts := make([][]int32, workers)
+	for i := 0; i < n; i++ {
+		w := hash[i] % uint64(workers)
+		parts[w] = append(parts[w], int32(i))
+	}
+	out := make([]int32, n)
+	for _, ids := range parts {
+		wg.Add(1)
+		go func(ids []int32) {
+			defer wg.Done()
+			m := make(map[string]int32, len(ids))
+			for _, i := range ids {
+				m[keys[i]]++
+			}
+			for _, i := range ids {
+				out[i] = m[keys[i]]
+			}
+		}(ids)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// N returns the number of indexed points.
+func (ix *ShardedIndex) N() int { return len(ix.points) }
+
+// Points returns the indexed points (not a copy), in the original global
+// order — downstream stages (GoodCenter's SVT loop) iterate them, so the
+// order must not depend on the sharding.
+func (ix *ShardedIndex) Points() []vec.Vector { return ix.points }
+
+// Shards returns the number of shards (diagnostic).
+func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
+
+// countAll computes the capped within-r count of every indexed point by
+// summing per-shard member contributions at ladder level j. Each shard's
+// cell level uses exactly the cell side the unsharded index would (shared
+// ladder), so the per-(source cell, member cell) classification — and
+// therefore every per-point count — is bit-identical to the single-index
+// pass, accumulated shard by shard with saturation at limit.
+//
+// Source cells fan out over one worker pool shared by all shard pairs;
+// tasks partition each shard's source cells, and a point's count is
+// written only by the task owning its source cell, so the pass is
+// data-race free. A cancelled ctx aborts the pass with ctx.Err(): the
+// feeder stops, the workers drain, no goroutines leak.
+func (ix *ShardedIndex) countAll(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	ctx = ctxOrBackground(ctx)
+	n := len(ix.points)
+	out := make([]int32, n)
+	if r < 0 || limit <= 0 {
+		return out, nil
+	}
+	// Materialize the shards' cell levels for j up front, in parallel —
+	// each shard's lazy level cache has its own lock, so pool workers
+	// below never serialize behind one another's builds.
+	levels := make([]*cellLevel, len(ix.shards))
+	var lwg sync.WaitGroup
+	for si, sh := range ix.shards {
+		lwg.Add(1)
+		go func(si int, sh *indexShard) {
+			defer lwg.Done()
+			levels[si] = sh.ix.level(j)
+		}(si, sh)
+	}
+	lwg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// A source cell's candidate block spans at most ⌈r/side⌉+1 cells per
+	// axis beyond its own coordinates (forCandidates pads by side/2 from
+	// the cell center); a member shard whose occupied-cell bounding box
+	// lies wholly outside that span cannot contribute and is skipped in
+	// O(d). With the Morton policy's spatially compact shards this prunes
+	// most of the S-fold candidate-enumeration overhead — a pure
+	// performance skip, since the pruned shards' passes would find no
+	// buckets anyway.
+	span := int64(math.Ceil(r/levels[0].side)) + 1
+
+	type task struct{ shard, lo, hi int }
+	const chunk = 64
+	tasks := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < ix.opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newCellScratch(ix.dim)
+			for tk := range tasks {
+				if ctx.Err() != nil {
+					continue // drain the channel so the feeder never blocks
+				}
+				src := ix.shards[tk.shard]
+				srcLv := levels[tk.shard]
+				for bi := tk.lo; bi < tk.hi; bi++ {
+					srcB := &srcLv.buckets[bi]
+				members:
+					for mi, member := range ix.shards {
+						mlv := levels[mi]
+						for a, c := range srcB.coord {
+							if c+span < mlv.lo[a] || c-span > mlv.hi[a] {
+								continue members
+							}
+						}
+						member.ix.accumulateCellCounts(mlv, srcB, src.ix.points, src.global, r, limit, exactBoundary, out, sc)
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for si := range ix.shards {
+		nb := len(levels[si].buckets)
+		for lo := 0; lo < nb; lo += chunk {
+			if ctx.Err() != nil {
+				break feed
+			}
+			hi := lo + chunk
+			if hi > nb {
+				hi = nb
+			}
+			tasks <- task{si, lo, hi}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CountWithin returns B_r(x_i) exactly: the sum of exact per-shard counts.
+func (ix *ShardedIndex) CountWithin(i int, r float64) int {
+	if r < 0 {
+		return 0
+	}
+	j := ix.lad.levelFor(r)
+	sc := newCellScratch(ix.dim)
+	total := 0
+	for _, sh := range ix.shards {
+		total += int(sh.ix.countOne(sh.ix.level(j), ix.points[i], r, sc))
+	}
+	return total
+}
+
+// RadiusForCount returns the t-th smallest distance from point i — exact,
+// via the scan shared with the CellIndex.
+func (ix *ShardedIndex) RadiusForCount(i, t int) (float64, error) {
+	return radiusForCount(ix.points, i, t)
+}
+
+// TwoApprox runs the shared ladder search (twoApproxLadder) on the summed
+// exact counts: identical ladder, identical counts, identical result to
+// the unsharded index.
+func (ix *ShardedIndex) TwoApprox(t int) (center int, radius float64, err error) {
+	return twoApproxLadder(len(ix.points), t, ix.dupCount, ix.lad, func(j int) []int32 {
+		// Background context: point/ladder queries are not cancellable —
+		// countAll never errors under it.
+		c, _ := ix.countAll(context.Background(), j, ix.lad.radius(j), int32(t), true)
+		return c
+	})
+}
+
+// MaxCountWithin returns max_i B_r(x_i) exactly.
+func (ix *ShardedIndex) MaxCountWithin(r float64) int {
+	counts, _ := ix.countAll(context.Background(), ix.lad.levelFor(r), r, math.MaxInt32, true)
+	return int(maxInt32(counts))
+}
+
+// dupLValue is L at radius 0 (and below the resolution floor): the exact
+// top-t average of the capped global duplicate multiplicities.
+func (ix *ShardedIndex) dupLValue(t int) float64 {
+	return topTAvg(ix.dupCount, t)
+}
+
+// LValue estimates L(r, S) with exactly the CellIndex bounds (the summed
+// center-rule counts are bit-identical to the unsharded estimate).
+func (ix *ShardedIndex) LValue(r float64, t int) (float64, error) {
+	n := len(ix.points)
+	if t < 1 || t > n {
+		return 0, fmt.Errorf("geometry: LValue t=%d out of [1,%d]", t, n)
+	}
+	if r < 0 {
+		return 0, nil
+	}
+	if r < ix.opts.MinRadius {
+		return ix.dupLValue(t), nil
+	}
+	counts, err := ix.countAll(context.Background(), ix.lad.levelFor(r), r, int32(t), false)
+	if err != nil {
+		return 0, err
+	}
+	return topTAvg(counts, t), nil
+}
+
+// BuildLStep constructs the approximate L(·, S) step function exactly as
+// the CellIndex sweep does — same fixed ladder, same running-max recording,
+// same early saturation stop — with each level's counts summed across
+// shards. The recorded function is bit-identical to the unsharded one, so
+// the sensitivity-2 argument (and every downstream noise draw) is
+// unchanged; see the ShardedIndex equivalence contract.
+func (ix *ShardedIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
+	ctx = ctxOrBackground(ctx)
+	n := len(ix.points)
+	if t < 1 || t > n {
+		return nil, fmt.Errorf("geometry: BuildLStep t=%d out of [1,%d]", t, n)
+	}
+	l := &LStep{T: t}
+	prev := ix.dupLValue(t)
+	l.Breaks = append(l.Breaks, 0)
+	l.Vals = append(l.Vals, prev)
+	for j := 0; j <= ix.lad.top && prev < float64(t); j++ {
+		counts, err := ix.countAll(ctx, j, ix.lad.radius(j), int32(t), false)
+		if err != nil {
+			return nil, err
+		}
+		v := topTAvg(counts, t)
+		if v > prev {
+			l.Breaks = append(l.Breaks, ix.lad.radius(j))
+			l.Vals = append(l.Vals, v)
+			prev = v
+		}
+	}
+	return l, nil
+}

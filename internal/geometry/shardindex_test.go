@@ -1,0 +1,336 @@
+package geometry
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"privcluster/internal/vec"
+)
+
+// shardTestPoints builds a planted-cluster-plus-background workload with a
+// block of duplicates, quantized onto a grid — the shapes (dense cluster,
+// uniform background, exact duplicate classes) that exercise every branch
+// of the count passes.
+func shardTestPoints(t *testing.T, seed int64, n, d int) []vec.Vector {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	grid, err := NewGrid(1<<12, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]vec.Vector, 0, n)
+	center := make(vec.Vector, d)
+	for a := range center {
+		center[a] = 0.3 + 0.4*rng.Float64()
+	}
+	for i := 0; i < n/2; i++ { // dense planted cluster
+		p := make(vec.Vector, d)
+		for a := range p {
+			p[a] = center[a] + 0.02*(rng.Float64()*2-1)
+		}
+		pts = append(pts, grid.Quantize(p))
+	}
+	dup := grid.Quantize(center.Clone())
+	for i := 0; i < n/10; i++ { // exact duplicates (radius-0 structure)
+		pts = append(pts, dup)
+	}
+	for len(pts) < n { // uniform background
+		p := make(vec.Vector, d)
+		for a := range p {
+			p[a] = rng.Float64()
+		}
+		pts = append(pts, grid.Quantize(p))
+	}
+	return pts
+}
+
+func shardTestOptions(d int) CellIndexOptions {
+	grid, _ := NewGrid(1<<12, d)
+	return CellIndexOptions{MinRadius: grid.RadiusUnit(), MaxRadius: grid.MaxDistance()}
+}
+
+// TestShardedIndexMatchesCellIndex is the tentpole equivalence guarantee at
+// the geometry layer: for every shard count and policy, a ShardedIndex
+// answers every BallIndex query bit-identically to a CellIndex over the
+// same points — exact queries and the approximate L estimators alike, so
+// the DP pipeline above consumes identical values (and hence identical
+// noise streams) regardless of sharding.
+func TestShardedIndexMatchesCellIndex(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		pts := shardTestPoints(t, int64(d), 900, d)
+		opts := shardTestOptions(d)
+		ref, err := NewCellIndex(pts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := len(pts) / 3
+		refStep, err := ref.BuildLStep(context.Background(), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int{1, 2, 4, 8} {
+			for _, pol := range []ShardPolicy{ShardRoundRobin, ShardMorton} {
+				sh, err := NewShardedIndex(context.Background(), pts, ShardedIndexOptions{
+					Shards: s, Policy: pol, Cell: opts,
+				})
+				if err != nil {
+					t.Fatalf("d=%d s=%d pol=%d: %v", d, s, pol, err)
+				}
+				if sh.Shards() != s {
+					t.Fatalf("d=%d s=%d: built %d shards", d, s, sh.Shards())
+				}
+				if sh.lad != ref.lad {
+					t.Fatalf("d=%d s=%d pol=%d: ladder diverged: %+v vs %+v", d, s, pol, sh.lad, ref.lad)
+				}
+				for _, shard := range sh.shards {
+					if shard.ix.lad != ref.lad {
+						t.Fatalf("d=%d s=%d pol=%d: shard ladder diverged: %+v vs %+v",
+							d, s, pol, shard.ix.lad, ref.lad)
+					}
+				}
+				for i := range pts {
+					if sh.dupCount[i] != ref.dupCount[i] {
+						t.Fatalf("d=%d s=%d pol=%d: dupCount[%d] = %d, want %d",
+							d, s, pol, i, sh.dupCount[i], ref.dupCount[i])
+					}
+				}
+				for _, r := range []float64{-1, 0, opts.MinRadius / 2, 0.01, 0.05, 0.3, 2} {
+					for _, i := range []int{0, len(pts) / 2, len(pts) - 1} {
+						if got, want := sh.CountWithin(i, r), ref.CountWithin(i, r); got != want {
+							t.Fatalf("d=%d s=%d pol=%d: CountWithin(%d, %v) = %d, want %d",
+								d, s, pol, i, r, got, want)
+						}
+					}
+					if got, want := sh.MaxCountWithin(r), ref.MaxCountWithin(r); got != want {
+						t.Fatalf("d=%d s=%d pol=%d: MaxCountWithin(%v) = %d, want %d", d, s, pol, r, got, want)
+					}
+					gl, err1 := sh.LValue(r, tt)
+					wl, err2 := ref.LValue(r, tt)
+					if (err1 == nil) != (err2 == nil) || gl != wl {
+						t.Fatalf("d=%d s=%d pol=%d: LValue(%v) = %v (%v), want %v (%v)",
+							d, s, pol, r, gl, err1, wl, err2)
+					}
+				}
+				for _, tq := range []int{1, 2, tt, len(pts)} {
+					gi, gr, err1 := sh.TwoApprox(tq)
+					wi, wr, err2 := ref.TwoApprox(tq)
+					if gi != wi || gr != wr || (err1 == nil) != (err2 == nil) {
+						t.Fatalf("d=%d s=%d pol=%d: TwoApprox(%d) = (%d, %v, %v), want (%d, %v, %v)",
+							d, s, pol, tq, gi, gr, err1, wi, wr, err2)
+					}
+					grr, err1 := sh.RadiusForCount(0, tq)
+					wrr, err2 := ref.RadiusForCount(0, tq)
+					if grr != wrr || (err1 == nil) != (err2 == nil) {
+						t.Fatalf("d=%d s=%d pol=%d: RadiusForCount(0, %d) = %v, want %v",
+							d, s, pol, tq, grr, wrr)
+					}
+				}
+				step, err := sh.BuildLStep(context.Background(), tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(step.Breaks) != len(refStep.Breaks) {
+					t.Fatalf("d=%d s=%d pol=%d: LStep has %d breaks, want %d",
+						d, s, pol, len(step.Breaks), len(refStep.Breaks))
+				}
+				for k := range step.Breaks {
+					if step.Breaks[k] != refStep.Breaks[k] || step.Vals[k] != refStep.Vals[k] {
+						t.Fatalf("d=%d s=%d pol=%d: LStep[%d] = (%v, %v), want (%v, %v)",
+							d, s, pol, k, step.Breaks[k], step.Vals[k], refStep.Breaks[k], refStep.Vals[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedIndexEdgeCases covers the shard-count boundaries: S above n
+// clamps so no shard is empty, S below 1 means 1, a single point works, a
+// duplicate-only dataset resolves through the radius-0 paths, and invalid
+// inputs fail like the CellIndex.
+func TestShardedIndexEdgeCases(t *testing.T) {
+	opts := shardTestOptions(2)
+
+	t.Run("shards exceed n", func(t *testing.T) {
+		pts := shardTestPoints(t, 1, 5, 2)
+		for _, pol := range []ShardPolicy{ShardRoundRobin, ShardMorton} {
+			sh, err := NewShardedIndex(context.Background(), pts, ShardedIndexOptions{
+				Shards: 64, Policy: pol, Cell: opts,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh.Shards() != len(pts) {
+				t.Errorf("pol %d: S=64 over n=5 built %d shards, want %d", pol, sh.Shards(), len(pts))
+			}
+			for _, shard := range sh.shards {
+				if shard.ix.N() == 0 {
+					t.Errorf("pol %d: empty shard built", pol)
+				}
+			}
+			ref, err := NewCellIndex(pts, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := sh.CountWithin(0, 0.5), ref.CountWithin(0, 0.5); got != want {
+				t.Errorf("pol %d: CountWithin = %d, want %d", pol, got, want)
+			}
+		}
+	})
+
+	t.Run("zero and negative shards mean one", func(t *testing.T) {
+		pts := shardTestPoints(t, 2, 50, 2)
+		for _, s := range []int{0, -3} {
+			sh, err := NewShardedIndex(context.Background(), pts, ShardedIndexOptions{Shards: s, Cell: opts})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sh.Shards() != 1 {
+				t.Errorf("Shards=%d built %d shards, want 1", s, sh.Shards())
+			}
+		}
+	})
+
+	t.Run("single point", func(t *testing.T) {
+		sh, err := NewShardedIndex(context.Background(), []vec.Vector{vec.Of(0.5, 0.5)},
+			ShardedIndexOptions{Shards: 4, Cell: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sh.CountWithin(0, 0.1); got != 1 {
+			t.Errorf("CountWithin on singleton = %d", got)
+		}
+		if i, r, err := sh.TwoApprox(1); err != nil || i != 0 || r != 0 {
+			t.Errorf("TwoApprox(1) = (%d, %v, %v)", i, r, err)
+		}
+	})
+
+	t.Run("all duplicates", func(t *testing.T) {
+		pts := make([]vec.Vector, 40)
+		for i := range pts {
+			pts[i] = vec.Of(0.25, 0.75)
+		}
+		sh, err := NewShardedIndex(context.Background(), pts, ShardedIndexOptions{Shards: 8, Cell: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i, r, err := sh.TwoApprox(40); err != nil || r != 0 {
+			t.Errorf("TwoApprox over duplicates = (%d, %v, %v), want radius 0", i, r, err)
+		}
+		if v, err := sh.LValue(0, 40); err != nil || v != 40 {
+			t.Errorf("LValue(0) over duplicates = %v (%v), want 40", v, err)
+		}
+	})
+
+	t.Run("invalid input", func(t *testing.T) {
+		if _, err := NewShardedIndex(context.Background(), nil, ShardedIndexOptions{Shards: 2, Cell: opts}); err == nil {
+			t.Error("empty input accepted")
+		}
+		bad := []vec.Vector{vec.Of(0.1, 0.2), vec.Of(0.3)}
+		if _, err := NewShardedIndex(context.Background(), bad, ShardedIndexOptions{Shards: 2, Cell: opts}); err == nil {
+			t.Error("mismatched dimensions accepted")
+		}
+		sh, err := NewShardedIndex(context.Background(), shardTestPoints(t, 3, 20, 2),
+			ShardedIndexOptions{Shards: 2, Cell: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bad := range []int{0, -1, 21} {
+			if _, err := sh.BuildLStep(context.Background(), bad); err == nil {
+				t.Errorf("BuildLStep(t=%d) accepted", bad)
+			}
+			if _, _, err := sh.TwoApprox(bad); err == nil {
+				t.Errorf("TwoApprox(t=%d) accepted", bad)
+			}
+			if _, err := sh.LValue(0.1, bad); err == nil {
+				t.Errorf("LValue(t=%d) accepted", bad)
+			}
+			if _, err := sh.RadiusForCount(0, bad); err == nil {
+				t.Errorf("RadiusForCount(t=%d) accepted", bad)
+			}
+		}
+	})
+}
+
+// TestShardedIndexCancellation: a context cancelled before or during the
+// build (or a BuildLStep sweep) aborts with ctx.Err() and leaves no leaked
+// goroutines — the worker pools and shard builders always drain. Run under
+// -race in CI.
+func TestShardedIndexCancellation(t *testing.T) {
+	pts := shardTestPoints(t, 4, 4000, 2)
+	opts := shardTestOptions(2)
+	baseline := runtime.NumGoroutine()
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewShardedIndex(pre, pts, ShardedIndexOptions{Shards: 4, Cell: opts}); err != context.Canceled {
+		t.Errorf("pre-cancelled build: err = %v, want context.Canceled", err)
+	}
+
+	sh, err := NewShardedIndex(context.Background(), pts, ShardedIndexOptions{Shards: 4, Cell: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := sh.BuildLStep(mid, len(pts)/2)
+		done <- err
+	}()
+	time.Sleep(time.Millisecond)
+	cancel2()
+	select {
+	case err := <-done:
+		if err != nil && err != context.Canceled {
+			t.Errorf("cancelled BuildLStep: err = %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled BuildLStep did not return")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline+2 {
+		t.Errorf("goroutines leaked: %d vs baseline %d", got, baseline)
+	}
+}
+
+// TestAssignShardsBalanced: both policies partition all n ids into shards
+// whose sizes differ by at most one, with every id appearing exactly once.
+func TestAssignShardsBalanced(t *testing.T) {
+	pts := shardTestPoints(t, 5, 103, 2)
+	for _, pol := range []ShardPolicy{ShardRoundRobin, ShardMorton} {
+		for _, s := range []int{1, 2, 7, 103} {
+			parts := assignShards(pts, s, pol)
+			seen := make([]bool, len(pts))
+			minSz, maxSz := len(pts), 0
+			for _, ids := range parts {
+				if len(ids) < minSz {
+					minSz = len(ids)
+				}
+				if len(ids) > maxSz {
+					maxSz = len(ids)
+				}
+				for _, id := range ids {
+					if seen[id] {
+						t.Fatalf("pol %d s=%d: id %d assigned twice", pol, s, id)
+					}
+					seen[id] = true
+				}
+			}
+			for id, ok := range seen {
+				if !ok {
+					t.Fatalf("pol %d s=%d: id %d unassigned", pol, s, id)
+				}
+			}
+			if maxSz-minSz > 1 {
+				t.Errorf("pol %d s=%d: shard sizes range [%d, %d]", pol, s, minSz, maxSz)
+			}
+		}
+	}
+}
