@@ -18,6 +18,14 @@
 // -shards controls the scalable index's data partitioning (0 = automatic);
 // sharding is a pure performance knob — releases are identical at any
 // value under the same seed.
+//
+// Remote mode: -remote routes the ball-index queries through shard
+// servers (cmd/shardserver), one shard per address, over the wire
+// protocol. Releases are bit-identical to local execution under the same
+// seed; combine with -queries/-parallel freely:
+//
+//	onecluster -t 400 -remote host1:7601,host2:7601 points.csv
+//	onecluster -queries 300,400 -remote host1:7601,host2:7601 points.csv
 package main
 
 import (
@@ -46,6 +54,7 @@ func main() {
 	budget := flag.String("budget", "", `total privacy budget "ε,δ" the handle may spend across -queries (empty = unlimited)`)
 	shards := flag.Int("shards", 0, "scalable-index shards (0 = automatic: GOMAXPROCS shards at n ≥ 100000); results are identical at any value")
 	parallel := flag.Bool("parallel", false, "with -queries: run the queries concurrently through the batch executor")
+	remote := flag.String("remote", "", `comma-separated shard-server addresses ("host:port,host:port"); queries run with one shard per address over the wire protocol — releases are identical to local execution under the same seed`)
 	flag.Parse()
 
 	if *queries == "" && *t <= 0 {
@@ -71,9 +80,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "onecluster:", err)
 		os.Exit(1)
 	}
+	remoteAddrs := splitRemote(*remote)
 
 	if *queries != "" {
-		if err := runQueries(points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed, *shards, *parallel); err != nil {
+		if err := runQueries(os.Stdout, points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed, *shards, *parallel, remoteAddrs); err != nil {
+			fmt.Fprintln(os.Stderr, "onecluster:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(remoteAddrs) > 0 {
+		if err := runRemote(os.Stdout, points, *t, *k, *epsilon, *delta, *beta, *gridSize, *seed, remoteAddrs); err != nil {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
@@ -90,7 +108,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
-		printCluster(c, points)
+		printCluster(os.Stdout, c, points)
 		return
 	}
 	cs, err := privcluster.FindClusters(points, *k, *t, opts)
@@ -100,8 +118,50 @@ func main() {
 	}
 	for i, c := range cs {
 		fmt.Printf("cluster %d:\n", i+1)
-		printCluster(c, points)
+		printCluster(os.Stdout, c, points)
 	}
+}
+
+// splitRemote parses the -remote flag into its address list.
+func splitRemote(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	addrs := make([]string, len(parts))
+	for i, p := range parts {
+		addrs[i] = strings.TrimSpace(p)
+	}
+	return addrs
+}
+
+// runRemote runs the single-shot query (-t, optionally -k) through a
+// Dataset handle whose ball index is served by the remote shards — the
+// RemoteShards path needs a handle, which the free functions do not carry.
+func runRemote(out io.Writer, points []privcluster.Point, t, k int, epsilon, delta, beta float64, gridSize, seed int64, addrs []string) error {
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, RemoteShards: addrs})
+	if err != nil {
+		return err
+	}
+	defer ds.Close()
+	q := privcluster.QueryOptions{Epsilon: epsilon, Delta: delta, Beta: beta, Seed: seed}
+	if k <= 1 {
+		c, err := ds.FindCluster(context.Background(), t, q)
+		if err != nil {
+			return err
+		}
+		printCluster(out, c, points)
+		return nil
+	}
+	cs, err := ds.FindClusters(context.Background(), k, t, q)
+	if err != nil {
+		return err
+	}
+	for i, c := range cs {
+		fmt.Fprintf(out, "cluster %d:\n", i+1)
+		printCluster(out, c, points)
+	}
+	return nil
 }
 
 // runQueries exercises the handle API end to end: one Open, then every t
@@ -112,8 +172,10 @@ func main() {
 // set, the queries run concurrently through the batch executor instead —
 // same releases under the same seeds, but when the budget cannot cover
 // them all, which queries are refused depends on scheduling, so refusals
-// are reported per query rather than stopping the run.
-func runQueries(points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64, shards int, parallel bool) error {
+// are reported per query rather than stopping the run. A non-empty remote
+// list serves the ball index from those shard servers instead of local
+// cores; releases are unchanged.
+func runQueries(out io.Writer, points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64, shards int, parallel bool, remote []string) error {
 	ts, err := parseQueries(queries)
 	if err != nil {
 		return err
@@ -122,10 +184,13 @@ func runQueries(points []privcluster.Point, queries, budget string, epsilon, del
 	if err != nil {
 		return err
 	}
-	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, Budget: b, Shards: shards})
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{
+		GridSize: gridSize, Budget: b, Shards: shards, RemoteShards: remote,
+	})
 	if err != nil {
 		return err
 	}
+	defer ds.Close()
 	ctx := context.Background()
 	qopts := make([]privcluster.QueryOptions, len(ts))
 	for i := range ts {
@@ -144,32 +209,32 @@ func runQueries(points []privcluster.Point, queries, budget string, epsilon, del
 			batch[i] = privcluster.Query{T: t, Opts: qopts[i]}
 		}
 		for i, res := range ds.FindClustersBatch(ctx, batch) {
-			fmt.Printf("query %d (t=%d, ε=%g, δ=%g):\n", i+1, ts[i], epsilon, delta)
+			fmt.Fprintf(out, "query %d (t=%d, ε=%g, δ=%g):\n", i+1, ts[i], epsilon, delta)
 			if res.Err != nil {
-				fmt.Printf("  failed: %v\n", res.Err)
+				fmt.Fprintf(out, "  failed: %v\n", res.Err)
 				continue
 			}
-			printCluster(res.Clusters[0], points)
+			printCluster(out, res.Clusters[0], points)
 		}
 	} else {
 		for i, t := range ts {
 			c, err := ds.FindCluster(ctx, t, qopts[i])
-			fmt.Printf("query %d (t=%d, ε=%g, δ=%g):\n", i+1, t, epsilon, delta)
+			fmt.Fprintf(out, "query %d (t=%d, ε=%g, δ=%g):\n", i+1, t, epsilon, delta)
 			if err != nil {
 				if errors.Is(err, privcluster.ErrBudgetExhausted) {
 					return err
 				}
-				fmt.Printf("  failed: %v\n", err)
+				fmt.Fprintf(out, "  failed: %v\n", err)
 				continue
 			}
-			printCluster(c, points)
+			printCluster(out, c, points)
 		}
 	}
 	spent := ds.Spent()
 	if rem, ok := ds.Remaining(); ok {
-		fmt.Printf("budget: spent %v, remaining %v\n", spent, rem)
+		fmt.Fprintf(out, "budget: spent %v, remaining %v\n", spent, rem)
 	} else {
-		fmt.Printf("budget: spent %v (no cap)\n", spent)
+		fmt.Fprintf(out, "budget: spent %v (no cap)\n", spent)
 	}
 	return nil
 }
@@ -212,10 +277,10 @@ func parseBudget(s string) (privcluster.Budget, error) {
 	return privcluster.Budget{Epsilon: eps, Delta: del}, nil
 }
 
-func printCluster(c privcluster.Cluster, points []privcluster.Point) {
-	fmt.Printf("  center: %v\n", formatPoint(c.Center))
-	fmt.Printf("  radius: %g (radius-stage estimate %g)\n", c.Radius, c.RawRadius)
-	fmt.Printf("  points inside: %d of %d\n", c.Count(points), len(points))
+func printCluster(out io.Writer, c privcluster.Cluster, points []privcluster.Point) {
+	fmt.Fprintf(out, "  center: %v\n", formatPoint(c.Center))
+	fmt.Fprintf(out, "  radius: %g (radius-stage estimate %g)\n", c.Radius, c.RawRadius)
+	fmt.Fprintf(out, "  points inside: %d of %d\n", c.Count(points), len(points))
 }
 
 func formatPoint(p privcluster.Point) string {

@@ -1,0 +1,186 @@
+// Command shardserver is the remote-shard daemon: it hosts ball-index
+// shards behind the wire protocol (see internal/transport) so a client's
+// ShardedIndex can sum its partial counts across machines.
+//
+// Usage:
+//
+//	shardserver -addr :7601
+//	shardserver -addr :7601 -csv points.csv -grid 65536
+//
+// Without -csv the server is stateless: each client connection ships the
+// prepared global point set in its handshake and the server builds the
+// requested shard from it. With -csv the server preloads the data — it
+// reads the CSV (one point per line, comma-separated coordinates),
+// applies exactly the client-side preparation (affine map from
+// [-min, -max] onto the unit cube, then snapping onto the -grid lattice),
+// and clients connecting with the omit-points handshake skip the payload;
+// a checksum in the handshake guards against a server whose -csv/-grid/
+// domain flags prepared different coordinates than the client did.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: listeners close
+// first, in-flight requests run to completion up to -grace, then
+// remaining connections are cut.
+//
+// Trust boundary: a shard server holds raw data points. The differential
+// privacy guarantee applies to the released outputs of the client-side
+// pipeline, not to intra-cluster traffic or server memory — deploy shard
+// servers inside the same trust domain as the data and protect the links
+// (TLS/mTLS tunnels, private networks). See the "Remote shards" section
+// of the package documentation.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/transport"
+	"privcluster/internal/vec"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shardserver:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored for tests: it serves until ctx is
+// cancelled, then shuts down gracefully. The actual listening address is
+// printed to out (essential with -addr :0).
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shardserver", flag.ContinueOnError)
+	addr := fs.String("addr", ":7601", "TCP address to listen on")
+	csv := fs.String("csv", "", "CSV of points to preload (empty = points arrive per connection)")
+	gridSize := fs.Int64("grid", 1<<16, "|X|: grid values per axis the preloaded points are snapped to (must match the client)")
+	domainMin := fs.Float64("min", 0, "domain lower bound of the preloaded points (must match the client)")
+	domainMax := fs.Float64("max", 0, "domain upper bound (0,0 = unit cube; must match the client)")
+	workers := fs.Int("workers", 0, "worker-pool bound for the hosted shards' count passes (0 = GOMAXPROCS)")
+	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var points []vec.Vector
+	if *csv != "" {
+		f, err := os.Open(*csv)
+		if err != nil {
+			return err
+		}
+		raw, err := readPoints(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *csv, err)
+		}
+		points, err = prepare(raw, *gridSize, *domainMin, *domainMax)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "shardserver: preloaded %d points of dimension %d (grid %d)\n",
+			len(points), points[0].Dim(), *gridSize)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shardserver: listening on %s\n", l.Addr())
+
+	srv := transport.NewServer(transport.ServerOptions{
+		Points:  points,
+		Workers: *workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(out, format+"\n", args...)
+		},
+	})
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(out, "shardserver: shutting down (grace %s)\n", *grace)
+	sctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fmt.Fprintf(out, "shardserver: forced shutdown: %v\n", err)
+	}
+	return nil
+}
+
+// prepare applies the client-side data preparation to raw CSV points:
+// affine map onto the unit cube, then grid quantization — the same
+// transformation privcluster.Open performs, so the preloaded coordinates
+// are bit-identical to what a client with matching options would ship.
+func prepare(raw [][]float64, gridSize int64, min, max float64) ([]vec.Vector, error) {
+	if (min != 0 || max != 0) && max <= min {
+		return nil, fmt.Errorf("domain bounds -max %v ≤ -min %v", max, min)
+	}
+	span := 1.0
+	if min != 0 || max != 0 {
+		span = max - min
+	}
+	d := len(raw[0])
+	grid, err := geometry.NewGrid(gridSize, d)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]vec.Vector, len(raw))
+	for i, p := range raw {
+		if len(p) != d {
+			return nil, fmt.Errorf("point %d has dimension %d, want %d", i, len(p), d)
+		}
+		u := make(vec.Vector, d)
+		for j, x := range p {
+			u[j] = (x - min) / span
+		}
+		out[i] = grid.Quantize(u)
+	}
+	return out, nil
+}
+
+// readPoints parses the CSV format cmd/onecluster reads: one point per
+// line, comma-separated coordinates, blank lines and #-comments skipped.
+func readPoints(r io.Reader) ([][]float64, error) {
+	var points [][]float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		p := make([]float64, len(fields))
+		for i, f := range fields {
+			x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", line, err)
+			}
+			p[i] = x
+		}
+		points = append(points, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("no points in input")
+	}
+	return points, nil
+}

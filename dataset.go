@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -45,6 +47,26 @@ type DatasetOptions struct {
 	BoxPacking BoxPacking
 	// Paper switches every internal constant to the paper's proof values.
 	Paper bool
+	// RemoteShards lists shard-server addresses: when non-empty, the ball
+	// index is built with one shard per address, each served over the
+	// wire protocol (cmd/shardserver hosts them). Remote execution
+	// presumes the scalable backend, so IndexPolicy and Shards are
+	// ignored; releases stay bit-identical to local execution under the
+	// same seed — see the "Remote shards" section of the package
+	// documentation for the cost model and the trust boundary. The
+	// address list identifies the cached index, so it must be stable for
+	// the handle's lifetime; Close releases the connections.
+	RemoteShards []string
+	// RemoteDial overrides how shard-server connections are established
+	// (nil = TCP). It exists for in-process loopback transports in tests
+	// and demos; the dial function itself is transport mechanics and is
+	// not part of the index cache identity — RemoteShards is.
+	RemoteDial func(ctx context.Context, addr string) (net.Conn, error)
+	// IndexCacheSize bounds how many built ball indexes the handle keeps
+	// (FIFO-evicted; 0 means the default of 4). The effective key is
+	// nearly always constant per handle, so the bound only matters when
+	// resolution drifts (see indexKey).
+	IndexCacheSize int
 	// Budget is the total (ε, δ) the handle may spend across all queries.
 	// The zero value means "no budget": spending is tracked (Spent) but
 	// never refused — the semantics of the one-shot free functions. Budget
@@ -78,6 +100,15 @@ func (o DatasetOptions) validate() error {
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("privcluster: shards must be ≥ 0 (0 = automatic), got %d", o.Shards)
+	}
+	for i, a := range o.RemoteShards {
+		if a == "" {
+			return fmt.Errorf("privcluster: remote shard address %d is empty", i)
+		}
+	}
+	if o.IndexCacheSize < 0 {
+		return fmt.Errorf("privcluster: index cache size must be ≥ 0 (0 = default %d), got %d",
+			defaultIndexCacheSize, o.IndexCacheSize)
 	}
 	return o.Budget.validate()
 }
@@ -165,23 +196,32 @@ type indexEntry struct {
 }
 
 // indexKey identifies one cached ball index by every input that affects
-// what core.NewBallIndex builds: the resolved policy, the resolved shard
-// count, and the worker budget baked into the index's pools. Keying by the
-// full tuple (rather than the policy alone) guarantees a configuration
-// whose resolution drifts between queries — e.g. the automatic shard count
-// following a runtime.GOMAXPROCS change — builds a matching index instead
-// of serving a stale one.
+// what core.NewBallIndex / core.NewRemoteBallIndex builds: the resolved
+// policy, the resolved shard count, the worker budget baked into the
+// index's pools, and — for remote execution — the shard-server address
+// list. Keying by the full tuple (rather than the policy alone)
+// guarantees a configuration whose resolution drifts between queries —
+// e.g. the automatic shard count following a runtime.GOMAXPROCS change —
+// builds a matching index instead of serving a stale one; the remote
+// component keeps a remote configuration from ever colliding with a local
+// one of the same shard count.
 type indexKey struct {
 	pol     core.IndexPolicy
 	shards  int
 	workers int
+	// remote is the comma-joined RemoteShards list ("" = local). The
+	// address strings are the identity of the remote backend set; the
+	// dial function is deliberately not part of the key (it is transport
+	// mechanics — see DatasetOptions.RemoteDial).
+	remote string
 }
 
-// maxCachedIndexes bounds the per-handle index cache, FIFO-evicted. A
+// defaultIndexCacheSize bounds the per-handle index cache when
+// DatasetOptions.IndexCacheSize is zero; the cache is FIFO-evicted. A
 // handle's effective key is nearly always constant, so the bound only
 // matters when resolution drifts (see indexKey); evicting an entry never
 // invalidates in-flight queries, which keep their reference.
-const maxCachedIndexes = 4
+const defaultIndexCacheSize = 4
 
 // maxCachedLSteps bounds the per-handle L(·, S) cache: one entry per
 // distinct query target t, FIFO-evicted. A serving process typically
@@ -376,6 +416,21 @@ func (ds *Dataset) charge(ctx context.Context, cost Budget) error {
 // resolution drift can never serve a stale index.
 func (ds *Dataset) effectiveKey() indexKey {
 	n := len(ds.points)
+	if len(ds.opts.RemoteShards) > 0 {
+		// Remote execution presumes the scalable sharded backend: one
+		// shard per address (geometry clamps to at most n, mirrored here
+		// so the key matches what is built).
+		shards := len(ds.opts.RemoteShards)
+		if shards > n {
+			shards = n
+		}
+		return indexKey{
+			pol:     core.IndexScalable,
+			shards:  shards,
+			workers: core.ResolveWorkers(ds.opts.Workers),
+			remote:  strings.Join(ds.opts.RemoteShards, ","),
+		}
+	}
 	pol := core.ResolveIndexPolicy(ds.pol, n)
 	shards := 1
 	if pol == core.IndexScalable {
@@ -398,7 +453,11 @@ func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 		e = &indexEntry{}
 		ds.indexes[key] = e
 		ds.keyOrder = append(ds.keyOrder, key)
-		if len(ds.keyOrder) > maxCachedIndexes {
+		if max := ds.indexCacheSize(); len(ds.keyOrder) > max {
+			// The evicted entry is not Closed here: in-flight queries may
+			// still hold it. Remote handles keep their options stable, so
+			// eviction churn does not arise in practice; Dataset.Close
+			// releases whatever is cached at the end.
 			delete(ds.indexes, ds.keyOrder[0])
 			ds.keyOrder = ds.keyOrder[1:]
 		}
@@ -409,7 +468,14 @@ func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 		// key.shards is already resolved, so the build matches the key even
 		// if GOMAXPROCS changed since effectiveKey ran (ResolveShards is
 		// idempotent on resolved values).
-		ix, err := core.NewBallIndex(context.Background(), ds.points, ds.grid, key.pol, key.workers, key.shards)
+		var ix geometry.BallIndex
+		var err error
+		if key.remote != "" {
+			ix, err = core.NewRemoteBallIndex(context.Background(), ds.points, ds.grid,
+				key.workers, ds.opts.RemoteShards, ds.opts.RemoteDial)
+		} else {
+			ix, err = core.NewBallIndex(context.Background(), ds.points, ds.grid, key.pol, key.workers, key.shards)
+		}
 		if err != nil {
 			e.err = err
 			return
@@ -417,6 +483,43 @@ func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 		e.ix = newCachedIndex(ix)
 	})
 	return e.ix, e.err
+}
+
+// indexCacheSize resolves the configured cache bound (0 = default).
+func (ds *Dataset) indexCacheSize() int {
+	if ds.opts.IndexCacheSize > 0 {
+		return ds.opts.IndexCacheSize
+	}
+	return defaultIndexCacheSize
+}
+
+// Close releases the resources held by the handle's cached indexes — the
+// shard-server connections of a remote handle; local indexes hold none,
+// making Close optional for them. Queries in flight when Close is called
+// may fail; the handle must not be queried afterwards.
+func (ds *Dataset) Close() error {
+	ds.mu.Lock()
+	entries := make([]*indexEntry, 0, len(ds.indexes))
+	for _, e := range ds.indexes {
+		entries = append(entries, e)
+	}
+	ds.indexes = make(map[indexKey]*indexEntry)
+	ds.keyOrder = nil
+	ds.mu.Unlock()
+	var first error
+	for _, e := range entries {
+		e.once.Do(func() {}) // settle concurrent builders
+		ci, ok := e.ix.(*cachedIndex)
+		if !ok {
+			continue
+		}
+		if c, ok := ci.BallIndex.(interface{ Close() error }); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // params assembles the core configuration for one cluster query.

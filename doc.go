@@ -128,9 +128,9 @@
 // the same seed — a tested guarantee, not an approximation. Shards = 0
 // (the default) is automatic: GOMAXPROCS shards at n ≥ 100,000, unsharded
 // below; any explicit value is clamped to [1, n]. Sum-decomposition across
-// data partitions is also the seam a distributed backend plugs into: a
-// remote shard answering "how many of my points lie within r of x" drops
-// into the same summation.
+// data partitions is also the seam the distributed backend plugs into: a
+// remote shard answering "how many of my points lie within r of these
+// centers" drops into the same summation — see "Remote shards" below.
 //
 // GoodCenter's box-partition loop — one O(n·k) count pass per
 // sparse-vector repetition — runs on a packed-key engine: per-axis cell
@@ -142,6 +142,57 @@
 // results under the same seed, and the hashed backend matches them barring
 // a ≈ 2⁻⁶⁴-probability key collision (which merges two boxes — a utility
 // blip, never a privacy one), so both knobs are pure performance tuning.
+//
+// # Remote shards
+//
+// The sum-decomposition above is location-transparent, and
+// DatasetOptions.RemoteShards exercises that: with shard-server addresses
+// configured, the handle's ball index is built with one shard per address,
+// each served by a cmd/shardserver daemon over a versioned,
+// length-prefixed binary wire protocol (internal/transport). The handshake
+// ships the prepared global point set (or, for servers preloaded with
+// -csv, a checksum that proves both sides prepared identical coordinates);
+// after that every bulk query is one batched round trip per shard — a
+// PARTIALS request returns the shard's capped counts around all n points
+// at once, never one round trip per point. Releases remain bit-identical
+// to local execution under the same seed (the equivalence contract
+// survives serialization: coordinates travel as exact IEEE bit patterns),
+// which examples/remote re-proves on every CI run. Protocol versions are
+// negotiated at handshake; a mismatch fails fast with a typed error
+// rather than misparsing frames. Context deadlines and cancellations
+// propagate onto connection deadlines, broken connections are re-dialed
+// and re-handshaken within a per-call retry budget, and a shard server
+// dying mid-query surfaces a typed transport error — never a hang and
+// never a partially summed count. Dataset.Close releases the connections.
+//
+// Cost model — when do remote shards beat local cores? The per-query
+// preprocessing cost is the BuildLStep sweep: roughly
+// L·n·(2·CellsPerRadius+2)^d / C point-cell operations for L ladder
+// levels on C cores, and the sweep's levels are sequential. Remote
+// execution replaces C local cores with S servers and adds, per level,
+// one round trip carrying 4n bytes of counts per shard (plus the one-off
+// handshake of 8nd bytes per shard). Remote wins when per-level compute
+// dominates transport: n·(2c+2)^d/S · t_op ≫ RTT + 4n/bandwidth. At
+// n = 10⁵ a level is a few hundred kilobytes against seconds of compute,
+// so the crossover sits far below datacenter RTTs — the constraint is
+// compute per level, not the wire. Conversely, a single machine with idle
+// cores should prefer local sharding (DatasetOptions.Shards): it skips
+// serialization entirely and shares one source-cell structure where each
+// remote server must build its own (BenchmarkRemoteLoopback quantifies
+// both overheads by running the protocol against servers in the same
+// process). KCover's later rounds (k > 1) rebuild local indexes over the
+// shrinking uncovered remainder — only round 1, the full-dataset cost,
+// runs remote; releases are identical either way.
+//
+// Trust boundary: shard servers hold raw data points and answer exact
+// counting queries about them — they sit inside the trust boundary, on
+// the private side of the differential-privacy guarantee, which applies
+// to the released outputs of the client pipeline and not to intra-cluster
+// traffic or server memory. Deploy shard servers in the same trust domain
+// as the data owner, and protect the links with the deployment's
+// transport security (TLS/mTLS tunnels or a private network); the wire
+// protocol itself is deliberately plain TCP and does not pretend to add
+// privacy.
 //
 // # Errors and the feasible t/ε regime
 //
@@ -178,7 +229,8 @@
 //
 // See the examples/ directory for runnable programs (examples/scale runs
 // n = 200,000; examples/serving demonstrates the handle's amortization,
-// budget accounting and deadlines) and DESIGN.md for the system inventory, the
+// budget accounting and deadlines; examples/remote self-checks the shard
+// transport's equivalence) and DESIGN.md for the system inventory, the
 // paper-vs-implementation substitutions, and the experiment index.
 // EXPERIMENTS.md reports paper-vs-measured results for every table and
 // figure.

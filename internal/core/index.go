@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"privcluster/internal/geometry"
+	"privcluster/internal/transport"
 	"privcluster/internal/vec"
 )
 
@@ -124,4 +125,38 @@ func NewBallIndex(ctx context.Context, points []vec.Vector, grid geometry.Grid, 
 		})
 	}
 	return geometry.NewCellIndex(points, cell)
+}
+
+// NewRemoteBallIndex builds the scalable sharded index with every shard
+// served over the wire protocol: one shard per address in addrs (the same
+// Morton partition NewBallIndex uses, clamped to at most n shards), dialed
+// and handshaken via the transport package. The exact-vs-scalable policy
+// does not apply — remote execution presumes the scalable backend — and
+// releases are bit-identical to NewBallIndex's under the same seed (the
+// ShardedIndex equivalence contract survives the wire; see
+// geometry.ShardedIndex and the transport package).
+//
+// dial overrides connection establishment (nil = TCP) — the seam the
+// loopback tests and single-process demos use. ctx governs dialing and the
+// handshake round trips; the caller owns the returned index's connections
+// (it is a *geometry.ShardedIndex; Close releases them).
+func NewRemoteBallIndex(ctx context.Context, points []vec.Vector, grid geometry.Grid, workers int, addrs []string, dial transport.DialFunc) (geometry.BallIndex, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("core: remote ball index needs at least one shard address")
+	}
+	for i, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("core: remote shard address %d is empty", i)
+		}
+	}
+	cell := geometry.CellIndexOptions{
+		MinRadius: grid.RadiusUnit(),
+		MaxRadius: grid.MaxDistance(),
+		Workers:   workers,
+	}
+	return geometry.NewShardedIndexBackends(ctx, points, geometry.ShardedIndexOptions{
+		Shards: len(addrs),
+		Policy: geometry.ShardMorton,
+		Cell:   cell,
+	}, transport.ShardDialer(addrs, transport.Options{Dial: dial}))
 }

@@ -1,0 +1,269 @@
+package geometry
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"privcluster/internal/vec"
+)
+
+// ShardBackend is the narrow seam between ShardedIndex and one data
+// partition: a shard holds a subset of the indexed points and answers
+// "how many of my points are within r of these centers" in the three
+// flavors the BallIndex queries decompose into. Every method is a pure
+// read over the shard's points — per-shard answers compose into global
+// ones by plain (or saturating) addition, which is what makes the
+// ShardedIndex equivalence contract transport-agnostic: an implementation
+// may run in-process (LocalShard) or on another machine behind an RPC
+// client, and releases stay bit-identical.
+//
+// Bulk methods take the batch implicitly: the full global point set is
+// fixed at construction (ShardConfig.Points), so PartialCounts and
+// DupCounts answer for every global point in one call — one network round
+// trip per call for a remote implementation, never one per point.
+//
+// Implementations must be safe for sequential reuse; ShardedIndex never
+// issues concurrent calls to the same backend, but distinct backends are
+// queried concurrently.
+type ShardBackend interface {
+	// NPoints returns the number of points the shard holds.
+	NPoints() int
+	// CountBatch returns, for each center, the exact number of shard
+	// points within distance r of it — the batched CountWithin partial.
+	// A negative r yields zeros.
+	CountBatch(ctx context.Context, centers []vec.Vector, r float64) ([]int32, error)
+	// PartialCounts returns this shard's contribution to the capped
+	// within-r counts around every global point, at ladder level j: slot i
+	// holds min(|{y ∈ shard : y contributes to B_r(points[i])}|, limit),
+	// with boundary cells resolved exactly (exactBoundary) or by the
+	// center rule of the L estimators. Summing the per-shard vectors with
+	// saturation at limit reproduces the unsharded capped counts bit for
+	// bit (capping commutes — see ShardedIndex).
+	PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error)
+	// DupCounts returns, for every global point, how many shard points
+	// are bitwise identical to it — this shard's contribution to the
+	// global duplicate table (the exact radius-0 counts).
+	DupCounts(ctx context.Context) ([]int32, error)
+	// Close releases the backend's resources (network connections for
+	// remote implementations; a no-op locally).
+	Close() error
+}
+
+// ShardConfig is everything a backend needs to serve one shard of a
+// ShardedIndex: the full global point set (the query centers of the bulk
+// passes), which of those points the shard holds, and the cell options
+// every shard must share. It is the payload a remote transport ships at
+// handshake.
+type ShardConfig struct {
+	// Points is the full global point set, in global order.
+	Points []vec.Vector
+	// Members lists the global ids of the points this shard holds.
+	Members []int32
+	// Cell configures the shard's cell index. It must be the defaulted
+	// global options with MaxRadius pinned to the global ladder top, so
+	// every shard — and the source-cell structure over the global points —
+	// resolves each radius at the same ladder level with the same cell
+	// side (the shared-ladder invariant; NewShardedIndexBackends pins it).
+	Cell CellIndexOptions
+}
+
+// validate rejects configs that cannot describe a shard.
+func (cfg ShardConfig) validate() error {
+	n := len(cfg.Points)
+	if n == 0 {
+		return fmt.Errorf("geometry: shard config with no global points")
+	}
+	if len(cfg.Members) == 0 {
+		return fmt.Errorf("geometry: shard config with no member points")
+	}
+	d := cfg.Points[0].Dim()
+	for i, p := range cfg.Points {
+		if p.Dim() != d {
+			return fmt.Errorf("geometry: global point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+	}
+	for _, g := range cfg.Members {
+		if g < 0 || int(g) >= n {
+			return fmt.Errorf("geometry: member id %d out of [0, %d)", g, n)
+		}
+	}
+	return nil
+}
+
+// LocalShard is the in-process ShardBackend: the CellIndex machinery over
+// one shard's subset, answering the partial queries the ShardedIndex sums.
+// It is what the shard-server daemon runs behind the wire protocol, and
+// what loopback tests plug directly into NewShardedIndexBackends to prove
+// the generic summation path equivalent without any transport.
+//
+// Internally it keeps two cell structures: the member index over the
+// shard's points (whose cells are classified against query balls) and a
+// source index over the global points (whose cells group the query centers
+// so candidate enumeration is paid per occupied source cell, not per
+// center — the same amortization the fused local pass gets from per-shard
+// levels). Both are pinned to the shared ladder, and the source grouping
+// never affects results: a member cell outside a source cell's candidate
+// block contributes nothing to its points under either boundary rule.
+type LocalShard struct {
+	cfg     ShardConfig
+	members *CellIndex // index over the shard's subset
+	src     *CellIndex // source-cell structure over the global points
+
+	dupOnce sync.Once
+	dup     []int32
+}
+
+// NewLocalShard builds the in-process backend for one shard. The config's
+// cell options must already be defaulted and ladder-pinned (ShardConfig).
+func NewLocalShard(cfg ShardConfig) (*LocalShard, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cell := cfg.Cell.withDefaults(cfg.Points[0].Dim())
+	// Neither structure needs a duplicate table: DupCounts is answered
+	// from a key map against the global centers (a per-shard CellIndex
+	// table could not see them), and the source index only ever serves
+	// cell levels.
+	cell.skipDupTable = true
+	sub := make([]vec.Vector, len(cfg.Members))
+	for k, g := range cfg.Members {
+		sub[k] = cfg.Points[g]
+	}
+	members, err := NewCellIndex(sub, cell)
+	if err != nil {
+		return nil, err
+	}
+	src, err := NewCellIndex(cfg.Points, cell)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Cell = cell
+	return &LocalShard{cfg: cfg, members: members, src: src}, nil
+}
+
+// NPoints returns the number of points the shard holds.
+func (s *LocalShard) NPoints() int { return s.members.N() }
+
+// Close is a no-op: the shard holds no external resources.
+func (s *LocalShard) Close() error { return nil }
+
+// CountBatch returns the exact number of shard points within r of each
+// center.
+func (s *LocalShard) CountBatch(ctx context.Context, centers []vec.Vector, r float64) ([]int32, error) {
+	out := make([]int32, len(centers))
+	if r < 0 {
+		return out, nil
+	}
+	if err := ctxOrBackground(ctx).Err(); err != nil {
+		return nil, err
+	}
+	lv := s.members.level(s.members.levelFor(r))
+	sc := newCellScratch(s.members.dim)
+	for i, c := range centers {
+		if c.Dim() != s.members.dim {
+			return nil, fmt.Errorf("geometry: center %d has dimension %d, want %d", i, c.Dim(), s.members.dim)
+		}
+		out[i] = s.members.countOne(lv, c, r, sc)
+	}
+	return out, nil
+}
+
+// PartialCounts computes the shard's member contributions around every
+// global point at ladder level j, capped at limit. Source cells (over the
+// global points) fan out across the shard's worker pool; a global point's
+// slot is written only by the task owning its source cell, so the pass is
+// data-race free, and a cancelled ctx aborts it with ctx.Err() — the
+// feeder stops, the workers drain, no goroutines leak.
+func (s *LocalShard) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	ctx = ctxOrBackground(ctx)
+	n := len(s.cfg.Points)
+	out := make([]int32, n)
+	if r < 0 || limit <= 0 {
+		return out, nil
+	}
+	srcLv := s.src.level(j)
+	mLv := s.members.level(j)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Source cells whose candidate block cannot reach the member bounding
+	// box contribute nothing — the same O(d) prune the fused local pass
+	// applies per (source cell, member shard) pair.
+	span := int64(math.Ceil(r/srcLv.side)) + 1
+
+	nb := len(srcLv.buckets)
+	workers := s.cfg.Cell.Workers
+	if workers > nb {
+		workers = nb
+	}
+	const chunk = 64
+	ranges := make(chan [2]int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newCellScratch(s.members.dim)
+			for rg := range ranges {
+				if ctx.Err() != nil {
+					continue // drain the channel so the feeder never blocks
+				}
+			cells:
+				for bi := rg[0]; bi < rg[1]; bi++ {
+					srcB := &srcLv.buckets[bi]
+					for a, c := range srcB.coord {
+						if c+span < mLv.lo[a] || c-span > mLv.hi[a] {
+							continue cells
+						}
+					}
+					s.members.accumulateCellCounts(mLv, srcB, s.cfg.Points, nil, r, limit, exactBoundary, out, sc)
+				}
+			}
+		}()
+	}
+	for lo := 0; lo < nb && ctx.Err() == nil; lo += chunk {
+		hi := lo + chunk
+		if hi > nb {
+			hi = nb
+		}
+		ranges <- [2]int{lo, hi}
+	}
+	close(ranges)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DupCounts returns, for every global point, the number of shard points
+// bitwise identical to it (computed once and memoized — the table is a
+// pure function of the config).
+func (s *LocalShard) DupCounts(ctx context.Context) ([]int32, error) {
+	if err := ctxOrBackground(ctx).Err(); err != nil {
+		return nil, err
+	}
+	s.dupOnce.Do(func() {
+		d := s.cfg.Points[0].Dim()
+		buf := make([]byte, 8*d)
+		key := func(p vec.Vector) string {
+			for a, x := range p {
+				binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
+			}
+			return string(buf)
+		}
+		m := make(map[string]int32, len(s.cfg.Members))
+		for _, g := range s.cfg.Members {
+			m[key(s.cfg.Points[g])]++
+		}
+		out := make([]int32, len(s.cfg.Points))
+		for i, p := range s.cfg.Points {
+			out[i] = m[key(p)]
+		}
+		s.dup = out
+	})
+	return s.dup, nil
+}

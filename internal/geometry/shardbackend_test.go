@@ -1,0 +1,281 @@
+package geometry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"privcluster/internal/vec"
+)
+
+// localDialer is the in-process ShardDialer: the generic backend summation
+// path with zero transport, so its equivalence failures can only come from
+// the decomposition itself.
+func localDialer(_ context.Context, _ int, cfg ShardConfig) (ShardBackend, error) {
+	return NewLocalShard(cfg)
+}
+
+// TestShardedIndexBackendsMatchesCellIndex pins the transport tentpole at
+// the geometry layer: a backend-mode ShardedIndex (shards reached only
+// through the ShardBackend interface, global duplicate table assembled
+// from per-backend contributions, bulk counts summed from per-backend
+// partial vectors) answers every BallIndex query bit-identically to a
+// CellIndex over the same points. With this in place, a remote transport
+// only has to move the ShardBackend calls faithfully to inherit the whole
+// equivalence contract.
+func TestShardedIndexBackendsMatchesCellIndex(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		pts := shardTestPoints(t, int64(d), 700, d)
+		opts := shardTestOptions(d)
+		ref, err := NewCellIndex(pts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := len(pts) / 3
+		refStep, err := ref.BuildLStep(context.Background(), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int{1, 2, 4} {
+			for _, pol := range []ShardPolicy{ShardRoundRobin, ShardMorton} {
+				sh, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+					Shards: s, Policy: pol, Cell: opts,
+				}, localDialer)
+				if err != nil {
+					t.Fatalf("d=%d s=%d pol=%d: %v", d, s, pol, err)
+				}
+				if sh.Shards() != s {
+					t.Fatalf("d=%d s=%d: built %d backends", d, s, sh.Shards())
+				}
+				if sh.lad != ref.lad {
+					t.Fatalf("d=%d s=%d pol=%d: ladder diverged: %+v vs %+v", d, s, pol, sh.lad, ref.lad)
+				}
+				if sh.N() != ref.N() {
+					t.Fatalf("d=%d s=%d: N = %d, want %d", d, s, sh.N(), ref.N())
+				}
+				for i := range pts {
+					if sh.dupCount[i] != ref.dupCount[i] {
+						t.Fatalf("d=%d s=%d pol=%d: dupCount[%d] = %d, want %d",
+							d, s, pol, i, sh.dupCount[i], ref.dupCount[i])
+					}
+				}
+				for _, r := range []float64{-1, 0, opts.MinRadius / 2, 0.01, 0.05, 0.3, 2} {
+					for _, i := range []int{0, len(pts) / 2, len(pts) - 1} {
+						if got, want := sh.CountWithin(i, r), ref.CountWithin(i, r); got != want {
+							t.Fatalf("d=%d s=%d pol=%d: CountWithin(%d, %v) = %d, want %d",
+								d, s, pol, i, r, got, want)
+						}
+					}
+					if got, want := sh.MaxCountWithin(r), ref.MaxCountWithin(r); got != want {
+						t.Fatalf("d=%d s=%d pol=%d: MaxCountWithin(%v) = %d, want %d", d, s, pol, r, got, want)
+					}
+					gl, err1 := sh.LValue(r, tt)
+					wl, err2 := ref.LValue(r, tt)
+					if (err1 == nil) != (err2 == nil) || gl != wl {
+						t.Fatalf("d=%d s=%d pol=%d: LValue(%v) = %v (%v), want %v (%v)",
+							d, s, pol, r, gl, err1, wl, err2)
+					}
+				}
+				for _, tq := range []int{1, 2, tt, len(pts)} {
+					gi, gr, err1 := sh.TwoApprox(tq)
+					wi, wr, err2 := ref.TwoApprox(tq)
+					if gi != wi || gr != wr || (err1 == nil) != (err2 == nil) {
+						t.Fatalf("d=%d s=%d pol=%d: TwoApprox(%d) = (%d, %v, %v), want (%d, %v, %v)",
+							d, s, pol, tq, gi, gr, err1, wi, wr, err2)
+					}
+					g, err1 := sh.RadiusForCount(len(pts)/2, tq)
+					w, err2 := ref.RadiusForCount(len(pts)/2, tq)
+					if g != w || (err1 == nil) != (err2 == nil) {
+						t.Fatalf("d=%d s=%d pol=%d: RadiusForCount(%d) = %v, want %v", d, s, pol, tq, g, w)
+					}
+				}
+				step, err := sh.BuildLStep(context.Background(), tt)
+				if err != nil {
+					t.Fatalf("d=%d s=%d pol=%d: BuildLStep: %v", d, s, pol, err)
+				}
+				if len(step.Breaks) != len(refStep.Breaks) {
+					t.Fatalf("d=%d s=%d pol=%d: %d breaks, want %d",
+						d, s, pol, len(step.Breaks), len(refStep.Breaks))
+				}
+				for k := range step.Breaks {
+					if step.Breaks[k] != refStep.Breaks[k] || step.Vals[k] != refStep.Vals[k] {
+						t.Fatalf("d=%d s=%d pol=%d: step[%d] = (%v, %v), want (%v, %v)",
+							d, s, pol, k, step.Breaks[k], step.Vals[k], refStep.Breaks[k], refStep.Vals[k])
+					}
+				}
+				if err := sh.Close(); err != nil {
+					t.Fatalf("d=%d s=%d pol=%d: Close: %v", d, s, pol, err)
+				}
+			}
+		}
+	}
+}
+
+// failingBackend wraps a LocalShard and fails PartialCounts after a set
+// number of calls — the minimal stand-in for a shard server dying mid-use.
+type failingBackend struct {
+	*LocalShard
+	calls, failAfter int
+	err              error
+}
+
+func (f *failingBackend) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	f.calls++
+	if f.calls > f.failAfter {
+		return nil, f.err
+	}
+	return f.LocalShard.PartialCounts(ctx, j, r, limit, exactBoundary)
+}
+
+// TestShardedIndexBackendFailure: a backend failing mid-LStep-sweep must
+// surface its error from BuildLStep — never a hang, never a partial sum —
+// and the errorless point queries must report the documented -1.
+func TestShardedIndexBackendFailure(t *testing.T) {
+	pts := shardTestPoints(t, 3, 400, 2)
+	opts := shardTestOptions(2)
+	wantErr := errors.New("shard 1 went away")
+	var fb *failingBackend
+	sh, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+		Shards: 2, Cell: opts,
+	}, func(ctx context.Context, shard int, cfg ShardConfig) (ShardBackend, error) {
+		ls, err := NewLocalShard(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if shard == 1 {
+			fb = &failingBackend{LocalShard: ls, failAfter: 2, err: wantErr}
+			return fb, nil
+		}
+		return ls, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	_, err = sh.BuildLStep(context.Background(), len(pts)/3)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("BuildLStep after backend death: err = %v, want %v", err, wantErr)
+	}
+	if got := sh.MaxCountWithin(0.1); got != -1 {
+		t.Errorf("MaxCountWithin after backend death = %d, want -1", got)
+	}
+	if _, _, err := sh.TwoApprox(len(pts) / 3); !errors.Is(err, wantErr) {
+		t.Errorf("TwoApprox after backend death: err = %v, want %v", err, wantErr)
+	}
+}
+
+// TestShardedIndexBackendsCancellation: cancelling the caller's context
+// mid-sweep aborts the fan-out promptly with the context error and drains
+// every worker (the test is run under -race in CI, so a leaked writer
+// would also trip the detector).
+func TestShardedIndexBackendsCancellation(t *testing.T) {
+	pts := shardTestPoints(t, 5, 2000, 2)
+	opts := shardTestOptions(2)
+	sh, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+		Shards: 4, Cell: opts,
+	}, localDialer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	// Pre-cancelled: fails before any work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sh.BuildLStep(ctx, len(pts)/3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled BuildLStep: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-flight: cancel from a backend hook once the sweep is underway.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int32
+	hooked := make([]ShardBackend, len(sh.backends))
+	for i, be := range sh.backends {
+		hooked[i] = &cancelOnCall{ShardBackend: be, n: &calls, after: 3, cancel: cancel}
+	}
+	orig := sh.backends
+	sh.backends = hooked
+	_, err = sh.BuildLStep(ctx, len(pts)/3)
+	sh.backends = orig
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: err = %v, want context.Canceled", err)
+	}
+}
+
+// cancelOnCall triggers cancel once the shared call counter reaches
+// `after` (atomic: calls within one sweep level run concurrently across
+// backends).
+type cancelOnCall struct {
+	ShardBackend
+	n      *atomic.Int32
+	after  int32
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnCall) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	if c.n.Add(1) >= c.after {
+		c.cancel()
+	}
+	return c.ShardBackend.PartialCounts(ctx, j, r, limit, exactBoundary)
+}
+
+// TestLocalShardConfigValidation covers the malformed-config rejections a
+// remote handshake relies on.
+func TestLocalShardConfigValidation(t *testing.T) {
+	pts := shardTestPoints(t, 7, 50, 2)
+	opts := shardTestOptions(2)
+	cases := []struct {
+		name string
+		cfg  ShardConfig
+	}{
+		{"no points", ShardConfig{Members: []int32{0}, Cell: opts}},
+		{"no members", ShardConfig{Points: pts, Cell: opts}},
+		{"member out of range", ShardConfig{Points: pts, Members: []int32{int32(len(pts))}, Cell: opts}},
+		{"negative member", ShardConfig{Points: pts, Members: []int32{-1}, Cell: opts}},
+		{"mixed dims", ShardConfig{Points: []vec.Vector{{0.1, 0.2}, {0.3}}, Members: []int32{0}, Cell: opts}},
+	}
+	for _, tc := range cases {
+		if _, err := NewLocalShard(tc.cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+// TestShardedIndexBackendsDialFailure: a dial error aborts the build and
+// closes the backends that did come up.
+func TestShardedIndexBackendsDialFailure(t *testing.T) {
+	pts := shardTestPoints(t, 9, 100, 2)
+	opts := shardTestOptions(2)
+	closed := 0
+	_, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+		Shards: 3, Cell: opts,
+	}, func(ctx context.Context, shard int, cfg ShardConfig) (ShardBackend, error) {
+		if shard == 1 {
+			return nil, fmt.Errorf("no route to shard %d", shard)
+		}
+		ls, err := NewLocalShard(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &closeCounter{ShardBackend: ls, closed: &closed}, nil
+	})
+	if err == nil {
+		t.Fatal("dial failure not surfaced")
+	}
+	if closed != 2 {
+		t.Errorf("closed %d backends, want 2", closed)
+	}
+}
+
+type closeCounter struct {
+	ShardBackend
+	closed *int
+}
+
+func (c *closeCounter) Close() error {
+	*c.closed++
+	return c.ShardBackend.Close()
+}

@@ -3,6 +3,7 @@ package geometry
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -89,6 +90,15 @@ type ShardedIndex struct {
 	lad    radiusLadder
 	shards []*indexShard
 
+	// backends is the generic ShardBackend mode (NewShardedIndexBackends):
+	// shards are reached only through the interface — possibly over a
+	// network — and every bulk query sums the per-backend partial vectors.
+	// Exactly one of shards/backends is non-nil: the all-local constructor
+	// keeps the fused single-pool pass below (no interface hop, no S-fold
+	// source structures), the backend mode pays those costs to buy
+	// location transparency. Results are bit-identical either way.
+	backends []ShardBackend
+
 	// dupCount[i] is the number of input points identical to points[i]
 	// across ALL shards — the exact global B_0 counts (per-shard duplicate
 	// tables cannot see cross-shard duplicates).
@@ -102,42 +112,9 @@ type ShardedIndex struct {
 // "never cancel".
 func NewShardedIndex(ctx context.Context, points []vec.Vector, opts ShardedIndexOptions) (*ShardedIndex, error) {
 	ctx = ctxOrBackground(ctx)
-	n := len(points)
-	if n == 0 {
-		return nil, fmt.Errorf("geometry: sharded index over empty point set")
-	}
-	d := points[0].Dim()
-	for i, p := range points {
-		if p.Dim() != d {
-			return nil, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
-		}
-	}
-	s := opts.Shards
-	if s < 1 {
-		s = 1
-	}
-	if s > n {
-		s = n
-	}
-	cellOpts := opts.Cell.withDefaults(d)
-
-	// Global bounding box → the ladder every shard must share.
-	lo, hi := points[0].Clone(), points[0].Clone()
-	for _, p := range points {
-		for a, x := range p {
-			if x < lo[a] {
-				lo[a] = x
-			}
-			if x > hi[a] {
-				hi[a] = x
-			}
-		}
-	}
-	ix := &ShardedIndex{
-		points: points,
-		dim:    d,
-		opts:   cellOpts,
-		lad:    newRadiusLadder(cellOpts, d, hi.Dist(lo)),
+	ix, s, err := newShardedBase(points, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Per-shard indexes are built with MaxRadius pinned to the global
@@ -148,7 +125,7 @@ func NewShardedIndex(ctx context.Context, points []vec.Vector, opts ShardedIndex
 	// tables: a per-shard table cannot see cross-shard duplicates, and the
 	// sharded index keeps the global one (dupCount) for every radius-0
 	// path, so only the shards' count paths are ever queried.
-	shardCell := cellOpts
+	shardCell := ix.opts
 	shardCell.MaxRadius = ix.lad.maxR
 	shardCell.skipDupTable = true
 
@@ -184,12 +161,164 @@ func NewShardedIndex(ctx context.Context, points []vec.Vector, opts ShardedIndex
 		return nil, err
 	}
 
-	dup, err := globalDupCount(ctx, points, cellOpts.Workers)
+	dup, err := globalDupCount(ctx, points, ix.opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	ix.dupCount = dup
 	return ix, nil
+}
+
+// newShardedBase runs the prologue both constructors share: input
+// validation, shard-count clamping, option defaulting and the global
+// bounding box → shared radius ladder.
+func newShardedBase(points []vec.Vector, opts ShardedIndexOptions) (*ShardedIndex, int, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, 0, fmt.Errorf("geometry: sharded index over empty point set")
+	}
+	d := points[0].Dim()
+	for i, p := range points {
+		if p.Dim() != d {
+			return nil, 0, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
+		}
+	}
+	s := opts.Shards
+	if s < 1 {
+		s = 1
+	}
+	if s > n {
+		s = n
+	}
+	cellOpts := opts.Cell.withDefaults(d)
+
+	// Global bounding box → the ladder every shard must share.
+	lo, hi := points[0].Clone(), points[0].Clone()
+	for _, p := range points {
+		for a, x := range p {
+			if x < lo[a] {
+				lo[a] = x
+			}
+			if x > hi[a] {
+				hi[a] = x
+			}
+		}
+	}
+	return &ShardedIndex{
+		points: points,
+		dim:    d,
+		opts:   cellOpts,
+		lad:    newRadiusLadder(cellOpts, d, hi.Dist(lo)),
+	}, s, nil
+}
+
+// ShardDialer constructs the ShardBackend serving shard number `shard` of
+// a backend-mode ShardedIndex. The transport package's dialer connects to
+// a remote server and ships cfg at handshake; tests pass
+// `func(_ context.Context, _ int, cfg ShardConfig) (ShardBackend, error) {
+// return NewLocalShard(cfg) }` to exercise the generic path in-process.
+type ShardDialer func(ctx context.Context, shard int, cfg ShardConfig) (ShardBackend, error)
+
+// NewShardedIndexBackends builds a ShardedIndex whose shards are reached
+// only through the ShardBackend interface — the seam a remote transport
+// plugs into. The points are partitioned exactly as NewShardedIndex would
+// (same policy, same clamping), each backend is dialed with its
+// ShardConfig (cell options pinned to the shared global ladder), and the
+// global duplicate table is assembled by summing per-backend DupCounts.
+// Every BallIndex answer is then a sum of per-backend partials —
+// bit-identical to the local constructors under the equivalence contract
+// above.
+//
+// Backends are dialed concurrently; the first failure closes the backends
+// already dialed and aborts. ctx governs dialing and the duplicate-table
+// round trip. The caller owns the returned index's backends: Close
+// releases them.
+func NewShardedIndexBackends(ctx context.Context, points []vec.Vector, opts ShardedIndexOptions, dial ShardDialer) (*ShardedIndex, error) {
+	ctx = ctxOrBackground(ctx)
+	ix, s, err := newShardedBase(points, opts)
+	if err != nil {
+		return nil, err
+	}
+	shardCell := ix.opts
+	shardCell.MaxRadius = ix.lad.maxR
+
+	members := assignShards(points, s, opts.Policy)
+	ix.backends = make([]ShardBackend, s)
+	errs := make([]error, s)
+	// One shard failing to come up dooms the whole build: cancel the
+	// sibling dials so a misconfigured address reports immediately
+	// instead of after every other shard's dial timeout.
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	for si := 0; si < s; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			be, err := dial(dctx, si, ShardConfig{
+				Points:  points,
+				Members: members[si],
+				Cell:    shardCell,
+			})
+			if err != nil {
+				// Leave the slot a true nil: a typed-nil backend inside
+				// the interface would defeat Close's nil guard.
+				errs[si] = err
+				cancel()
+				return
+			}
+			ix.backends[si] = be
+		}(si)
+	}
+	wg.Wait()
+	if err := firstRealError(ctx, errs); err != nil {
+		ix.Close()
+		return nil, err
+	}
+
+	// Global duplicate table: the exact radius-0 counts, as the sum of
+	// per-backend contributions (identical points are identical in every
+	// shard that holds them, so the partial tables add exactly).
+	parts := make([][]int32, s)
+	for si, be := range ix.backends {
+		wg.Add(1)
+		go func(si int, be ShardBackend) {
+			defer wg.Done()
+			parts[si], errs[si] = be.DupCounts(dctx)
+			if errs[si] != nil {
+				cancel()
+			}
+		}(si, be)
+	}
+	wg.Wait()
+	if err := firstRealError(ctx, errs); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	dup := make([]int32, len(points))
+	for _, p := range parts {
+		for i, c := range p {
+			dup[i] += c
+		}
+	}
+	ix.dupCount = dup
+	return ix, nil
+}
+
+// Close releases the shard backends (network connections, for a remote
+// transport). Indexes from the local constructor hold no external
+// resources, so Close is then a no-op. Queries after Close fail.
+func (ix *ShardedIndex) Close() error {
+	var first error
+	for _, be := range ix.backends {
+		if be == nil {
+			continue
+		}
+		if err := be.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // assignShards partitions global point ids into s shards per the policy.
@@ -355,7 +484,77 @@ func (ix *ShardedIndex) N() int { return len(ix.points) }
 func (ix *ShardedIndex) Points() []vec.Vector { return ix.points }
 
 // Shards returns the number of shards (diagnostic).
-func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
+func (ix *ShardedIndex) Shards() int {
+	if ix.backends != nil {
+		return len(ix.backends)
+	}
+	return len(ix.shards)
+}
+
+// countAllBackends is the backend-mode bulk pass: one PartialCounts round
+// trip per backend, issued concurrently, then the per-shard capped vectors
+// summed with saturation at limit — min(Σ_s min(B_s, t), t) = min(B, t),
+// so the result is bit-identical to the fused local pass. On any backend
+// failure the siblings are cancelled and the error (never a partial sum)
+// is returned; a cancelled caller ctx aborts every in-flight call.
+func (ix *ShardedIndex) countAllBackends(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	n := len(ix.points)
+	out := make([]int32, n)
+	if r < 0 || limit <= 0 {
+		return out, nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	parts := make([][]int32, len(ix.backends))
+	errs := make([]error, len(ix.backends))
+	var wg sync.WaitGroup
+	for si, be := range ix.backends {
+		wg.Add(1)
+		go func(si int, be ShardBackend) {
+			defer wg.Done()
+			parts[si], errs[si] = be.PartialCounts(cctx, j, r, limit, exactBoundary)
+			if errs[si] != nil {
+				cancel() // tear down the sibling calls
+			}
+		}(si, be)
+	}
+	wg.Wait()
+	if err := firstRealError(ctx, errs); err != nil {
+		return nil, err
+	}
+	for _, p := range parts {
+		for i, c := range p {
+			if s := out[i] + c; s < limit {
+				out[i] = s
+			} else {
+				out[i] = limit
+			}
+		}
+	}
+	return out, nil
+}
+
+// firstRealError reduces a fan-out's per-backend errors: the caller's own
+// cancellation wins, then a backend's genuine failure is preferred over
+// the context.Canceled errors that failure induced in its siblings.
+func firstRealError(ctx context.Context, errs []error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // countAll computes the capped within-r count of every indexed point by
 // summing per-shard member contributions at ladder level j. Each shard's
@@ -371,6 +570,9 @@ func (ix *ShardedIndex) Shards() int { return len(ix.shards) }
 // feeder stops, the workers drain, no goroutines leak.
 func (ix *ShardedIndex) countAll(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
 	ctx = ctxOrBackground(ctx)
+	if ix.backends != nil {
+		return ix.countAllBackends(ctx, j, r, limit, exactBoundary)
+	}
 	n := len(ix.points)
 	out := make([]int32, n)
 	if r < 0 || limit <= 0 {
@@ -457,9 +659,24 @@ feed:
 }
 
 // CountWithin returns B_r(x_i) exactly: the sum of exact per-shard counts.
+// In backend mode a transport failure is reported as -1 (an impossible
+// count — every valid answer at r ≥ 0 is ≥ 1, the point itself); the
+// serving pipeline only consumes the error-returning query paths.
 func (ix *ShardedIndex) CountWithin(i int, r float64) int {
 	if r < 0 {
 		return 0
+	}
+	if ix.backends != nil {
+		center := []vec.Vector{ix.points[i]}
+		total := 0
+		for _, be := range ix.backends {
+			c, err := be.CountBatch(context.Background(), center, r)
+			if err != nil {
+				return -1
+			}
+			total += int(c[0])
+		}
+		return total
 	}
 	j := ix.lad.levelFor(r)
 	sc := newCellScratch(ix.dim)
@@ -480,17 +697,30 @@ func (ix *ShardedIndex) RadiusForCount(i, t int) (float64, error) {
 // exact counts: identical ladder, identical counts, identical result to
 // the unsharded index.
 func (ix *ShardedIndex) TwoApprox(t int) (center int, radius float64, err error) {
-	return twoApproxLadder(len(ix.points), t, ix.dupCount, ix.lad, func(j int) []int32 {
-		// Background context: point/ladder queries are not cancellable —
-		// countAll never errors under it.
-		c, _ := ix.countAll(context.Background(), j, ix.lad.radius(j), int32(t), true)
-		return c
+	// Local mode never errors under a background context; backend mode
+	// can (transport failures), so the closure captures the first error
+	// and it preempts whatever the ladder search made of the nil counts.
+	var callErr error
+	c, r, err := twoApproxLadder(len(ix.points), t, ix.dupCount, ix.lad, func(j int) []int32 {
+		counts, err := ix.countAll(context.Background(), j, ix.lad.radius(j), int32(t), true)
+		if err != nil && callErr == nil {
+			callErr = err
+		}
+		return counts
 	})
+	if callErr != nil {
+		return 0, 0, callErr
+	}
+	return c, r, err
 }
 
-// MaxCountWithin returns max_i B_r(x_i) exactly.
+// MaxCountWithin returns max_i B_r(x_i) exactly. In backend mode a
+// transport failure is reported as -1 (see CountWithin).
 func (ix *ShardedIndex) MaxCountWithin(r float64) int {
-	counts, _ := ix.countAll(context.Background(), ix.lad.levelFor(r), r, math.MaxInt32, true)
+	counts, err := ix.countAll(context.Background(), ix.lad.levelFor(r), r, math.MaxInt32, true)
+	if err != nil {
+		return -1
+	}
 	return int(maxInt32(counts))
 }
 

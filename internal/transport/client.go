@@ -1,0 +1,427 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// DialFunc opens a raw connection to a shard server. The default is TCP
+// via net.Dialer; tests and single-process deployments substitute
+// (*LoopbackNet).Dial.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// Options configures a RemoteShard client.
+type Options struct {
+	// Dial opens connections (nil = TCP).
+	Dial DialFunc
+	// DialTimeout caps connection establishment plus handshake when the
+	// caller's context has no earlier deadline (default 10s).
+	DialTimeout time.Duration
+	// Retries is how many times a call is re-attempted after a transport
+	// failure (dial or broken connection) before the error is returned.
+	// Application errors and cancellations are never retried. Default 1;
+	// negative means 0.
+	Retries int
+	// OmitPoints elides the global point set from the OPEN handshake: the
+	// server must have been started with preloaded points (shardserver
+	// -csv), and it verifies their count and dimension against the
+	// handshake before serving. The member-id assignment still travels,
+	// so the partition policy stays client-controlled.
+	OmitPoints bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Dial == nil {
+		var d net.Dialer
+		o.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	switch {
+	case o.Retries == 0:
+		o.Retries = 1
+	case o.Retries < 0:
+		o.Retries = 0
+	}
+	return o
+}
+
+// RemoteShard is the client side of one shard: it implements
+// geometry.ShardBackend by speaking the wire protocol to a shard server.
+// Each bulk query is one batched round trip. A broken connection is
+// closed, re-dialed and re-handshaken transparently within the retry
+// budget (every request is a pure read of immutable shard state, so
+// retries are safe); failures surface as *Error with a Kind.
+//
+// Context handling: a deadline on the call's ctx is installed as the
+// connection deadline for the round trip, and cancellation fires a
+// context.AfterFunc that forces the in-flight read/write to fail
+// immediately — a cancelled BuildLStep sweep tears down its network call
+// instead of waiting for the server.
+//
+// A RemoteShard serializes its calls under a mutex (the contract
+// geometry.ShardedIndex relies on — it never issues concurrent calls to
+// one backend, but a second caller degrades to waiting, not corruption).
+type RemoteShard struct {
+	addr string
+	cfg  geometry.ShardConfig
+	opts Options
+	dim  int
+
+	mu     sync.Mutex
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	closed bool
+}
+
+// DialShard connects to addr and performs the handshake, returning a
+// ready backend for the shard cfg describes. The config's cell options
+// must already be pinned to the shared global ladder
+// (geometry.NewShardedIndexBackends does this for every dialer).
+func DialShard(ctx context.Context, addr string, cfg geometry.ShardConfig, opts Options) (*RemoteShard, error) {
+	if len(cfg.Points) == 0 || len(cfg.Members) == 0 {
+		return nil, &Error{Op: "dial", Addr: addr, Kind: KindDial,
+			Err: fmt.Errorf("empty shard config (points=%d, members=%d)", len(cfg.Points), len(cfg.Members))}
+	}
+	c := &RemoteShard{addr: addr, cfg: cfg, opts: opts.withDefaults(), dim: cfg.Points[0].Dim()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureConnLocked(ctx); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ShardDialer adapts a server address list to the geometry.ShardDialer
+// seam: shard s is served by addrs[s]. The address list length must equal
+// the shard count (geometry clamps shards to min(requested, n), so
+// callers pass Shards: len(addrs) and at most n addresses are used).
+func ShardDialer(addrs []string, opts Options) geometry.ShardDialer {
+	return func(ctx context.Context, shard int, cfg geometry.ShardConfig) (geometry.ShardBackend, error) {
+		return DialShard(ctx, addrs[shard%len(addrs)], cfg, opts)
+	}
+}
+
+// NPoints returns the number of points the shard holds.
+func (c *RemoteShard) NPoints() int { return len(c.cfg.Members) }
+
+// Close tears down the connection; subsequent calls fail with KindClosed.
+func (c *RemoteShard) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return c.resetConnLocked()
+}
+
+// Addr returns the shard server address (diagnostic).
+func (c *RemoteShard) Addr() string { return c.addr }
+
+// PartialCounts runs one capped bulk-count pass on the server: a single
+// round trip whose response carries the shard's contribution around every
+// global point.
+func (c *RemoteShard) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	w := &wbuf{b: make([]byte, 0, 17)}
+	w.i32(int32(j))
+	w.f64(r)
+	w.i32(limit)
+	if exactBoundary {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	payload, err := c.call(ctx, "partials", msgPartials, w.b)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := decodeCounts(payload, len(c.cfg.Points))
+	if err != nil {
+		return nil, &Error{Op: "partials", Addr: c.addr, Kind: KindProtocol, Err: err}
+	}
+	return counts, nil
+}
+
+// CountBatch returns the exact number of shard points within r of each
+// center — one round trip for the whole batch.
+func (c *RemoteShard) CountBatch(ctx context.Context, centers []vec.Vector, r float64) ([]int32, error) {
+	w := &wbuf{b: make([]byte, 0, 12+8*len(centers)*c.dim)}
+	w.f64(r)
+	w.u32(uint32(len(centers)))
+	for i, p := range centers {
+		if p.Dim() != c.dim {
+			return nil, &Error{Op: "countbatch", Addr: c.addr, Kind: KindRemote,
+				Err: fmt.Errorf("center %d has dimension %d, want %d", i, p.Dim(), c.dim)}
+		}
+	}
+	w.vectors(centers)
+	payload, err := c.call(ctx, "countbatch", msgCountBatch, w.b)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := decodeCounts(payload, len(centers))
+	if err != nil {
+		return nil, &Error{Op: "countbatch", Addr: c.addr, Kind: KindProtocol, Err: err}
+	}
+	return counts, nil
+}
+
+// DupCounts fetches the shard's duplicate-table contribution.
+func (c *RemoteShard) DupCounts(ctx context.Context) ([]int32, error) {
+	payload, err := c.call(ctx, "dupcounts", msgDupCounts, nil)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := decodeCounts(payload, len(c.cfg.Points))
+	if err != nil {
+		return nil, &Error{Op: "dupcounts", Addr: c.addr, Kind: KindProtocol, Err: err}
+	}
+	return counts, nil
+}
+
+// call performs one request/response round trip with reconnect-and-retry.
+func (c *RemoteShard) call(ctx context.Context, op string, reqType byte, req []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, &Error{Op: op, Addr: c.addr, Kind: KindClosed, Err: ErrClosed}
+	}
+	var last error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, &Error{Op: op, Addr: c.addr, Kind: KindCanceled, Err: err}
+		}
+		if err := c.ensureConnLocked(ctx); err != nil {
+			var te *Error
+			if errors.As(err, &te) && (te.Kind == KindVersion || te.Kind == KindCanceled) {
+				return nil, err // re-dialing cannot change either outcome
+			}
+			last = err
+			continue
+		}
+		payload, err := c.roundTripLocked(ctx, op, reqType, req)
+		if err == nil {
+			return payload, nil
+		}
+		var te *Error
+		if errors.As(err, &te) && te.Kind == KindRemote {
+			// The error frame was read in full — the stream is clean and
+			// the transport healthy; retrying re-runs the same failure.
+			return nil, err
+		}
+		// Any other failure may have left a frame half-read: drop the
+		// connection so the next attempt re-dials and re-handshakes.
+		c.resetConnLocked()
+		if errors.As(err, &te) && te.Kind == KindCanceled {
+			return nil, err // the caller gave up; nothing to retry
+		}
+		last = err
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, &Error{Op: op, Addr: c.addr, Kind: KindCanceled, Err: cerr}
+		}
+	}
+	return nil, last
+}
+
+// roundTripLocked writes one request frame and reads its response on the
+// live connection, propagating the ctx deadline onto the connection and
+// arming an AfterFunc so cancellation interrupts the blocking I/O.
+func (c *RemoteShard) roundTripLocked(ctx context.Context, op string, reqType byte, req []byte) ([]byte, error) {
+	conn := c.conn
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	stop := context.AfterFunc(ctx, func() {
+		// A deadline in the past fails the in-flight Read/Write now.
+		conn.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+
+	if err := writeFrame(c.bw, reqType, req); err != nil {
+		return nil, c.ioError(ctx, op, err)
+	}
+	typ, payload, err := readFrame(c.br)
+	if err != nil {
+		return nil, c.ioError(ctx, op, err)
+	}
+	conn.SetDeadline(time.Time{})
+	switch typ {
+	case msgCounts:
+		return payload, nil
+	case msgError:
+		return nil, c.remoteError(op, payload)
+	default:
+		return nil, &Error{Op: op, Addr: c.addr, Kind: KindProtocol,
+			Err: fmt.Errorf("unexpected message type %d", typ)}
+	}
+}
+
+// ioError classifies a read/write failure: the caller's cancellation
+// wins over the I/O symptom it caused.
+func (c *RemoteShard) ioError(ctx context.Context, op string, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return &Error{Op: op, Addr: c.addr, Kind: KindCanceled, Err: cerr}
+	}
+	return &Error{Op: op, Addr: c.addr, Kind: KindIO, Err: err}
+}
+
+// remoteError decodes a msgError frame into a typed error.
+func (c *RemoteShard) remoteError(op string, payload []byte) error {
+	r := &rbuf{b: payload}
+	code := r.u16()
+	msg := r.str()
+	if r.err != nil {
+		return &Error{Op: op, Addr: c.addr, Kind: KindProtocol, Err: r.err}
+	}
+	if code == codeVersion {
+		return &Error{Op: op, Addr: c.addr, Kind: KindVersion,
+			Err: fmt.Errorf("%w: %s", ErrVersionMismatch, msg)}
+	}
+	return &Error{Op: op, Addr: c.addr, Kind: KindRemote, Err: errors.New(msg)}
+}
+
+// ensureConnLocked dials and handshakes if no live connection exists.
+func (c *RemoteShard) ensureConnLocked(ctx context.Context) error {
+	if c.conn != nil {
+		return nil
+	}
+	dctx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(ctx, c.opts.DialTimeout)
+		defer cancel()
+	}
+	conn, err := c.opts.Dial(dctx, c.addr)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return &Error{Op: "dial", Addr: c.addr, Kind: KindCanceled, Err: cerr}
+		}
+		return &Error{Op: "dial", Addr: c.addr, Kind: KindDial, Err: err}
+	}
+	c.conn = conn
+	c.br = bufio.NewReaderSize(conn, 1<<16)
+	c.bw = bufio.NewWriterSize(conn, 1<<16)
+	if err := c.handshakeLocked(dctx); err != nil {
+		c.resetConnLocked()
+		return err
+	}
+	return nil
+}
+
+// handshakeLocked runs HELLO/HELLO_OK then OPEN/OPEN_OK on the fresh
+// connection. The OPEN frame ships the pinned cell options, the member
+// ids, and — unless OmitPoints — the full global point set; a server with
+// preloaded points verifies count and dimension instead.
+func (c *RemoteShard) handshakeLocked(ctx context.Context) error {
+	conn := c.conn
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	stop := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Unix(1, 0)) })
+	defer stop()
+
+	hello := &wbuf{}
+	hello.b = append(hello.b, wireMagic[:]...)
+	hello.u16(ProtocolVersion)
+	if err := writeFrame(c.bw, msgHello, hello.b); err != nil {
+		return c.handshakeError(ctx, err)
+	}
+	typ, payload, err := readFrame(c.br)
+	if err != nil {
+		return c.handshakeError(ctx, err)
+	}
+	if typ == msgError {
+		return c.remoteError("handshake", payload)
+	}
+	if typ != msgHelloOK {
+		return &Error{Op: "handshake", Addr: c.addr, Kind: KindProtocol,
+			Err: fmt.Errorf("unexpected message type %d", typ)}
+	}
+	r := &rbuf{b: payload}
+	if v := r.u16(); r.err != nil || v != ProtocolVersion {
+		return &Error{Op: "handshake", Addr: c.addr, Kind: KindVersion,
+			Err: fmt.Errorf("%w: server answered version %d, want %d", ErrVersionMismatch, v, ProtocolVersion)}
+	}
+
+	open := &wbuf{b: make([]byte, 0, 64+8*len(c.cfg.Points)*c.dim+4*len(c.cfg.Members))}
+	open.f64(c.cfg.Cell.MinRadius)
+	open.f64(c.cfg.Cell.MaxRadius)
+	open.u32(uint32(c.cfg.Cell.LevelsPerOctave))
+	open.u32(uint32(c.cfg.Cell.CellsPerRadius))
+	if c.opts.OmitPoints {
+		open.u8(0)
+	} else {
+		open.u8(1)
+	}
+	open.u32(uint32(len(c.cfg.Points)))
+	open.u16(uint16(c.dim))
+	if c.opts.OmitPoints {
+		// The server must hold bit-identical coordinates, not merely the
+		// right count — ship a checksum in place of the payload.
+		open.b = binary.BigEndian.AppendUint64(open.b, PointsChecksum(c.cfg.Points))
+	} else {
+		open.vectors(c.cfg.Points)
+	}
+	open.u32(uint32(len(c.cfg.Members)))
+	for _, m := range c.cfg.Members {
+		open.u32(uint32(m))
+	}
+	if err := writeFrame(c.bw, msgOpen, open.b); err != nil {
+		return c.handshakeError(ctx, err)
+	}
+	typ, payload, err = readFrame(c.br)
+	if err != nil {
+		return c.handshakeError(ctx, err)
+	}
+	if typ == msgError {
+		return c.remoteError("handshake", payload)
+	}
+	if typ != msgOpenOK {
+		return &Error{Op: "handshake", Addr: c.addr, Kind: KindProtocol,
+			Err: fmt.Errorf("unexpected message type %d", typ)}
+	}
+	r = &rbuf{b: payload}
+	m, n := int(r.u32()), int(r.u32())
+	if r.err != nil {
+		return &Error{Op: "handshake", Addr: c.addr, Kind: KindProtocol, Err: r.err}
+	}
+	if m != len(c.cfg.Members) || n != len(c.cfg.Points) {
+		return &Error{Op: "handshake", Addr: c.addr, Kind: KindProtocol,
+			Err: fmt.Errorf("server echoed shard %d/%d, want %d/%d", m, n, len(c.cfg.Members), len(c.cfg.Points))}
+	}
+	conn.SetDeadline(time.Time{})
+	return nil
+}
+
+func (c *RemoteShard) handshakeError(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return &Error{Op: "handshake", Addr: c.addr, Kind: KindCanceled, Err: cerr}
+	}
+	return &Error{Op: "handshake", Addr: c.addr, Kind: KindDial, Err: err}
+}
+
+// resetConnLocked closes and forgets the connection.
+func (c *RemoteShard) resetConnLocked() error {
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn, c.br, c.bw = nil, nil, nil
+	}
+	return err
+}

@@ -1,0 +1,406 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// ServerOptions configures a shard server.
+type ServerOptions struct {
+	// Points preloads the server's copy of the global point set (the
+	// shardserver -csv path). Handshakes may then omit the points and
+	// only ship member ids; the server verifies the handshake's count and
+	// dimension against the preloaded data. Handshakes that do carry
+	// points always use the shipped ones.
+	Points []vec.Vector
+	// Workers bounds the worker pools of the hosted shards' count passes
+	// (0 = GOMAXPROCS). Worker count never affects results — only how
+	// fast this server produces them.
+	Workers int
+	// Logf, when set, receives connection-level diagnostics. The server
+	// is silent without it.
+	Logf func(format string, args ...any)
+}
+
+// Server hosts shards behind the wire protocol. Each connection carries
+// one shard session: the OPEN handshake builds a geometry.LocalShard for
+// the requested member set, and subsequent requests are answered from it.
+// One server process therefore hosts as many shards as clients open
+// against it — a ShardedIndex with S remote shards may point all S
+// backends at one address or spread them over a fleet.
+//
+// Shutdown is graceful: the listeners close first (no new sessions), idle
+// connections are torn down, in-flight requests run to completion until
+// the shutdown context expires, then everything remaining is cut.
+type Server struct {
+	opts ServerOptions
+
+	ctx  context.Context // server lifetime: cancelled by Close/forced Shutdown
+	stop context.CancelFunc
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*serverConn]struct{}
+	wg        sync.WaitGroup
+	shutdown  bool
+
+	sumOnce sync.Once
+	sum     uint64 // checksum of the preloaded points (see PointsChecksum)
+}
+
+// pointsChecksum memoizes the preloaded data's checksum — O(n·d) once,
+// not per handshake.
+func (s *Server) pointsChecksum() uint64 {
+	s.sumOnce.Do(func() { s.sum = PointsChecksum(s.opts.Points) })
+	return s.sum
+}
+
+// NewServer returns a server ready to Serve listeners.
+func NewServer(opts ServerOptions) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:      opts,
+		ctx:       ctx,
+		stop:      cancel,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[*serverConn]struct{}),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the server
+// shuts down; it always returns a non-nil error (ErrClosed after
+// Shutdown/Close). Serve may be called on several listeners concurrently.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		l.Close()
+		return ErrClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return ErrClosed
+			}
+			return err
+		}
+		sc := &serverConn{srv: s, conn: conn}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
+		s.conns[sc] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go sc.serve()
+	}
+}
+
+// Shutdown stops the server gracefully: close listeners, drop idle
+// connections, let in-flight requests finish. When ctx expires first, the
+// remaining connections are force-closed and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for sc := range s.conns {
+		if !sc.busy.Load() {
+			sc.conn.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel in-flight shard computations
+		s.mu.Lock()
+		for sc := range s.conns {
+			sc.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts the server down immediately: listeners and connections
+// close, in-flight computations are cancelled.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	s.stop()
+	for l := range s.listeners {
+		l.Close()
+	}
+	for sc := range s.conns {
+		sc.conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// serverConn is one connection: handshake state plus the shard session it
+// opened.
+type serverConn struct {
+	srv  *Server
+	conn net.Conn
+	busy atomic.Bool // a request is being served (graceful-shutdown hint)
+
+	shard *geometry.LocalShard
+	n     int // global point count of the session
+}
+
+func (sc *serverConn) serve() {
+	defer func() {
+		sc.conn.Close()
+		sc.srv.mu.Lock()
+		delete(sc.srv.conns, sc)
+		sc.srv.mu.Unlock()
+		sc.srv.wg.Done()
+	}()
+	br := bufio.NewReaderSize(sc.conn, 1<<16)
+	bw := bufio.NewWriterSize(sc.conn, 1<<16)
+
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return // peer went away (or shutdown closed us)
+		}
+		sc.busy.Store(true)
+		respType, resp, herr := sc.handle(typ, payload)
+		if herr != nil {
+			sc.srv.logf("transport: %v: %v", sc.conn.RemoteAddr(), herr)
+			werr := writeFrame(bw, msgError, encodeError(herr))
+			sc.busy.Store(false)
+			if werr != nil || herr.fatal {
+				return
+			}
+			continue
+		}
+		werr := writeFrame(bw, respType, resp)
+		sc.busy.Store(false)
+		if werr != nil {
+			return
+		}
+	}
+}
+
+// wireError is a server-side failure on its way into a msgError frame.
+type wireError struct {
+	code  uint16
+	msg   string
+	fatal bool // close the connection after reporting
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+func encodeError(e *wireError) []byte {
+	w := &wbuf{}
+	w.u16(e.code)
+	w.str(e.msg)
+	return w.b
+}
+
+// handle dispatches one request frame.
+func (sc *serverConn) handle(typ byte, payload []byte) (byte, []byte, *wireError) {
+	switch typ {
+	case msgHello:
+		return sc.handleHello(payload)
+	case msgOpen:
+		return sc.handleOpen(payload)
+	case msgPartials:
+		return sc.handlePartials(payload)
+	case msgCountBatch:
+		return sc.handleCountBatch(payload)
+	case msgDupCounts:
+		return sc.handleDupCounts(payload)
+	default:
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true,
+			msg: fmt.Sprintf("unknown message type %d", typ)}
+	}
+}
+
+func (sc *serverConn) handleHello(payload []byte) (byte, []byte, *wireError) {
+	r := &rbuf{b: payload}
+	magic := r.take(4)
+	version := r.u16()
+	if r.err != nil || [4]byte(magic) != wireMagic {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "not a shard-protocol hello"}
+	}
+	if version != ProtocolVersion {
+		return 0, nil, &wireError{code: codeVersion, fatal: true,
+			msg: fmt.Sprintf("server speaks protocol version %d, client sent %d", ProtocolVersion, version)}
+	}
+	w := &wbuf{}
+	w.u16(ProtocolVersion)
+	return msgHelloOK, w.b, nil
+}
+
+func (sc *serverConn) handleOpen(payload []byte) (byte, []byte, *wireError) {
+	r := &rbuf{b: payload}
+	var cell geometry.CellIndexOptions
+	cell.MinRadius = r.f64()
+	cell.MaxRadius = r.f64()
+	cell.LevelsPerOctave = int(r.u32())
+	cell.CellsPerRadius = int(r.u32())
+	cell.Workers = sc.srv.opts.Workers
+	hasPoints := r.u8() == 1
+	n := int(r.u32())
+	dim := int(r.u16())
+	if r.err != nil || n <= 0 || dim <= 0 {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed open frame"}
+	}
+	var points []vec.Vector
+	if hasPoints {
+		points = r.vectors(n, dim)
+	} else {
+		points = sc.srv.opts.Points
+		if len(points) == 0 {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true,
+				msg: "handshake omits points but the server has none preloaded"}
+		}
+		if len(points) != n || points[0].Dim() != dim {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true,
+				msg: fmt.Sprintf("preloaded data is %d points of dimension %d, handshake wants %d of %d",
+					len(points), points[0].Dim(), n, dim)}
+		}
+		sum := r.u64()
+		if r.err != nil {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed open frame"}
+		}
+		if have := sc.srv.pointsChecksum(); sum != have {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true,
+				msg: fmt.Sprintf("preloaded data checksum %016x does not match the client's %016x — "+
+					"the server prepared different coordinates (check -csv, -grid and the domain bounds)", have, sum)}
+		}
+	}
+	m := int(r.u32())
+	if r.err != nil || m <= 0 || m > n {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed open frame"}
+	}
+	members := make([]int32, m)
+	for i := range members {
+		members[i] = r.i32()
+	}
+	if r.err != nil || r.off != len(payload) {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed open frame"}
+	}
+	shard, err := geometry.NewLocalShard(geometry.ShardConfig{Points: points, Members: members, Cell: cell})
+	if err != nil {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: err.Error()}
+	}
+	sc.shard = shard
+	sc.n = n
+	w := &wbuf{}
+	w.u32(uint32(m))
+	w.u32(uint32(n))
+	return msgOpenOK, w.b, nil
+}
+
+func (sc *serverConn) handlePartials(payload []byte) (byte, []byte, *wireError) {
+	if sc.shard == nil {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
+	}
+	r := &rbuf{b: payload}
+	j := int(r.i32())
+	radius := r.f64()
+	limit := r.i32()
+	exact := r.u8() == 1
+	if r.err != nil || r.off != len(payload) {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed partials frame"}
+	}
+	counts, err := sc.shard.PartialCounts(sc.srv.ctx, j, radius, limit, exact)
+	if err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	return msgCounts, encodeCounts(counts), nil
+}
+
+func (sc *serverConn) handleCountBatch(payload []byte) (byte, []byte, *wireError) {
+	if sc.shard == nil {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
+	}
+	r := &rbuf{b: payload}
+	radius := r.f64()
+	k := int(r.u32())
+	if r.err != nil || k < 0 {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed countbatch frame"}
+	}
+	dim := 0
+	if k > 0 {
+		rest := len(payload) - r.off
+		if rest%(8*k) != 0 {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed countbatch frame"}
+		}
+		dim = rest / (8 * k)
+	}
+	centers := r.vectors(k, dim)
+	if r.err != nil || r.off != len(payload) {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed countbatch frame"}
+	}
+	counts, err := sc.shard.CountBatch(sc.srv.ctx, centers, radius)
+	if err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	return msgCounts, encodeCounts(counts), nil
+}
+
+func (sc *serverConn) handleDupCounts(payload []byte) (byte, []byte, *wireError) {
+	if sc.shard == nil {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
+	}
+	if len(payload) != 0 {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed dupcounts frame"}
+	}
+	counts, err := sc.shard.DupCounts(sc.srv.ctx)
+	if err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	return msgCounts, encodeCounts(counts), nil
+}
+
+// computeError maps a shard-side failure to a wire error. A cancelled
+// server context means shutdown: report it as such and close.
+func (sc *serverConn) computeError(err error) *wireError {
+	if errors.Is(err, context.Canceled) {
+		return &wireError{code: codeShuttingDown, fatal: true, msg: "server shutting down"}
+	}
+	return &wireError{code: codeInternal, msg: err.Error()}
+}

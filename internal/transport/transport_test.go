@@ -1,0 +1,712 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// testPoints builds the planted-cluster-plus-duplicates workload the
+// geometry equivalence tests use: dense cluster, exact duplicate block,
+// uniform background, all grid-quantized.
+func testPoints(t *testing.T, seed int64, n, d int) []vec.Vector {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	grid, err := geometry.NewGrid(1<<12, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]vec.Vector, 0, n)
+	center := make(vec.Vector, d)
+	for a := range center {
+		center[a] = 0.3 + 0.4*rng.Float64()
+	}
+	for i := 0; i < n/2; i++ {
+		p := make(vec.Vector, d)
+		for a := range p {
+			p[a] = center[a] + 0.02*(rng.Float64()*2-1)
+		}
+		pts = append(pts, grid.Quantize(p))
+	}
+	dup := grid.Quantize(center.Clone())
+	for i := 0; i < n/10; i++ {
+		pts = append(pts, dup)
+	}
+	for len(pts) < n {
+		p := make(vec.Vector, d)
+		for a := range p {
+			p[a] = rng.Float64()
+		}
+		pts = append(pts, grid.Quantize(p))
+	}
+	return pts
+}
+
+func testCellOptions(d int) geometry.CellIndexOptions {
+	grid, _ := geometry.NewGrid(1<<12, d)
+	return geometry.CellIndexOptions{MinRadius: grid.RadiusUnit(), MaxRadius: grid.MaxDistance()}
+}
+
+// startServers brings up `count` shard servers on a fresh loopback net and
+// returns their addresses plus the client options dialing through it.
+// Cleanup shuts every server down.
+func startServers(t *testing.T, count int, sopts ServerOptions) ([]string, Options) {
+	t.Helper()
+	ln := NewLoopbackNet()
+	addrs := make([]string, count)
+	for i := range addrs {
+		addrs[i] = "shard-" + strings.Repeat("i", i+1)
+		l, err := ln.Listen(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(sopts)
+		go srv.Serve(l)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+	}
+	return addrs, Options{Dial: ln.Dial}
+}
+
+// remoteIndex builds a backend-mode ShardedIndex whose shards are served
+// over the loopback wire protocol.
+func remoteIndex(t *testing.T, pts []vec.Vector, shards int, addrs []string, copts Options) *geometry.ShardedIndex {
+	t.Helper()
+	d := pts[0].Dim()
+	ix, err := geometry.NewShardedIndexBackends(context.Background(), pts, geometry.ShardedIndexOptions{
+		Shards: shards, Policy: geometry.ShardMorton, Cell: testCellOptions(d),
+	}, ShardDialer(addrs, copts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+// TestRemoteShardedIndexMatchesCellIndex is the transport equivalence
+// guarantee: a ShardedIndex whose shards live behind the wire protocol
+// answers every BallIndex query bit-identically to a CellIndex over the
+// same points — the protocol moves the ShardBackend calls faithfully, so
+// the geometry-layer equivalence survives serialization.
+func TestRemoteShardedIndexMatchesCellIndex(t *testing.T) {
+	for _, d := range []int{1, 2} {
+		pts := testPoints(t, int64(d), 600, d)
+		opts := testCellOptions(d)
+		ref, err := geometry.NewCellIndex(pts, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tt := len(pts) / 3
+		refStep, err := ref.BuildLStep(context.Background(), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range []int{2, 4} {
+			addrs, copts := startServers(t, s, ServerOptions{})
+			sh := remoteIndex(t, pts, s, addrs, copts)
+			if sh.Shards() != s {
+				t.Fatalf("d=%d s=%d: built %d backends", d, s, sh.Shards())
+			}
+			for _, r := range []float64{-1, 0, opts.MinRadius / 2, 0.01, 0.05, 0.3, 2} {
+				for _, i := range []int{0, len(pts) / 2, len(pts) - 1} {
+					if got, want := sh.CountWithin(i, r), ref.CountWithin(i, r); got != want {
+						t.Fatalf("d=%d s=%d: CountWithin(%d, %v) = %d, want %d", d, s, i, r, got, want)
+					}
+				}
+				if got, want := sh.MaxCountWithin(r), ref.MaxCountWithin(r); got != want {
+					t.Fatalf("d=%d s=%d: MaxCountWithin(%v) = %d, want %d", d, s, r, got, want)
+				}
+				gl, err1 := sh.LValue(r, tt)
+				wl, err2 := ref.LValue(r, tt)
+				if (err1 == nil) != (err2 == nil) || gl != wl {
+					t.Fatalf("d=%d s=%d: LValue(%v) = %v (%v), want %v (%v)", d, s, r, gl, err1, wl, err2)
+				}
+			}
+			for _, tq := range []int{1, 2, tt, len(pts)} {
+				gi, gr, err1 := sh.TwoApprox(tq)
+				wi, wr, err2 := ref.TwoApprox(tq)
+				if gi != wi || gr != wr || (err1 == nil) != (err2 == nil) {
+					t.Fatalf("d=%d s=%d: TwoApprox(%d) = (%d, %v, %v), want (%d, %v, %v)",
+						d, s, tq, gi, gr, err1, wi, wr, err2)
+				}
+				g, err1 := sh.RadiusForCount(len(pts)/2, tq)
+				w, err2 := ref.RadiusForCount(len(pts)/2, tq)
+				if g != w || (err1 == nil) != (err2 == nil) {
+					t.Fatalf("d=%d s=%d: RadiusForCount(%d) = %v, want %v", d, s, tq, g, w)
+				}
+			}
+			if sh.N() != ref.N() || len(sh.Points()) != len(ref.Points()) {
+				t.Fatalf("d=%d s=%d: N/Points diverged", d, s)
+			}
+			step, err := sh.BuildLStep(context.Background(), tt)
+			if err != nil {
+				t.Fatalf("d=%d s=%d: BuildLStep: %v", d, s, err)
+			}
+			if len(step.Breaks) != len(refStep.Breaks) {
+				t.Fatalf("d=%d s=%d: %d breaks, want %d", d, s, len(step.Breaks), len(refStep.Breaks))
+			}
+			for k := range step.Breaks {
+				if step.Breaks[k] != refStep.Breaks[k] || step.Vals[k] != refStep.Vals[k] {
+					t.Fatalf("d=%d s=%d: step[%d] = (%v, %v), want (%v, %v)",
+						d, s, k, step.Breaks[k], step.Vals[k], refStep.Breaks[k], refStep.Vals[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPreloadedPoints covers the shardserver -csv path: the server holds
+// the data, handshakes omit the payload, and answers still match the
+// points-shipping path bit for bit. A count mismatch is refused.
+func TestPreloadedPoints(t *testing.T) {
+	pts := testPoints(t, 21, 400, 2)
+	ref, err := geometry.NewCellIndex(pts, testCellOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs, copts := startServers(t, 2, ServerOptions{Points: pts})
+	copts.OmitPoints = true
+	sh := remoteIndex(t, pts, 2, addrs, copts)
+	for _, r := range []float64{0, 0.05, 0.3} {
+		if got, want := sh.MaxCountWithin(r), ref.MaxCountWithin(r); got != want {
+			t.Fatalf("MaxCountWithin(%v) = %d, want %d", r, got, want)
+		}
+	}
+
+	// A client opening a different dataset against the preloaded server
+	// must be refused with a remote (application) error.
+	short := pts[:len(pts)-1]
+	_, err = geometry.NewShardedIndexBackends(context.Background(), short, geometry.ShardedIndexOptions{
+		Shards: 2, Cell: testCellOptions(2),
+	}, ShardDialer(addrs, copts))
+	var te *Error
+	if !errors.As(err, &te) || te.Kind != KindRemote {
+		t.Fatalf("mismatched preload: err = %v, want KindRemote", err)
+	}
+}
+
+// scriptedShard serves one connection with a correct handshake and then
+// `reqs` zero-count responses, after which it slams the connection and the
+// listener — a deterministic stand-in for a shard server dying mid-use.
+func scriptedShard(t *testing.T, l net.Listener, reqs int) {
+	t.Helper()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		defer l.Close()
+		br := bufio.NewReader(conn)
+		bw := bufio.NewWriter(conn)
+		// HELLO.
+		if typ, _, err := readFrame(br); err != nil || typ != msgHello {
+			return
+		}
+		w := &wbuf{}
+		w.u16(ProtocolVersion)
+		if err := writeFrame(bw, msgHelloOK, w.b); err != nil {
+			return
+		}
+		// OPEN: parse just enough to echo the right counts.
+		typ, payload, err := readFrame(br)
+		if err != nil || typ != msgOpen {
+			return
+		}
+		r := &rbuf{b: payload}
+		r.f64()
+		r.f64()
+		r.u32()
+		r.u32()
+		hasPoints := r.u8() == 1
+		n := int(r.u32())
+		dim := int(r.u16())
+		if hasPoints {
+			r.take(8 * n * dim)
+		}
+		m := int(r.u32())
+		w = &wbuf{}
+		w.u32(uint32(m))
+		w.u32(uint32(n))
+		if err := writeFrame(bw, msgOpenOK, w.b); err != nil {
+			return
+		}
+		// Serve `reqs` requests with zero counts, then die.
+		zeros := encodeCounts(make([]int32, n))
+		for i := 0; i < reqs; i++ {
+			typ, payload, err := readFrame(br)
+			if err != nil {
+				return
+			}
+			resp := zeros
+			if typ == msgCountBatch {
+				rr := &rbuf{b: payload}
+				rr.f64()
+				resp = encodeCounts(make([]int32, int(rr.u32())))
+			}
+			if err := writeFrame(bw, msgCounts, resp); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// TestServerDeathMidSweep: one shard's server dies partway through the
+// LStep sweep. BuildLStep must return a typed transport error — no hang,
+// and never a partially summed step function.
+func TestServerDeathMidSweep(t *testing.T) {
+	pts := testPoints(t, 5, 300, 2)
+	ln := NewLoopbackNet()
+
+	// Shard 0: a real server for the whole test.
+	l0, err := ln.Listen("alive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	go srv.Serve(l0)
+	defer srv.Close()
+
+	// Shard 1: handshake + DupCounts + one PARTIALS, then gone.
+	l1, err := ln.Listen("doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scriptedShard(t, l1, 2)
+
+	ix, err := geometry.NewShardedIndexBackends(context.Background(), pts, geometry.ShardedIndexOptions{
+		Shards: 2, Cell: testCellOptions(2),
+	}, ShardDialer([]string{"alive", "doomed"}, Options{Dial: ln.Dial}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ix.BuildLStep(context.Background(), len(pts)/3)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var te *Error
+		if !errors.As(err, &te) {
+			t.Fatalf("BuildLStep after server death: err = %v, want *transport.Error", err)
+		}
+		if te.Kind != KindDial && te.Kind != KindIO {
+			t.Fatalf("err kind = %v, want dial or io", te.Kind)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("BuildLStep hung after server death")
+	}
+}
+
+// TestRetryReconnects: a connection broken between calls is transparently
+// re-dialed and re-handshaken within the retry budget.
+func TestRetryReconnects(t *testing.T) {
+	pts := testPoints(t, 6, 200, 2)
+	ln := NewLoopbackNet()
+	l, err := ln.Listen("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	go srv.Serve(l)
+	defer srv.Close()
+
+	cell := testCellOptions(2) // a single shard needs no ladder pinning
+	members := make([]int32, len(pts))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	var dials atomic.Int32
+	countingDial := func(ctx context.Context, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return ln.Dial(ctx, addr)
+	}
+	rs, err := DialShard(context.Background(), "flaky", geometry.ShardConfig{
+		Points: pts, Members: members, Cell: cell,
+	}, Options{Dial: countingDial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	want, err := rs.DupCounts(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the live connection behind the client's back; the next call
+	// must fail over to a fresh dial + handshake and still answer.
+	rs.mu.Lock()
+	rs.conn.Close()
+	rs.mu.Unlock()
+	got, err := rs.DupCounts(context.Background())
+	if err != nil {
+		t.Fatalf("call after severed conn: %v", err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dup[%d] = %d after reconnect, want %d", i, got[i], want[i])
+		}
+	}
+	if dials.Load() != 2 {
+		t.Errorf("dialed %d times, want 2", dials.Load())
+	}
+}
+
+// TestCancellationTearsDownInFlight: cancelling the context of an
+// in-flight remote call forces the blocking I/O to fail immediately —
+// wrapped so errors.Is sees context.Canceled — and leaks no goroutines.
+func TestCancellationTearsDownInFlight(t *testing.T) {
+	pts := testPoints(t, 7, 200, 2)
+	ln := NewLoopbackNet()
+	l, err := ln.Listen("tarpit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A server that answers the handshake and then never responds.
+	release := make(chan struct{})
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		bw := bufio.NewWriter(conn)
+		if typ, _, err := readFrame(br); err != nil || typ != msgHello {
+			return
+		}
+		w := &wbuf{}
+		w.u16(ProtocolVersion)
+		writeFrame(bw, msgHelloOK, w.b)
+		typ, payload, err := readFrame(br)
+		if err != nil || typ != msgOpen {
+			return
+		}
+		r := &rbuf{b: payload}
+		r.f64()
+		r.f64()
+		r.u32()
+		r.u32()
+		hasPoints := r.u8() == 1
+		n := int(r.u32())
+		dim := int(r.u16())
+		if hasPoints {
+			r.take(8 * n * dim)
+		}
+		m := int(r.u32())
+		w = &wbuf{}
+		w.u32(uint32(m))
+		w.u32(uint32(n))
+		writeFrame(bw, msgOpenOK, w.b)
+		readFrame(br) // the doomed request…
+		<-release     // …that never gets an answer
+	}()
+	defer close(release)
+
+	members := make([]int32, len(pts))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	before := runtime.NumGoroutine()
+	rs, err := DialShard(context.Background(), "tarpit", geometry.ShardConfig{
+		Points: pts, Members: members, Cell: testCellOptions(2),
+	}, Options{Dial: ln.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = rs.DupCounts(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled call: err = %v, want context.Canceled in the chain", err)
+	}
+	var te *Error
+	if !errors.As(err, &te) || te.Kind != KindCanceled {
+		t.Fatalf("cancelled call: err = %v, want KindCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	// The client must not have left the call's plumbing running.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Errorf("goroutines: %d before, %d after cancellation", before, g)
+	}
+}
+
+// TestVersionMismatch: a server that speaks a different protocol version
+// refuses the handshake with a typed, non-retried error.
+func TestVersionMismatch(t *testing.T) {
+	pts := testPoints(t, 8, 50, 2)
+	ln := NewLoopbackNet()
+	l, err := ln.Listen("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dials atomic.Int32
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				bw := bufio.NewWriter(conn)
+				if typ, _, err := readFrame(br); err != nil || typ != msgHello {
+					return
+				}
+				e := &wireError{code: codeVersion, msg: "server speaks protocol version 99"}
+				writeFrame(bw, msgError, encodeError(e))
+			}(conn)
+		}
+	}()
+	defer l.Close()
+
+	members := []int32{0, 1}
+	_, err = DialShard(context.Background(), "old", geometry.ShardConfig{
+		Points: pts, Members: members, Cell: testCellOptions(2),
+	}, Options{Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+		dials.Add(1)
+		return ln.Dial(ctx, addr)
+	}})
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	var te *Error
+	if !errors.As(err, &te) || te.Kind != KindVersion {
+		t.Fatalf("err = %v, want KindVersion", err)
+	}
+	if dials.Load() != 1 {
+		t.Errorf("version mismatch was retried: %d dials", dials.Load())
+	}
+
+	// Server side of the same contract: a client hello with an unknown
+	// version gets the version error frame back.
+	srvL, err := ln.Listen("current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	go srv.Serve(srvL)
+	defer srv.Close()
+	conn, err := ln.Dial(context.Background(), "current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	w := &wbuf{}
+	w.b = append(w.b, wireMagic[:]...)
+	w.u16(ProtocolVersion + 7)
+	if err := writeFrame(bw, msgHello, w.b); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgError {
+		t.Fatalf("server answered type %d to a future version, want error frame", typ)
+	}
+	r := &rbuf{b: payload}
+	if code := r.u16(); code != codeVersion {
+		t.Fatalf("error code = %d, want %d", code, codeVersion)
+	}
+}
+
+// TestGracefulShutdown: Shutdown with idle connections returns promptly
+// and later calls on the client fail over to a dial error.
+func TestGracefulShutdown(t *testing.T) {
+	pts := testPoints(t, 9, 100, 2)
+	ln := NewLoopbackNet()
+	l, err := ln.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	members := make([]int32, len(pts))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	rs, err := DialShard(context.Background(), "srv", geometry.ShardConfig{
+		Points: pts, Members: members, Cell: testCellOptions(2),
+	}, Options{Dial: ln.Dial, Retries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if _, err := rs.DupCounts(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown of an idle server: %v", err)
+	}
+	if err := <-serveDone; !errors.Is(err, ErrClosed) {
+		t.Fatalf("Serve returned %v, want ErrClosed", err)
+	}
+	if _, err := rs.DupCounts(context.Background()); err == nil {
+		t.Fatal("call succeeded against a shut-down server")
+	}
+}
+
+// TestHostileOpenFrame: a frame whose header claims far more points than
+// its payload carries must be refused with an error frame — not crash or
+// OOM the server via a header-sized allocation (the regression the
+// rbuf.vectors payload bound guards).
+func TestHostileOpenFrame(t *testing.T) {
+	ln := NewLoopbackNet()
+	l, err := ln.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	go srv.Serve(l)
+	defer srv.Close()
+
+	send := func(build func(w *wbuf)) (byte, []byte) {
+		t.Helper()
+		conn, err := ln.Dial(context.Background(), "srv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		bw := bufio.NewWriter(conn)
+		br := bufio.NewReader(conn)
+		hello := &wbuf{}
+		hello.b = append(hello.b, wireMagic[:]...)
+		hello.u16(ProtocolVersion)
+		if err := writeFrame(bw, msgHello, hello.b); err != nil {
+			t.Fatal(err)
+		}
+		if typ, _, err := readFrame(br); err != nil || typ != msgHelloOK {
+			t.Fatalf("hello: type %d, err %v", typ, err)
+		}
+		w := &wbuf{}
+		build(w)
+		if err := writeFrame(bw, msgOpen, w.b); err != nil {
+			t.Fatal(err)
+		}
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return typ, payload
+	}
+
+	// OPEN claiming 4 billion points of dimension 65535 in a 30-byte
+	// payload.
+	typ, _ := send(func(w *wbuf) {
+		w.f64(0.001)
+		w.f64(1.5)
+		w.u32(2)
+		w.u32(4)
+		w.u8(1)           // hasPoints
+		w.u32(0xFFFFFFF0) // n
+		w.u16(0xFFFF)     // dim
+		w.u32(0xFFFFFFF0) // members — never reached
+	})
+	if typ != msgError {
+		t.Fatalf("inflated OPEN answered with type %d, want error frame", typ)
+	}
+
+	// The server must still be alive and serving after the bad frame.
+	pts := testPoints(t, 41, 50, 2)
+	members := make([]int32, len(pts))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	rs, err := DialShard(context.Background(), "srv", geometry.ShardConfig{
+		Points: pts, Members: members, Cell: testCellOptions(2),
+	}, Options{Dial: ln.Dial})
+	if err != nil {
+		t.Fatalf("server unusable after hostile frame: %v", err)
+	}
+	rs.Close()
+}
+
+// TestWireFraming covers the frame grammar edges: oversized payloads are
+// refused before allocation, truncated payloads surface as decode errors.
+func TestWireFraming(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		var hdr [5]byte
+		hdr[0] = 0xFF // declares a ~4 GiB payload
+		c1.Write(hdr[:])
+	}()
+	if _, _, err := readFrame(bufio.NewReader(c2)); err == nil {
+		t.Error("oversized frame accepted")
+	}
+
+	r := &rbuf{b: []byte{0, 0}}
+	r.u32()
+	if r.err == nil {
+		t.Error("truncated u32 read succeeded")
+	}
+	if got := r.u32(); got != 0 || r.err == nil {
+		t.Error("sticky decode error did not stick")
+	}
+
+	if _, err := decodeCounts(encodeCounts([]int32{1, 2, 3}), 3); err != nil {
+		t.Errorf("counts round trip: %v", err)
+	}
+	if _, err := decodeCounts(encodeCounts([]int32{1, 2, 3}), 4); err == nil {
+		t.Error("short counts response accepted")
+	}
+}
+
+// TestLoopbackNet covers the loopback namespace semantics.
+func TestLoopbackNet(t *testing.T) {
+	ln := NewLoopbackNet()
+	if _, err := ln.Dial(context.Background(), "nobody"); err == nil {
+		t.Error("dial to unknown loopback address succeeded")
+	}
+	l, err := ln.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ln.Listen("a"); err == nil {
+		t.Error("double listen succeeded")
+	}
+	l.Close()
+	if _, err := ln.Dial(context.Background(), "a"); err == nil {
+		t.Error("dial to closed loopback listener succeeded")
+	}
+	if _, err := ln.Listen("a"); err != nil {
+		t.Errorf("re-listen after close: %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package transport moves the geometry.ShardBackend queries of a sharded
+// ball index across process and machine boundaries: a versioned,
+// length-prefixed binary wire protocol over net.Conn, a Server that hosts
+// shards behind it, a RemoteShard client that implements
+// geometry.ShardBackend, and a socketless loopback net for deterministic
+// in-process testing.
+//
+// # Protocol
+//
+// Every message is one frame:
+//
+//	uint32  payload length (big endian)
+//	uint8   message type
+//	[]byte  payload (length bytes)
+//
+// A connection speaks a strict request/response sequence. It opens with a
+// handshake — HELLO (magic "PCSH" + protocol version) answered by
+// HELLO_OK, then OPEN (the shard's geometry.ShardConfig: pinned cell
+// options, the global point set or a preloaded-data reference, and the
+// shard's member ids) answered by OPEN_OK — after which the client issues
+// one request frame at a time (PARTIALS, COUNT_BATCH, DUP_COUNTS) and
+// reads one response frame (COUNTS or ERROR). Queries are batched by
+// construction: a single PARTIALS round trip carries the capped counts for
+// every global point, so the per-sweep network cost is one round trip per
+// (ladder level × shard), never per point.
+//
+// Versioning: the version is negotiated in the handshake. A server that
+// does not speak the client's version answers with a typed ERROR frame
+// (code version-mismatch) and the client surfaces ErrVersionMismatch;
+// unknown message types on an established connection are protocol errors
+// that close it. The version covers the whole frame grammar — any change
+// to payload layouts bumps it.
+//
+// All integers are big endian; float64 coordinates travel as their IEEE
+// bit patterns, so the points a server indexes are bit-identical to the
+// client's and the equivalence contract of geometry.ShardedIndex survives
+// the wire.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"privcluster/internal/vec"
+)
+
+// ProtocolVersion is the wire protocol version this package speaks.
+const ProtocolVersion uint16 = 1
+
+// wireMagic opens every HELLO frame: a connection that does not start
+// with it is not speaking this protocol at all.
+var wireMagic = [4]byte{'P', 'C', 'S', 'H'}
+
+// maxFramePayload bounds a frame's declared payload length so a corrupt
+// or hostile peer cannot make the reader allocate unboundedly. 1 GiB
+// covers ~16M points of dimension 8 in one OPEN frame.
+const maxFramePayload = 1 << 30
+
+// Message types.
+const (
+	msgHello      = 1 // client → server: magic + version
+	msgHelloOK    = 2 // server → client: accepted version
+	msgOpen       = 3 // client → server: shard config
+	msgOpenOK     = 4 // server → client: member/global count echo
+	msgPartials   = 5 // client → server: one capped bulk-count pass
+	msgCounts     = 6 // server → client: []int32 results
+	msgCountBatch = 7 // client → server: exact counts around ad-hoc centers
+	msgDupCounts  = 8 // client → server: duplicate-table contribution
+	msgError      = 9 // server → client: typed failure
+)
+
+// Server-side error codes carried by msgError frames.
+const (
+	codeVersion      = 1 // protocol version not supported
+	codeBadRequest   = 2 // malformed or out-of-contract request
+	codeInternal     = 3 // shard-side failure while serving the request
+	codeShuttingDown = 4 // server is draining; reconnect elsewhere
+)
+
+// writeFrame writes one frame and flushes it.
+func writeFrame(w interface {
+	io.Writer
+	Flush() error
+}, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one frame, bounding the payload size.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("frame payload of %d bytes exceeds the %d limit", n, maxFramePayload)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// wbuf builds a payload.
+type wbuf struct{ b []byte }
+
+func (w *wbuf) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wbuf) u16(v uint16) { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *wbuf) i32(v int32)  { w.u32(uint32(v)) }
+func (w *wbuf) f64(v float64) {
+	w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v))
+}
+func (w *wbuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *wbuf) vectors(vs []vec.Vector) {
+	for _, v := range vs {
+		for _, x := range v {
+			w.f64(x)
+		}
+	}
+}
+
+// errTruncated marks a payload shorter than its grammar requires.
+var errTruncated = errors.New("truncated payload")
+
+// rbuf decodes a payload with sticky errors: after the first failure every
+// read returns zero values, and the caller checks err once at the end.
+type rbuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rbuf) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) || r.off+n < r.off {
+		r.err = errTruncated
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *rbuf) u8() uint8 {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *rbuf) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(s)
+}
+
+func (r *rbuf) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s)
+}
+
+func (r *rbuf) i32() int32 { return int32(r.u32()) }
+
+func (r *rbuf) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(s)
+}
+
+func (r *rbuf) f64() float64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(s))
+}
+
+func (r *rbuf) str() string {
+	n := int(r.u32())
+	if n > len(r.b)-r.off {
+		r.err = errTruncated
+		return ""
+	}
+	return string(r.take(n))
+}
+
+// vectors decodes k vectors of dimension d, backed by one flat
+// allocation. The allocation is bounded by the bytes actually present:
+// header-claimed counts a malformed or hostile frame inflates past its
+// payload fail as truncated here, before any make() can OOM or panic the
+// server (the maxFramePayload cap alone bounds the payload, not what a
+// frame claims to contain).
+func (r *rbuf) vectors(k, d int) []vec.Vector {
+	if r.err != nil {
+		return nil
+	}
+	if k < 0 || d < 0 || (k > 0 && d == 0) {
+		r.err = errTruncated
+		return nil
+	}
+	if need := 8 * k * d; need < 0 || need > len(r.b)-r.off {
+		r.err = errTruncated
+		return nil
+	}
+	flat := make([]float64, k*d)
+	for i := range flat {
+		flat[i] = r.f64()
+	}
+	if r.err != nil {
+		return nil
+	}
+	out := make([]vec.Vector, k)
+	for i := range out {
+		out[i] = vec.Vector(flat[i*d : (i+1)*d])
+	}
+	return out
+}
+
+// counts decodes a msgCounts payload, enforcing the expected length.
+func decodeCounts(payload []byte, want int) ([]int32, error) {
+	r := &rbuf{b: payload}
+	k := int(r.u32())
+	if k != want {
+		return nil, fmt.Errorf("counts response carries %d slots, want %d", k, want)
+	}
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = r.i32()
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("counts response has %d trailing bytes", len(payload)-r.off)
+	}
+	return out, nil
+}
+
+// encodeCounts builds a msgCounts payload.
+func encodeCounts(counts []int32) []byte {
+	w := &wbuf{b: make([]byte, 0, 4+4*len(counts))}
+	w.u32(uint32(len(counts)))
+	for _, c := range counts {
+		w.i32(c)
+	}
+	return w.b
+}
+
+// PointsChecksum is FNV-1a over the big-endian bit patterns of every
+// coordinate in order. An OPEN handshake that omits the point payload
+// carries it instead, and the server verifies it against the preloaded
+// data: count and dimension alone cannot catch a shardserver -csv that
+// prepared different coordinates (wrong grid size, wrong domain bounds)
+// than the client did — a silent way to lose the bit-identical
+// equivalence contract.
+func PointsChecksum(points []vec.Vector) uint64 {
+	h := uint64(14695981039346656037)
+	var buf [8]byte
+	for _, p := range points {
+		for _, x := range p {
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(x))
+			for _, c := range buf {
+				h ^= uint64(c)
+				h *= 1099511628211
+			}
+		}
+	}
+	return h
+}

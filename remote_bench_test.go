@@ -1,0 +1,81 @@
+package privcluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"privcluster/internal/bench"
+	"privcluster/internal/core"
+	"privcluster/internal/geometry"
+	"privcluster/internal/transport"
+)
+
+// BenchmarkRemoteLoopback measures the shard transport's overhead against
+// in-process sharding at n = 100k: both arms run the identical cold
+// preprocessing (index construction + the BuildLStep radius sweep, the
+// pipeline's dominant cost) over S = 2 shards — "inproc" through the
+// fused local pass, "loopback" through the full wire protocol against
+// shard servers in this process (handshake ships the 100k points, every
+// sweep level is one 400 KB round trip per shard). On one machine the
+// delta is pure transport + the backend decomposition's duplicated
+// source-cell work; across real machines the same protocol buys S-fold
+// compute — see the cost model in the package documentation.
+//
+//	go test -bench BenchmarkRemoteLoopback -benchmem
+func BenchmarkRemoteLoopback(b *testing.B) {
+	const n = 100000
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, n, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inproc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix, err := core.NewBallIndex(nil, pts, grid, core.IndexScalable, 0, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ix.BuildLStep(context.Background(), tt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("loopback", func(b *testing.B) {
+		ln := transport.NewLoopbackNet()
+		addrs := make([]string, 2)
+		for i := range addrs {
+			addrs[i] = fmt.Sprintf("shard-%d", i)
+			l, err := ln.Listen(addrs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := transport.NewServer(transport.ServerOptions{})
+			go srv.Serve(l)
+			b.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ix, err := core.NewRemoteBallIndex(context.Background(), pts, grid, 0, addrs, ln.Dial)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ix.BuildLStep(context.Background(), tt); err != nil {
+				b.Fatal(err)
+			}
+			if c, ok := ix.(interface{ Close() error }); ok {
+				c.Close()
+			}
+		}
+	})
+}

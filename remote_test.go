@@ -1,0 +1,221 @@
+package privcluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"privcluster/internal/core"
+	"privcluster/internal/transport"
+)
+
+// startLoopbackServers brings up `count` shard servers on an in-process
+// loopback net and returns their addresses plus the DatasetOptions fields
+// that route queries through them.
+func startLoopbackServers(t *testing.T, count int) ([]string, *transport.LoopbackNet) {
+	t.Helper()
+	ln := transport.NewLoopbackNet()
+	addrs := make([]string, count)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("shard-%d", i)
+		l, err := ln.Listen(addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := transport.NewServer(transport.ServerOptions{})
+		go srv.Serve(l)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+	}
+	return addrs, ln
+}
+
+// TestRemoteReleaseEquivalence pins the transport tentpole at the public
+// API: with S ∈ {2, 4} shards served over the loopback wire protocol,
+// seeded releases from Dataset.FindCluster and Dataset.FindClusters are
+// bit-identical to both the local sharded and the unsharded backends —
+// the DP mechanisms consume identical counts and draw identical noise, so
+// the privacy analysis is untouched by where the shards run.
+func TestRemoteReleaseEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	pts, _ := plantedPoints(rng, 6000, 4000, 2, 0.02) // > ExactIndexMaxN: scalable backend
+	ctx := context.Background()
+	q := QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 9}
+	qk := QueryOptions{Epsilon: 6, Delta: 3e-5, Seed: 4}
+
+	release := func(o DatasetOptions) (Cluster, []Cluster) {
+		t.Helper()
+		ds, err := Open(pts, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		c, err := ds.FindCluster(ctx, 3000, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := ds.FindClusters(ctx, 2, 2500, qk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, cs
+	}
+
+	ref, refK := release(DatasetOptions{Shards: 1})
+	for _, s := range []int{2, 4} {
+		local, localK := release(DatasetOptions{Shards: s})
+		addrs, ln := startLoopbackServers(t, s)
+		remote, remoteK := release(DatasetOptions{RemoteShards: addrs, RemoteDial: ln.Dial})
+		for name, got := range map[string]Cluster{"local sharded": local, "remote": remote} {
+			if got.Radius != ref.Radius || got.RawRadius != ref.RawRadius ||
+				got.Center[0] != ref.Center[0] || got.Center[1] != ref.Center[1] {
+				t.Errorf("S=%d %s FindCluster differs from unsharded: %+v vs %+v", s, name, got, ref)
+			}
+		}
+		for name, got := range map[string][]Cluster{"local sharded": localK, "remote": remoteK} {
+			if len(got) != len(refK) {
+				t.Fatalf("S=%d %s FindClusters: %d vs %d clusters", s, name, len(got), len(refK))
+			}
+			for i := range refK {
+				if got[i].Radius != refK[i].Radius || got[i].Center[0] != refK[i].Center[0] {
+					t.Errorf("S=%d %s cluster %d differs: %+v vs %+v", s, name, i, got[i], refK[i])
+				}
+			}
+		}
+	}
+}
+
+// TestRemoteIndexCacheKey: the regression the cache refactor guards — a
+// remote configuration must never share a cache slot with a local one of
+// the same policy/shards/workers shape, and distinct address lists are
+// distinct identities.
+func TestRemoteIndexCacheKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	pts, _ := plantedPoints(rng, 5000, 3000, 2, 0.02)
+
+	local, err := Open(pts, DatasetOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Open(pts, DatasetOptions{RemoteShards: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote2, err := Open(pts, DatasetOptions{RemoteShards: []string{"a", "c"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, rk, rk2 := local.effectiveKey(), remote.effectiveKey(), remote2.effectiveKey()
+	if lk == rk {
+		t.Fatalf("local and remote cache keys collide: %+v", lk)
+	}
+	if rk == rk2 {
+		t.Fatalf("distinct address lists share a cache key: %+v", rk)
+	}
+	if rk.pol != core.IndexScalable || rk.shards != 2 {
+		t.Errorf("remote key = %+v, want scalable/2", rk)
+	}
+	if lk.remote != "" {
+		t.Errorf("local key carries a remote component: %+v", lk)
+	}
+
+	// More addresses than points clamps the key like the build.
+	few := pts[:3]
+	small, err := Open(few, DatasetOptions{RemoteShards: []string{"a", "b", "c", "d", "e"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := small.effectiveKey(); k.shards != 3 {
+		t.Errorf("remote shards not clamped to n: %+v", k)
+	}
+
+	// Remote addresses must be well-formed up front.
+	if _, err := Open(pts, DatasetOptions{RemoteShards: []string{"a", ""}}); err == nil {
+		t.Error("empty remote shard address accepted")
+	}
+}
+
+// TestDatasetIndexCacheSize: the configurable bound is honored (a size-1
+// cache re-builds on alternating keys; the default keeps both), and
+// malformed sizes are rejected at Open.
+func TestDatasetIndexCacheSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	pts, _ := plantedPoints(rng, 5000, 3000, 2, 0.02)
+
+	build := func(ds *Dataset, shards int) {
+		t.Helper()
+		if _, err := ds.index(indexKey{pol: core.IndexScalable, shards: shards, workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ds, err := Open(pts, DatasetOptions{IndexCacheSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build(ds, 1)
+	build(ds, 2) // evicts shards=1
+	build(ds, 1) // must rebuild
+	if builds := ds.builds.Load(); builds != 3 {
+		t.Errorf("size-1 cache: %d builds, want 3", builds)
+	}
+	ds.mu.Lock()
+	cached := len(ds.indexes)
+	ds.mu.Unlock()
+	if cached != 1 {
+		t.Errorf("size-1 cache holds %d entries", cached)
+	}
+
+	ds, err = Open(pts, DatasetOptions{}) // default size 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	build(ds, 1)
+	build(ds, 2)
+	build(ds, 1)
+	if builds := ds.builds.Load(); builds != 2 {
+		t.Errorf("default cache: %d builds, want 2", builds)
+	}
+
+	if _, err := Open(pts, DatasetOptions{IndexCacheSize: -1}); err == nil {
+		t.Error("negative IndexCacheSize accepted")
+	}
+}
+
+// TestRemoteDatasetClose: Close releases the remote connections and the
+// handle reports no error; a handle over dead servers surfaces a typed
+// transport error from its first query instead of hanging.
+func TestRemoteDatasetClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	pts, _ := plantedPoints(rng, 5000, 3000, 2, 0.02)
+	addrs, ln := startLoopbackServers(t, 2)
+	ds, err := Open(pts, DatasetOptions{RemoteShards: addrs, RemoteDial: ln.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.FindCluster(context.Background(), 3000, QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Dead servers: the first query fails with a transport error.
+	deadNet := transport.NewLoopbackNet()
+	ds2, err := Open(pts, DatasetOptions{RemoteShards: []string{"gone"}, RemoteDial: deadNet.Dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds2.Close()
+	_, err = ds2.FindCluster(context.Background(), 3000, QueryOptions{Epsilon: 2, Delta: 1e-5})
+	var te *transport.Error
+	if !errors.As(err, &te) {
+		t.Fatalf("query against dead servers: err = %v, want *transport.Error", err)
+	}
+}

@@ -150,7 +150,7 @@ func TestDatasetIndexCacheKey(t *testing.T) {
 	}
 
 	// FIFO eviction keeps the cache bounded without breaking correctness.
-	for s := 5; s < 5+maxCachedIndexes+1; s++ {
+	for s := 5; s < 5+defaultIndexCacheSize+1; s++ {
 		if got := shardsOf(indexKey{pol: core.IndexScalable, shards: s}); got != s {
 			t.Fatalf("key{shards: %d} returned a %d-shard index", s, got)
 		}
@@ -158,8 +158,8 @@ func TestDatasetIndexCacheKey(t *testing.T) {
 	ds.mu.Lock()
 	cached := len(ds.indexes)
 	ds.mu.Unlock()
-	if cached > maxCachedIndexes {
-		t.Errorf("index cache holds %d entries, bound is %d", cached, maxCachedIndexes)
+	if cached > defaultIndexCacheSize {
+		t.Errorf("index cache holds %d entries, bound is %d", cached, defaultIndexCacheSize)
 	}
 }
 
