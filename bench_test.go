@@ -444,6 +444,41 @@ func BenchmarkDatasetReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkFrameSweep pins the flat-frame distance kernels everything above
+// rests on: one strided pass over a 100k-row frame with caller-owned output
+// buffers. Zero allocs/op and B/op are the contract — a regression here
+// means some layer reintroduced per-row allocation into the hot sweep.
+func BenchmarkFrameSweep(b *testing.B) {
+	grid, err := geometry.NewGrid(1<<16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, _, err := bench.IndexWorkload(1, 100000, 8, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := vec.FrameFromVectors(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := f.Row(0).Clone()
+	out := make([]float64, f.N())
+	b.Run("distsq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.DistSqInto(q, out)
+		}
+	})
+	b.Run("count", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if f.CountWithin(q, 0.25) == 0 {
+				b.Fatal("empty ball")
+			}
+		}
+	})
+}
+
 // BenchmarkFindClusterScalable times the full pipeline through the public
 // API at a size the exact backend cannot represent at all.
 func BenchmarkFindClusterScalable(b *testing.B) {

@@ -5,15 +5,17 @@
 //
 // Usage:
 //
-//	benchgate -baseline bench/baseline.txt -current bench_pr.txt [-threshold 20] [-metrics ns/op,allocs/op]
+//	benchgate -baseline bench/baseline.txt -current bench_pr.txt [-threshold 20] [-metrics ns/op,allocs/op,B/op]
 //
 // Per benchmark and metric the gate compares medians across the repeated
 // runs (-count=N), so a single noisy sample cannot fail the job; the
 // GOMAXPROCS suffix (`-8`) is stripped from benchmark names so baselines
-// transfer across machine shapes. allocs/op is deterministic and therefore
-// the most portable gated metric; ns/op comparisons are only meaningful
-// against a baseline recorded on comparable hardware (see bench/README.md
-// for the refresh procedure and the CI override label).
+// transfer across machine shapes. allocs/op and B/op are deterministic and
+// therefore the most portable gated metrics (B/op catches a few large
+// buffers replacing many small ones, which allocs/op alone would miss);
+// ns/op comparisons are only meaningful against a baseline recorded on
+// comparable hardware (see bench/README.md for the refresh procedure and
+// the CI override label).
 package main
 
 import (
@@ -163,7 +165,7 @@ func main() {
 	baselinePath := flag.String("baseline", "bench/baseline.txt", "checked-in baseline benchmark output")
 	currentPath := flag.String("current", "", "benchmark output of the current run (required)")
 	threshold := flag.Float64("threshold", 20, "maximum tolerated regression, percent")
-	metricsFlag := flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics to gate")
+	metricsFlag := flag.String("metrics", "ns/op,allocs/op,B/op", "comma-separated metrics to gate")
 	flag.Parse()
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")

@@ -73,7 +73,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return err
 	}
 
-	var points []vec.Vector
+	var points *vec.Frame
 	if *csv != "" {
 		f, err := os.Open(*csv)
 		if err != nil {
@@ -89,7 +89,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "shardserver: preloaded %d points of dimension %d (grid %d)\n",
-			len(points), points[0].Dim(), *gridSize)
+			points.N(), points.Dim(), *gridSize)
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -126,7 +126,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 // affine map onto the unit cube, then grid quantization — the same
 // transformation privcluster.Open performs, so the preloaded coordinates
 // are bit-identical to what a client with matching options would ship.
-func prepare(raw [][]float64, gridSize int64, min, max float64) ([]vec.Vector, error) {
+func prepare(raw [][]float64, gridSize int64, min, max float64) (*vec.Frame, error) {
 	if (min != 0 || max != 0) && max <= min {
 		return nil, fmt.Errorf("domain bounds -max %v ≤ -min %v", max, min)
 	}
@@ -139,16 +139,17 @@ func prepare(raw [][]float64, gridSize int64, min, max float64) ([]vec.Vector, e
 	if err != nil {
 		return nil, err
 	}
-	out := make([]vec.Vector, len(raw))
+	out := vec.NewFrame(len(raw), d)
+	u := make(vec.Vector, d)
 	for i, p := range raw {
 		if len(p) != d {
 			return nil, fmt.Errorf("point %d has dimension %d, want %d", i, len(p), d)
 		}
-		u := make(vec.Vector, d)
 		for j, x := range p {
 			u[j] = (x - min) / span
 		}
-		out[i] = grid.Quantize(u)
+		grid.QuantizeInto(u, u)
+		out.SetRow(i, u)
 	}
 	return out, nil
 }

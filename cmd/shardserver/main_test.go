@@ -115,15 +115,15 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dup) != len(cfg.Points) {
-		t.Fatalf("dup table has %d slots, want %d", len(dup), len(cfg.Points))
+	if len(dup) != cfg.Points.N() {
+		t.Fatalf("dup table has %d slots, want %d", len(dup), cfg.Points.N())
 	}
 	counts, err := rs.PartialCounts(context.Background(), 0, cfg.Cell.MinRadius, 10, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(counts) != len(cfg.Points) {
-		t.Fatalf("partials have %d slots, want %d", len(counts), len(cfg.Points))
+	if len(counts) != cfg.Points.N() {
+		t.Fatalf("partials have %d slots, want %d", len(counts), cfg.Points.N())
 	}
 	rs.Close()
 	shutdown()
@@ -158,7 +158,7 @@ func TestDaemonPreloadedCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	members := make([]int32, len(prepared))
+	members := make([]int32, prepared.N())
 	for i := range members {
 		members[i] = int32(i)
 	}
@@ -225,8 +225,8 @@ func TestPrepareMatchesDatasetOpen(t *testing.T) {
 	for i, p := range raw {
 		u := (p[0] - (-10)) / 20
 		q := grid.Quantize([]float64{u})
-		if prepared[i][0] != q[0] {
-			t.Errorf("prepare(%v) = %v, want %v", p, prepared[i][0], q[0])
+		if prepared.At(i, 0) != q[0] {
+			t.Errorf("prepare(%v) = %v, want %v", p, prepared.At(i, 0), q[0])
 		}
 	}
 	if _, err := prepare(raw, 1<<16, 5, 5); err == nil {

@@ -17,6 +17,25 @@ import (
 	"privcluster/internal/vec"
 )
 
+// Precision selects the in-memory storage width of a Dataset's prepared
+// points (see DatasetOptions.Precision).
+type Precision int
+
+const (
+	// Float64 (the default) stores the quantized points as float64 — the
+	// paper-faithful mode every bit-for-bit equivalence guarantee in this
+	// package refers to.
+	Float64 Precision = iota
+	// Float32 stores the quantized points as float32, halving the resident
+	// point memory. Distance arithmetic still runs in float64 (each stored
+	// coordinate is up-converted exactly), but the storage rounding makes
+	// this a distinct release mode: outputs are NOT bit-comparable to a
+	// Float64 handle, only to another Float32 handle with the same seed.
+	// Fine grids (|X| ≳ 2²⁴) exceed float32's 24-bit mantissa and will
+	// alias adjacent grid values; keep the default precision there.
+	Float32
+)
+
 // DatasetOptions configures Open: everything about the data and its
 // preparation that is fixed for the lifetime of the handle. Per-query knobs
 // (the (ε, δ) cost, β, the seed) live in QueryOptions instead. The zero
@@ -45,6 +64,10 @@ type DatasetOptions struct {
 	Shards int
 	// BoxPacking selects GoodCenter's box-key engine (default PackingAuto).
 	BoxPacking BoxPacking
+	// Precision selects the storage width of the prepared points (default
+	// Float64). Float32 halves the handle's resident point memory at the
+	// cost of bit-compatibility with Float64 handles — see Precision.
+	Precision Precision
 	// Paper switches every internal constant to the paper's proof values.
 	Paper bool
 	// RemoteShards lists shard-server addresses: when non-empty, the ball
@@ -97,6 +120,9 @@ func (o DatasetOptions) validate() error {
 	}
 	if o.BoxPacking < PackingAuto || o.BoxPacking > PackingLegacy {
 		return fmt.Errorf("privcluster: unknown box packing %d", o.BoxPacking)
+	}
+	if o.Precision != Float64 && o.Precision != Float32 {
+		return fmt.Errorf("privcluster: unknown precision %d", o.Precision)
 	}
 	if o.Shards < 0 {
 		return fmt.Errorf("privcluster: shards must be ≥ 0 (0 = automatic), got %d", o.Shards)
@@ -293,10 +319,13 @@ func (c *cachedIndex) BuildLStep(ctx context.Context, t int) (*geometry.LStep, e
 // in-flight query does not refund its charge (noise may already have been
 // drawn).
 type Dataset struct {
-	opts   DatasetOptions
-	grid   geometry.Grid
-	dim    int
-	points []vec.Vector // unit-domain, grid-quantized
+	opts DatasetOptions
+	grid geometry.Grid
+	dim  int
+	// frame holds the unit-domain, grid-quantized points in one flat
+	// allocation (float64, or float32 under DatasetOptions.Precision); every
+	// index build and feasibility check sweeps it in place.
+	frame *vec.Frame
 	// values holds the original (unit-mapped, unquantized) coordinates of a
 	// 1-D dataset — what InteriorPoint operates on, per Algorithm 3 (which
 	// runs on the raw values, not their grid snaps). Kept sorted: the
@@ -312,6 +341,10 @@ type Dataset struct {
 	// builds counts index constructions (diagnostics; the concurrency test
 	// pins it at one).
 	builds atomic.Int32
+	// scratch pools per-query working buffers (rotation matrices, histogram
+	// maps, member lists) so warm queries re-lend instead of reallocating.
+	// Scratch reuse never changes releases — only where intermediates live.
+	scratch sync.Pool
 }
 
 // Open prepares a reusable Dataset handle: it validates the options and the
@@ -335,30 +368,34 @@ func Open(points []Point, o DatasetOptions) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	vs := make([]vec.Vector, len(points))
+	frame := vec.NewFrame(len(points), d)
+	if o.Precision == Float32 {
+		frame = vec.NewFrame32(len(points), d)
+	}
 	var values []float64
 	if d == 1 {
 		values = make([]float64, len(points))
 	}
+	u := make(vec.Vector, d)
 	for i, p := range points {
 		if len(p) != d {
 			return nil, fmt.Errorf("privcluster: point %d has dimension %d, want %d", i, len(p), d)
 		}
-		u := make(vec.Vector, d)
 		for j, x := range p {
 			u[j] = o.toUnit(x)
 		}
 		if d == 1 {
 			values[i] = u[0]
 		}
-		vs[i] = grid.Quantize(u)
+		grid.QuantizeInto(u, u)
+		frame.SetRow(i, u)
 	}
 	sort.Float64s(values) // no-op for nil; see the Dataset.values doc
 	return &Dataset{
 		opts:    o,
 		grid:    grid,
 		dim:     d,
-		points:  vs,
+		frame:   frame,
 		values:  values,
 		pol:     pol,
 		indexes: make(map[indexKey]*indexEntry),
@@ -366,7 +403,7 @@ func Open(points []Point, o DatasetOptions) (*Dataset, error) {
 }
 
 // N returns the number of points in the handle.
-func (ds *Dataset) N() int { return len(ds.points) }
+func (ds *Dataset) N() int { return ds.frame.N() }
 
 // Dim returns the dimension of the handle's points.
 func (ds *Dataset) Dim() int { return ds.dim }
@@ -415,7 +452,7 @@ func (ds *Dataset) charge(ctx context.Context, cost Budget) error {
 // explicit policy and an Auto that resolves to it share one index) and a
 // resolution drift can never serve a stale index.
 func (ds *Dataset) effectiveKey() indexKey {
-	n := len(ds.points)
+	n := ds.frame.N()
 	if len(ds.opts.RemoteShards) > 0 {
 		// Remote execution presumes the scalable sharded backend: one
 		// shard per address (geometry clamps to at most n, mirrored here
@@ -471,10 +508,10 @@ func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 		var ix geometry.BallIndex
 		var err error
 		if key.remote != "" {
-			ix, err = core.NewRemoteBallIndex(context.Background(), ds.points, ds.grid,
+			ix, err = core.NewRemoteBallIndexFrame(context.Background(), ds.frame, ds.grid,
 				key.workers, ds.opts.RemoteShards, ds.opts.RemoteDial)
 		} else {
-			ix, err = core.NewBallIndex(context.Background(), ds.points, ds.grid, key.pol, key.workers, key.shards)
+			ix, err = core.NewBallIndexFrame(context.Background(), ds.frame, ds.grid, key.pol, key.workers, key.shards)
 		}
 		if err != nil {
 			e.err = err
@@ -547,14 +584,27 @@ func (ds *Dataset) prepareQuery(ctx context.Context, t, rounds int, q QueryOptio
 	if err := ctx.Err(); err != nil {
 		return q, core.Params{}, err
 	}
-	if t < 1 || t > len(ds.points) {
-		return q, core.Params{}, fmt.Errorf("privcluster: t=%d out of [1, n=%d]", t, len(ds.points))
+	if t < 1 || t > ds.frame.N() {
+		return q, core.Params{}, fmt.Errorf("privcluster: t=%d out of [1, n=%d]", t, ds.frame.N())
 	}
 	prm := ds.params(ctx, t, q)
-	if err := checkFeasible(ds.points, prm, rounds, q, ds.opts.GridSize); err != nil {
+	plaus := func(p core.Params) bool { return core.ZeroClusterPlausibleFrame(ds.frame, p) }
+	if err := checkFeasible(plaus, prm, rounds, q, ds.opts.GridSize); err != nil {
 		return q, core.Params{}, err
 	}
 	return q, prm, nil
+}
+
+// acquireScratch lends the handle's pooled per-query working buffers into
+// prm. The returned release must be deferred; until it runs the scratch is
+// exclusively owned by this query (sync.Pool guarantees no sharing).
+func (ds *Dataset) acquireScratch(prm *core.Params) (release func()) {
+	sc, _ := ds.scratch.Get().(*core.QueryScratch)
+	if sc == nil {
+		sc = core.NewQueryScratch()
+	}
+	prm.Scratch = sc
+	return func() { ds.scratch.Put(sc) }
 }
 
 // FindCluster is the 1-cluster query (Theorem 3.2) on the prepared handle:
@@ -576,6 +626,8 @@ func (ds *Dataset) FindCluster(ctx context.Context, t int, q QueryOptions) (Clus
 	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
 		return Cluster{}, err
 	}
+	release := ds.acquireScratch(&prm)
+	defer release()
 	res, err := core.OneClusterIndexed(q.rng(), ix, prm)
 	if err != nil {
 		return Cluster{}, err
@@ -613,6 +665,8 @@ func (ds *Dataset) FindClusters(ctx context.Context, k, t int, q QueryOptions) (
 	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
 		return nil, err
 	}
+	release := ds.acquireScratch(&prm)
+	defer release()
 	balls, err := core.KCoverIndexed(q.rng(), ix, k, prm)
 	if err != nil {
 		return nil, err
@@ -662,12 +716,16 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 	// 1-cluster stage will see — the same check FindCluster gets, run
 	// before any budget is charged. ds.values is kept sorted, so the
 	// middle extraction is a slice, not a fresh sort.
-	if err := checkFeasible(core.IntPointMiddleSorted(ds.values, innerN), cprm, 1, q, ds.opts.GridSize); err != nil {
+	middle := core.IntPointMiddleSorted(ds.values, innerN)
+	plaus := func(p core.Params) bool { return core.ZeroClusterPlausible(middle, p) }
+	if err := checkFeasible(plaus, cprm, 1, q, ds.opts.GridSize); err != nil {
 		return 0, err
 	}
 	if err := ds.charge(ctx, Budget{Epsilon: 2 * q.Epsilon, Delta: 2 * q.Delta}); err != nil {
 		return 0, err
 	}
+	release := ds.acquireScratch(&cprm)
+	defer release()
 	res, err := core.IntPoint(q.rng(), ds.values, core.IntPointParams{
 		InnerN:  innerN,
 		Cluster: cprm,
@@ -687,14 +745,17 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 // scaling as (1/ε)·log(1/δ) — are unreachable, and the run would fail
 // after spending its budget with an opaque promise violation (the flaky
 // t ≈ Γ regime). The one escape is a duplicate-dominated dataset, whose
-// radius-zero path bypasses the search (core.ZeroClusterPlausible).
-func checkFeasible(vs []vec.Vector, prm core.Params, rounds int, q QueryOptions, gridSize int64) error {
+// radius-zero path bypasses the search: plausible reports whether the
+// caller's data could fire it at the per-round budget (the handle queries
+// pass core.ZeroClusterPlausibleFrame over the prepared frame; callers
+// holding loose vectors pass a core.ZeroClusterPlausible closure).
+func checkFeasible(plausible func(core.Params) bool, prm core.Params, rounds int, q QueryOptions, gridSize int64) error {
 	if rounds < 1 {
 		rounds = 1
 	}
 	check := prm
 	check.Privacy = check.Privacy.Split(rounds)
-	if floor := check.MinFeasibleT(); float64(prm.T) < floor && !core.ZeroClusterPlausible(vs, check) {
+	if floor := check.MinFeasibleT(); float64(prm.T) < floor && !plausible(check) {
 		f := int(math.Ceil(floor))
 		budget := fmt.Sprintf("ε=%g, δ=%g", q.Epsilon, q.Delta)
 		if rounds > 1 {

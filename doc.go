@@ -194,6 +194,44 @@
 // protocol itself is deliberately plain TCP and does not pretend to add
 // privacy.
 //
+// # Memory model
+//
+// The data-bearing layers share one representation: internal/vec.Frame, a
+// single contiguous []float64 (or []float32 — below) holding n points of
+// dimension d at stride d. Dataset.Open quantizes straight into a frame;
+// index construction, the cell and distance indexes' count sweeps, shard
+// Gather/partition, GoodCenter's projection and rotation passes, the
+// k-means Lloyd loops, and the wire protocol's OPEN payload all run over
+// that flat buffer (or no-copy row views of it) rather than n separate
+// row allocations. Two contracts follow:
+//
+//   - Arithmetic is unchanged. The frame kernels compute distances in the
+//     same float64 operation order as the per-point code they replaced, so
+//     the layout is invisible to releases: seeded outputs are bit-identical
+//     to the per-row representation, and every equivalence suite (local,
+//     sharded, remote loopback) pins that.
+//
+//   - Warm queries reuse buffers instead of allocating. A Dataset handle
+//     pools per-query scratch (rotation buffers, histogram maps, member
+//     lists) and lends it through the pipeline; with the index cached, a
+//     warm FindCluster allocates a few tens of kilobytes instead of
+//     rebuilding megabytes of per-point structures per query
+//     (BenchmarkDatasetReuse/warm, gated in CI on ns/op, allocs/op, and
+//     B/op). Buffer reuse never changes releases — only where the
+//     deterministic intermediates live.
+//
+// DatasetOptions.Precision selects the frame's storage width. The default
+// Float64 is the paper-faithful mode every bit-for-bit guarantee refers
+// to. Float32 halves resident point memory: coordinates are stored rounded
+// to float32 and up-converted exactly to float64 for all arithmetic, so a
+// Float32 handle is internally consistent (same seed, same release —
+// locally and over remote shards, whose wire format carries the exact
+// up-converted values). But it is a distinct release mode: its outputs are
+// never bit-comparable to a Float64 handle's, and grids finer than
+// float32's 24-bit mantissa (|X| ≳ 2²⁴) alias adjacent grid values. Use it
+// when memory is the binding constraint and the grid is coarse; never
+// compare its releases against Float64 baselines.
+//
 // # Errors and the feasible t/ε regime
 //
 // The private selections inside the pipeline release results only above

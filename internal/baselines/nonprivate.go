@@ -77,5 +77,5 @@ func TwoApproxBall(points []vec.Vector, t int) (geometry.Ball, error) {
 	if err != nil {
 		return geometry.Ball{}, err
 	}
-	return geometry.Ball{Center: ix.Points()[c], Radius: r}, nil
+	return geometry.Ball{Center: ix.Frame().Row(c), Radius: r}, nil
 }

@@ -71,11 +71,13 @@ type boxPartition interface {
 	selectBox(rng *rand.Rand, p stability.Params) (boxSelection, error)
 }
 
-// newBoxPartition builds the engine for the given projected points, box
-// side, and profile (Workers bounds the pool, 0 = GOMAXPROCS; Packing
-// selects the key encoding).
-func newBoxPartition(proj []vec.Vector, side float64, prof Profile) (boxPartition, error) {
-	if len(proj) == 0 {
+// newBoxPartition builds the engine for the given projected points (a flat
+// frame, float64), box side, and profile (Workers bounds the pool, 0 =
+// GOMAXPROCS; Packing selects the key encoding). sc, when non-nil, lends the
+// packed engines their key/histogram buffers (the legacy string engine
+// allocates its own — it exists as the allocation-heavy reference).
+func newBoxPartition(proj *vec.Frame, side float64, prof Profile, sc *QueryScratch) (boxPartition, error) {
+	if proj == nil || proj.N() == 0 {
 		return nil, ErrNoData
 	}
 	workers := prof.Workers
@@ -84,14 +86,14 @@ func newBoxPartition(proj []vec.Vector, side float64, prof Profile) (boxPartitio
 	}
 	switch prof.Packing {
 	case PackLegacy:
-		return newBoxEngine[string](proj, side, workers, stringCoder{side: side}), nil
+		return newBoxEngine[string](proj, side, workers, stringCoder{side: side}, nil), nil
 	case PackHash:
-		return newBoxEngine[uint64](proj, side, workers, &hashCoder{side: side}), nil
+		return newBoxEngine[uint64](proj, side, workers, &hashCoder{side: side}, sc), nil
 	case PackAuto, PackBits:
 		if c, ok := newBitsCoder(proj, side); ok {
-			return newBoxEngine[uint64](proj, side, workers, c), nil
+			return newBoxEngine[uint64](proj, side, workers, c, sc), nil
 		}
-		return newBoxEngine[uint64](proj, side, workers, &hashCoder{side: side}), nil
+		return newBoxEngine[uint64](proj, side, workers, &hashCoder{side: side}, sc), nil
 	default:
 		return nil, fmt.Errorf("core: unknown packing policy %d", prof.Packing)
 	}
@@ -116,14 +118,14 @@ type bitsCoder struct {
 	base  []int64 // per-repetition rebase, set by prepare
 }
 
-func newBitsCoder(proj []vec.Vector, side float64) (*bitsCoder, bool) {
-	k := proj[0].Dim()
+func newBitsCoder(proj *vec.Frame, side float64) (*bitsCoder, bool) {
+	k := proj.Dim()
 	minC := make([]float64, k)
 	maxC := make([]float64, k)
-	copy(minC, proj[0])
-	copy(maxC, proj[0])
-	for _, p := range proj[1:] {
-		for a, x := range p {
+	copy(minC, proj.Row(0))
+	copy(maxC, proj.Row(0))
+	for i := 1; i < proj.N(); i++ {
+		for a, x := range proj.Row(i) {
 			if x < minC[a] {
 				minC[a] = x
 			}
@@ -206,12 +208,14 @@ func (c stringCoder) key(p vec.Vector, offsets []float64) string {
 // All per-repetition state (keys, the global histogram, the per-worker
 // partial histograms) is allocated once and reused across the up-to-
 // MaxRepetitions SVT passes — the allocation profile the packed keys exist
-// for.
+// for. When a QueryScratch is attached (uint64 keys only), those buffers are
+// borrowed from it instead, so repeated queries reuse them across engines.
 type boxEngine[K comparable] struct {
-	proj    []vec.Vector
+	proj    *vec.Frame
 	side    float64
 	workers int
 	coder   boxCoder[K]
+	sc      *QueryScratch // nil unless lent by newBoxEngine
 
 	offsets []float64   // offsets of the latest partition (for decoding)
 	keys    []K         // per-point box key of the latest partition
@@ -219,17 +223,44 @@ type boxEngine[K comparable] struct {
 	locals  []map[K]int // per-worker partial histograms
 }
 
-func newBoxEngine[K comparable](proj []vec.Vector, side float64, workers int, coder boxCoder[K]) *boxEngine[K] {
+func newBoxEngine[K comparable](proj *vec.Frame, side float64, workers int, coder boxCoder[K], sc *QueryScratch) *boxEngine[K] {
+	n := proj.N()
 	e := &boxEngine[K]{
 		proj:    proj,
 		side:    side,
 		workers: workers,
 		coder:   coder,
-		offsets: make([]float64, proj[0].Dim()),
-		keys:    make([]K, len(proj)),
-		hist:    make(map[K]int, 64),
+		offsets: make([]float64, proj.Dim()),
 	}
-	if workers > 1 {
+	if sc != nil {
+		// Borrow the uint64 buffers from the scratch. The type switch is
+		// resolved at instantiation; string engines fall through to fresh
+		// allocations below.
+		if kp, ok := any(&e.keys).(*[]uint64); ok {
+			e.sc = sc
+			if cap(sc.keys) < n {
+				sc.keys = make([]uint64, n)
+			}
+			*kp = sc.keys[:n]
+			if sc.hist == nil {
+				sc.hist = make(map[uint64]int, 64)
+			}
+			*any(&e.hist).(*map[uint64]int) = sc.hist
+			if workers > 1 {
+				for len(sc.locals) < workers {
+					sc.locals = append(sc.locals, make(map[uint64]int, 64))
+				}
+				*any(&e.locals).(*[]map[uint64]int) = sc.locals[:workers]
+			}
+		}
+	}
+	if e.keys == nil {
+		e.keys = make([]K, n)
+	}
+	if e.hist == nil {
+		e.hist = make(map[K]int, 64)
+	}
+	if workers > 1 && e.locals == nil {
 		e.locals = make([]map[K]int, workers)
 		for w := range e.locals {
 			e.locals[w] = make(map[K]int, 64)
@@ -241,7 +272,7 @@ func newBoxEngine[K comparable](proj []vec.Vector, side float64, workers int, co
 func (e *boxEngine[K]) partition(offsets []float64) int {
 	copy(e.offsets, offsets)
 	e.coder.prepare(e.offsets)
-	n := len(e.proj)
+	n := e.proj.N()
 	clear(e.hist)
 	if e.workers > 1 && n >= minParallelPoints {
 		chunk := (n + e.workers - 1) / e.workers
@@ -263,7 +294,7 @@ func (e *boxEngine[K]) partition(offsets []float64) int {
 				local := e.locals[w]
 				clear(local)
 				for i := lo; i < hi; i++ {
-					k := e.coder.key(e.proj[i], e.offsets)
+					k := e.coder.key(e.proj.Row(i), e.offsets)
 					e.keys[i] = k
 					local[k]++
 				}
@@ -276,8 +307,8 @@ func (e *boxEngine[K]) partition(offsets []float64) int {
 			}
 		}
 	} else {
-		for i, p := range e.proj {
-			k := e.coder.key(p, e.offsets)
+		for i := 0; i < n; i++ {
+			k := e.coder.key(e.proj.Row(i), e.offsets)
 			e.keys[i] = k
 			e.hist[k]++
 		}
@@ -312,7 +343,7 @@ func (e *boxEngine[K]) selectBox(rng *rand.Rand, p stability.Params) (boxSelecti
 	k := len(e.offsets)
 	coords := make([]int64, len(reps)*k)
 	for b, ri := range reps {
-		pt := e.proj[ri]
+		pt := e.proj.Row(int(ri))
 		for a, x := range pt {
 			coords[b*k+a] = int64(math.Floor((x - e.offsets[a]) / e.side))
 		}
@@ -340,11 +371,21 @@ func (e *boxEngine[K]) selectBox(rng *rand.Rand, p stability.Params) (boxSelecti
 		return boxSelection{Bottom: true}, err
 	}
 	winKey := e.keys[reps[order[res.Key]]]
-	members := make([]int, 0, counts[res.Key])
+	var members []int
+	if e.sc != nil {
+		members = e.sc.members[:0]
+	} else {
+		members = make([]int, 0, counts[res.Key])
+	}
 	for i, key := range e.keys {
 		if key == winKey {
 			members = append(members, i)
 		}
+	}
+	if e.sc != nil {
+		// Keep the grown buffer for the next query; the returned slice stays
+		// valid until then (one query per scratch at a time).
+		e.sc.members = members
 	}
 	return boxSelection{Members: members}, nil
 }

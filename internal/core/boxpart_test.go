@@ -11,6 +11,17 @@ import (
 	"privcluster/internal/vec"
 )
 
+// frameOf packs test vectors into a flat frame, failing the test on ragged
+// input.
+func frameOf(t *testing.T, pts []vec.Vector) *vec.Frame {
+	t.Helper()
+	f, err := vec.FrameFromVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 // randomProj builds a random "projected" point set with the given dimension
 // and coordinate span (centered on zero, so negative cell indices are
 // exercised).
@@ -67,7 +78,7 @@ func TestBoxPartitionMatchesLegacyHistogram(t *testing.T) {
 					prof := DefaultProfile()
 					prof.Packing = pol
 					prof.Workers = tc.workers
-					part, err := newBoxPartition(proj, tc.side, prof)
+					part, err := newBoxPartition(frameOf(t, proj), tc.side, prof, nil)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -125,7 +136,7 @@ func TestBoxPartitionAutoSelectsBits(t *testing.T) {
 	prof := DefaultProfile()
 
 	proj := randomProj(rng, 100, 2, 1)
-	part, err := newBoxPartition(proj, 0.1, prof) // ~12 cells/axis: packs
+	part, err := newBoxPartition(frameOf(t, proj), 0.1, prof, nil) // ~12 cells/axis: packs
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +149,7 @@ func TestBoxPartitionAutoSelectsBits(t *testing.T) {
 	}
 
 	wide := randomProj(rng, 100, 10, 4)
-	part, err = newBoxPartition(wide, 1e-6, prof) // k·bits ≫ 64: hashes
+	part, err = newBoxPartition(frameOf(t, wide), 1e-6, prof, nil) // k·bits ≫ 64: hashes
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +174,7 @@ func TestBoxSelectionCanonicalAcrossBackends(t *testing.T) {
 		prof := DefaultProfile()
 		prof.Packing = pol
 		prof.Workers = 1 + i // worker count must not matter either
-		part, err := newBoxPartition(proj, side, prof)
+		part, err := newBoxPartition(frameOf(t, proj), side, prof, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -272,7 +283,7 @@ func TestBitsCoderIndexBounds(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	proj := randomProj(rng, 400, 4, 3)
 	const side = 0.21
-	c, ok := newBitsCoder(proj, side)
+	c, ok := newBitsCoder(frameOf(t, proj), side)
 	if !ok {
 		t.Fatal("bit packing unexpectedly infeasible")
 	}
@@ -307,7 +318,7 @@ func TestBitsCoderIndexBounds(t *testing.T) {
 
 // TestNewBoxPartitionEmpty mirrors the GoodCenter guard at the engine level.
 func TestNewBoxPartitionEmpty(t *testing.T) {
-	if _, err := newBoxPartition(nil, 0.5, DefaultProfile()); !errors.Is(err, ErrNoData) {
+	if _, err := newBoxPartition(nil, 0.5, DefaultProfile(), nil); !errors.Is(err, ErrNoData) {
 		t.Errorf("empty engine error = %v, want ErrNoData", err)
 	}
 }

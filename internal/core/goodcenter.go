@@ -63,8 +63,27 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		// before the check would panic on a direct call with no points.
 		return CenterResult{}, fmt.Errorf("%w: GoodCenter needs at least one point", ErrNoData)
 	}
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return CenterResult{}, err
+	}
+	return GoodCenterFrame(rng, f, r, prm)
+}
+
+// GoodCenterFrame is GoodCenter on a flat frame — the representation the
+// ball indexes already hold, so the pipeline's hot path never materializes
+// per-point slices. Float32 frames are promoted to float64 once up front
+// (exact); every pass then runs on no-copy row views. When prm.Scratch is
+// set, the per-query buffers (box keys, histograms, the rotation buffer) are
+// borrowed from it, making warm repeated queries allocate close to nothing
+// here. Releases are bit-identical to GoodCenter on the same values.
+func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (CenterResult, error) {
+	if points == nil || points.N() == 0 {
+		return CenterResult{}, fmt.Errorf("%w: GoodCenter needs at least one point", ErrNoData)
+	}
+	points = points.Promote()
 	prm.setDefaults()
-	n := len(points)
+	n := points.N()
 	if err := prm.Validate(n); err != nil {
 		return CenterResult{}, err
 	}
@@ -75,8 +94,8 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		r = prm.Grid.RadiusUnit()
 	}
 	d := prm.Grid.Dim
-	if points[0].Dim() != d {
-		return CenterResult{}, fmt.Errorf("core: points have dimension %d, grid says %d", points[0].Dim(), d)
+	if points.Dim() != d {
+		return CenterResult{}, fmt.Errorf("core: points have dimension %d, grid says %d", points.Dim(), d)
 	}
 	t := prm.T
 	eps := prm.Privacy.Epsilon
@@ -94,7 +113,9 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		return CenterResult{}, err
 	}
 	kOut := transform.OutDim()
-	proj := transform.ApplyAll(points)
+	// The identity case (k ≥ d, the common regime after the JLDimCap)
+	// aliases the input frame — no copy at all.
+	proj := transform.ApplyFrame(points)
 
 	// Steps 2–6: resample randomly shifted box partitions of R^k until
 	// AboveThreshold certifies that some box holds ≈ t projected points.
@@ -110,7 +131,7 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		maxReps = int(math.Ceil(2 * float64(n) * math.Log(1/beta) / beta))
 	}
 
-	part, err := newBoxPartition(proj, boxSide, prm.Profile)
+	part, err := newBoxPartition(proj, boxSide, prm.Profile, prm.Scratch)
 	if err != nil {
 		return CenterResult{}, err
 	}
@@ -149,10 +170,7 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 	if len(sel.Members) == 0 {
 		return CenterResult{}, fmt.Errorf("%w: chosen box is empty", ErrSelectionFailed)
 	}
-	cluster := make([]vec.Vector, len(sel.Members))
-	for i, id := range sel.Members {
-		cluster[i] = points[id]
-	}
+	m := len(sel.Members)
 
 	// Steps 8–9: random rotation of R^d, then a private per-axis interval
 	// choice to pin the cluster into a box of diameter O(r·√(k·log(dn/β))).
@@ -162,12 +180,18 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 	}
 	// One flat backing array for all rotated points: the per-point MulVec
 	// allocation is the dominant cost of this stage at large |cluster|.
-	rotBuf := make([]float64, len(cluster)*d)
-	rotated := make([]vec.Vector, len(cluster))
-	for i, x := range cluster {
-		row := vec.Vector(rotBuf[i*d : (i+1)*d])
-		basis.MulVecInto(row, x)
-		rotated[i] = row
+	// With a scratch it is reused across queries outright.
+	var rotBuf []float64
+	if sc := prm.Scratch; sc != nil {
+		if cap(sc.rotBuf) < m*d {
+			sc.rotBuf = make([]float64, m*d)
+		}
+		rotBuf = sc.rotBuf[:m*d]
+	} else {
+		rotBuf = make([]float64, m*d)
+	}
+	for i, id := range sel.Members {
+		basis.MulVecInto(vec.Vector(rotBuf[i*d:(i+1)*d]), points.Row(id))
 	}
 	axisScale := float64(kOut) / float64(d)
 	if prm.Profile.UseAxisLogTerm {
@@ -181,15 +205,23 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 	boxCenterRot := make(vec.Vector, d)
 	// The d per-axis interval histograms get the same packed-key treatment
 	// as the box loop: one int64-keyed map reused (cleared, not
-	// reallocated) across all axes.
-	axisHist := make(map[int64]int, len(rotated))
+	// reallocated) across all axes — and across queries via the scratch.
+	var axisHist map[int64]int
+	if sc := prm.Scratch; sc != nil {
+		if sc.axisHist == nil {
+			sc.axisHist = make(map[int64]int, 64)
+		}
+		axisHist = sc.axisHist
+	} else {
+		axisHist = make(map[int64]int, 64)
+	}
 	for axis := 0; axis < d; axis++ {
 		if err := prm.interrupted(); err != nil {
 			return CenterResult{}, err
 		}
 		clear(axisHist)
-		for _, x := range rotated {
-			axisHist[int64(math.Floor(x[axis]/pLen))]++
+		for i := 0; i < m; i++ {
+			axisHist[int64(math.Floor(rotBuf[i*d+axis]/pLen))]++
 		}
 		res, err := stability.Choose(rng, axisHist, stability.Params{Epsilon: epsAxis, Delta: deltaAxis})
 		if err != nil {
@@ -226,8 +258,9 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 	center := basis.TMulVec(boxCenterRot)
 	rc := 1.5 * pLen * math.Sqrt(float64(d))
 
-	// Step 11: noisy average of the points captured by C.
-	avg, err := dp.NoisyAverage(rng, cluster, center, rc, quarter)
+	// Step 11: noisy average of the points captured by C — straight off the
+	// frame's rows, no gathered slice.
+	avg, err := dp.NoisyAverageRows(rng, points, sel.Members, center, rc, quarter)
 	if err != nil {
 		return CenterResult{}, err
 	}
@@ -239,7 +272,7 @@ func GoodCenter(rng *rand.Rand, points []vec.Vector, r float64, prm Params) (Cen
 		Radius:       prm.Profile.OutRadiusFactor * r * math.Sqrt(float64(kOut)),
 		K:            kOut,
 		Repetitions:  reps,
-		BoxCount:     len(cluster),
+		BoxCount:     m,
 		FallbackAxes: fallbacks,
 	}, nil
 }

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -99,22 +98,31 @@ func GoodRadius(rng *rand.Rand, ix geometry.BallIndex, prm Params) (RadiusResult
 // MinFeasibleT still succeeds end to end; the pre-flight feasibility check
 // consults this before rejecting.
 func ZeroClusterPlausible(points []vec.Vector, prm Params) bool {
-	prm.setDefaults()
-	t := prm.T
-	if t < 1 || len(points) == 0 {
+	if len(points) == 0 {
 		return false
 	}
-	d := points[0].Dim()
-	mult := make(map[string]int, len(points))
-	buf := make([]byte, 8*d)
-	for _, p := range points {
-		if p.Dim() != d {
-			return false
-		}
-		for a, x := range p {
-			binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
-		}
-		mult[string(buf)]++
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		// Ragged input has no consistent duplicate structure; the legacy
+		// behavior for it was also "not plausible".
+		return false
+	}
+	return ZeroClusterPlausibleFrame(f, prm)
+}
+
+// ZeroClusterPlausibleFrame is ZeroClusterPlausible on a flat frame, keying
+// the duplicate table by the frame's canonical row keys (identical bytes to
+// the legacy per-point encoding, so the decision is unchanged).
+func ZeroClusterPlausibleFrame(f *vec.Frame, prm Params) bool {
+	prm.setDefaults()
+	t := prm.T
+	if t < 1 || f == nil || f.N() == 0 {
+		return false
+	}
+	mult := make(map[string]int, f.N())
+	buf := make([]byte, 0, 8*f.Dim())
+	for i := 0; i < f.N(); i++ {
+		mult[string(f.AppendRowKey(buf[:0], i))]++
 	}
 	ms := make([]int, 0, len(mult))
 	for _, m := range mult {

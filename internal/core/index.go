@@ -104,27 +104,40 @@ func ResolveWorkers(workers int) int {
 // unsharded index). ctx cancels a sharded build in flight; a nil ctx means
 // "never cancel".
 func NewBallIndex(ctx context.Context, points []vec.Vector, grid geometry.Grid, pol IndexPolicy, workers, shards int) (geometry.BallIndex, error) {
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return nil, err
+	}
+	return NewBallIndexFrame(ctx, f, grid, pol, workers, shards)
+}
+
+// NewBallIndexFrame is NewBallIndex on a flat frame — the storage every
+// backend keeps anyway, so callers that already hold one (the Dataset
+// handle) skip the copy entirely. The frame is shared, not copied: callers
+// must treat it as read-only afterwards.
+func NewBallIndexFrame(ctx context.Context, points *vec.Frame, grid geometry.Grid, pol IndexPolicy, workers, shards int) (geometry.BallIndex, error) {
 	switch pol {
 	case IndexAuto, IndexExact, IndexScalable:
 	default:
 		return nil, fmt.Errorf("core: unknown index policy %d", pol)
 	}
-	if ResolveIndexPolicy(pol, len(points)) == IndexExact {
-		return geometry.NewDistanceIndex(points)
+	n := points.N()
+	if ResolveIndexPolicy(pol, n) == IndexExact {
+		return geometry.NewDistanceIndexFrame(points)
 	}
 	cell := geometry.CellIndexOptions{
 		MinRadius: grid.RadiusUnit(),
 		MaxRadius: grid.MaxDistance(),
 		Workers:   workers,
 	}
-	if s := ResolveShards(shards, len(points)); s > 1 {
-		return geometry.NewShardedIndex(ctx, points, geometry.ShardedIndexOptions{
+	if s := ResolveShards(shards, n); s > 1 {
+		return geometry.NewShardedIndexFrame(ctx, points, geometry.ShardedIndexOptions{
 			Shards: s,
 			Policy: geometry.ShardMorton,
 			Cell:   cell,
 		})
 	}
-	return geometry.NewCellIndex(points, cell)
+	return geometry.NewCellIndexFrame(points, cell)
 }
 
 // NewRemoteBallIndex builds the scalable sharded index with every shard
@@ -141,6 +154,17 @@ func NewBallIndex(ctx context.Context, points []vec.Vector, grid geometry.Grid, 
 // handshake round trips; the caller owns the returned index's connections
 // (it is a *geometry.ShardedIndex; Close releases them).
 func NewRemoteBallIndex(ctx context.Context, points []vec.Vector, grid geometry.Grid, workers int, addrs []string, dial transport.DialFunc) (geometry.BallIndex, error) {
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemoteBallIndexFrame(ctx, f, grid, workers, addrs, dial)
+}
+
+// NewRemoteBallIndexFrame is NewRemoteBallIndex on a flat frame (shared, not
+// copied) — the OPEN handshake encodes the wire payload straight from the
+// frame's backing slice.
+func NewRemoteBallIndexFrame(ctx context.Context, points *vec.Frame, grid geometry.Grid, workers int, addrs []string, dial transport.DialFunc) (geometry.BallIndex, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("core: remote ball index needs at least one shard address")
 	}

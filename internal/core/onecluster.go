@@ -72,7 +72,7 @@ func oneClusterIndexed(rng *rand.Rand, ix geometry.BallIndex, prm Params) (Clust
 	if err := prm.interrupted(); err != nil {
 		return ClusterResult{}, err
 	}
-	cen, err := GoodCenter(rng, ix.Points(), rad.Radius, half)
+	cen, err := GoodCenterFrame(rng, ix.Frame(), rad.Radius, half)
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("core: center stage: %w", err)
 	}
@@ -102,7 +102,9 @@ func KCover(rng *rand.Rand, points []vec.Vector, k int, prm Params) ([]geometry.
 // is rebuilt exactly as KCover would. Results are bit-identical to KCover
 // under the same seed, for the same reason OneClusterIndexed's are.
 func KCoverIndexed(rng *rand.Rand, ix geometry.BallIndex, k int, prm Params) ([]geometry.Ball, error) {
-	return kCover(rng, ix.Points(), ix, k, prm)
+	// Round 1 runs on the index itself; later rounds filter the remainder,
+	// which still wants per-point views — Rows() is header-only on float64.
+	return kCover(rng, ix.Frame().Rows(), ix, k, prm)
 }
 
 func kCover(rng *rand.Rand, points []vec.Vector, full geometry.BallIndex, k int, prm Params) ([]geometry.Ball, error) {

@@ -155,6 +155,10 @@ type Params struct {
 	// may already have drawn noise, so callers doing budget accounting must
 	// treat it as spent.
 	Ctx context.Context
+	// Scratch, when non-nil, lends reusable buffers to GoodCenter's
+	// per-query passes (see QueryScratch). It never changes releases — only
+	// the allocation profile — and must not be shared by concurrent queries.
+	Scratch *QueryScratch
 }
 
 // Context returns the params' context, normalizing nil to Background.

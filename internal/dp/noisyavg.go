@@ -64,6 +64,49 @@ func NoisyAverage(rng *rand.Rand, vectors []vec.Vector, center vec.Vector, radiu
 			m++
 		}
 	}
+	return noisyAverageTail(rng, sum, m, center, radius, p)
+}
+
+// NoisyAverageRows is NoisyAverage over rows ids of a frame: the same
+// mechanism consuming the same noise stream — releases are bit-identical to
+// calling NoisyAverage on the gathered vectors — without materializing the
+// gather. Float32 rows are decoded through one scratch buffer.
+func NoisyAverageRows(rng *rand.Rand, f *vec.Frame, ids []int, center vec.Vector, radius float64, p Params) (NoisyAverageResult, error) {
+	if err := p.Validate(); err != nil {
+		return NoisyAverageResult{}, err
+	}
+	if p.Delta <= 0 {
+		return NoisyAverageResult{}, fmt.Errorf("dp: NoisyAverage requires delta > 0")
+	}
+	if radius < 0 {
+		return NoisyAverageResult{}, fmt.Errorf("dp: NoisyAverage negative radius")
+	}
+	d := center.Dim()
+	if f != nil && f.Dim() != d {
+		return NoisyAverageResult{}, vec.ErrDimMismatch
+	}
+
+	var sum vec.Vector = make(vec.Vector, d)
+	var scratch vec.Vector
+	m := 0
+	for _, id := range ids {
+		// Same selection comparison as NoisyAverage: √distSq against radius.
+		if math.Sqrt(f.DistSq(id, center)) <= radius {
+			row := f.RowView(id, scratch)
+			scratch = row
+			for j := range sum {
+				sum[j] += row[j] - center[j]
+			}
+			m++
+		}
+	}
+	return noisyAverageTail(rng, sum, m, center, radius, p)
+}
+
+// noisyAverageTail is the release half shared by both entry points: the
+// noisy size test and the Gaussian release over the recentered sum.
+func noisyAverageTail(rng *rand.Rand, sum vec.Vector, m int, center vec.Vector, radius float64, p Params) (NoisyAverageResult, error) {
+	d := center.Dim()
 
 	// Step 1: noisy size test.
 	mHat := float64(m) + noise.Laplace(rng, 2/p.Epsilon) - (2/p.Epsilon)*math.Log(2/p.Delta)

@@ -35,8 +35,9 @@ import (
 type BallIndex interface {
 	// N returns the number of indexed points.
 	N() int
-	// Points returns the indexed points (not a copy).
-	Points() []vec.Vector
+	// Frame returns the indexed point store (not a copy): the flat strided
+	// frame every sweep runs over. Callers must treat it as read-only.
+	Frame() *vec.Frame
 	// CountWithin returns B_r(x_i): the number of input points within
 	// distance r of point i (≥ 1 for r ≥ 0, the point itself).
 	CountWithin(i int, r float64) int

@@ -116,16 +116,21 @@ func (o CellIndexOptions) withDefaults(dim int) CellIndexOptions {
 // Options.Workers cores with the same worker-pool pattern NewDistanceIndex
 // uses. CellIndex is safe for concurrent use.
 type CellIndex struct {
-	points []vec.Vector
-	dim    int
-	opts   CellIndexOptions
+	frame *vec.Frame
+	dim   int
+	opts  CellIndexOptions
 
-	// dupCount[i] is the number of input points identical to points[i]
+	// dupCount[i] is the number of input points identical to row i
 	// (≥ 1): the exact B_0 counts, kept separately because cell pruning
 	// cannot resolve radius 0.
 	dupCount []int32
 
 	lad radiusLadder
+
+	// scratch pools the per-worker query buffers so repeated count passes
+	// (a BuildLStep ladder sweep runs one per level) allocate no new
+	// odometer state.
+	scratch sync.Pool
 
 	mu     sync.Mutex
 	levels map[int]*cellLevel
@@ -213,32 +218,49 @@ type cellLevel struct {
 	lo, hi []int64
 }
 
-// NewCellIndex builds the scalable index. It returns an error for an empty
-// input or mismatched dimensions.
+// NewCellIndex builds the scalable index over a slice of vectors — a
+// convenience wrapper that copies the points into a flat Frame first (the
+// storage every sweep runs over). It returns an error for an empty input or
+// mismatched dimensions.
 func NewCellIndex(points []vec.Vector, opts CellIndexOptions) (*CellIndex, error) {
-	n := len(points)
-	if n == 0 {
+	if len(points) == 0 {
 		return nil, fmt.Errorf("geometry: cell index over empty point set")
 	}
-	d := points[0].Dim()
-	for i, p := range points {
-		if p.Dim() != d {
-			return nil, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
-		}
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return nil, fmt.Errorf("geometry: %w", err)
 	}
+	return NewCellIndexFrame(f, opts)
+}
+
+// NewCellIndexFrame builds the scalable index directly over a Frame without
+// copying it. The index aliases the frame: the caller must not mutate rows
+// afterwards.
+func NewCellIndexFrame(f *vec.Frame, opts CellIndexOptions) (*CellIndex, error) {
+	if f == nil || f.N() == 0 {
+		return nil, fmt.Errorf("geometry: cell index over empty point set")
+	}
+	n, d := f.N(), f.Dim()
 	opts = opts.withDefaults(d)
 	ix := &CellIndex{
-		points: points,
+		frame:  f,
 		dim:    d,
 		opts:   opts,
 		levels: make(map[int]*cellLevel),
 	}
+	ix.scratch.New = func() any { return newCellScratch(d) }
 
 	// Exact duplicate table (the radius-0 counts) and the data's bounding
 	// box in one pass (box only when the caller keeps its own table).
-	lo, hi := points[0].Clone(), points[0].Clone()
+	var rowBuf vec.Vector
+	if f.Precision() == vec.Float32 {
+		rowBuf = make(vec.Vector, d)
+	}
+	first := f.RowView(0, rowBuf)
+	lo, hi := first.Clone(), first.Clone()
 	if opts.skipDupTable {
-		for _, p := range points {
+		for i := 0; i < n; i++ {
+			p := f.RowView(i, rowBuf)
 			for a, x := range p {
 				if x < lo[a] {
 					lo[a] = x
@@ -251,10 +273,10 @@ func NewCellIndex(points []vec.Vector, opts CellIndexOptions) (*CellIndex, error
 	} else {
 		dups := make(map[string]int32, n)
 		keys := make([]string, n)
-		buf := make([]byte, 8*d)
-		for i, p := range points {
+		buf := make([]byte, 0, 8*d)
+		for i := 0; i < n; i++ {
+			p := f.RowView(i, rowBuf)
 			for a, x := range p {
-				binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
 				if x < lo[a] {
 					lo[a] = x
 				}
@@ -262,7 +284,7 @@ func NewCellIndex(points []vec.Vector, opts CellIndexOptions) (*CellIndex, error
 					hi[a] = x
 				}
 			}
-			k := string(buf)
+			k := string(f.AppendRowKey(buf[:0], i))
 			keys[i] = k
 			dups[k]++
 		}
@@ -277,10 +299,10 @@ func NewCellIndex(points []vec.Vector, opts CellIndexOptions) (*CellIndex, error
 }
 
 // N returns the number of indexed points.
-func (ix *CellIndex) N() int { return len(ix.points) }
+func (ix *CellIndex) N() int { return ix.frame.N() }
 
-// Points returns the indexed points (not a copy).
-func (ix *CellIndex) Points() []vec.Vector { return ix.points }
+// Frame returns the indexed point store (not a copy).
+func (ix *CellIndex) Frame() *vec.Frame { return ix.frame }
 
 // levelRadius returns ladder radius j: MinRadius·ρ^j.
 func (ix *CellIndex) levelRadius(j int) float64 { return ix.lad.radius(j) }
@@ -296,7 +318,7 @@ func (ix *CellIndex) level(j int) *cellLevel {
 	if lv, ok := ix.levels[j]; ok {
 		return lv
 	}
-	lv := newCellLevel(ix.points, ix.levelRadius(j)/float64(ix.opts.CellsPerRadius))
+	lv := newCellLevel(ix.frame, ix.levelRadius(j)/float64(ix.opts.CellsPerRadius))
 	ix.levels[j] = lv
 	ix.order = append(ix.order, j)
 	if len(ix.order) > ix.opts.MaxCachedLevels {
@@ -307,13 +329,18 @@ func (ix *CellIndex) level(j int) *cellLevel {
 	return lv
 }
 
-func newCellLevel(points []vec.Vector, side float64) *cellLevel {
-	d := points[0].Dim()
+func newCellLevel(f *vec.Frame, side float64) *cellLevel {
+	n, d := f.N(), f.Dim()
 	lv := &cellLevel{side: side}
-	index := make(map[string]int32, len(points))
+	index := make(map[string]int32, n)
 	buf := make([]byte, 8*d)
 	coord := make([]int64, d)
-	for i, p := range points {
+	var rowBuf vec.Vector
+	if f.Precision() == vec.Float32 {
+		rowBuf = make(vec.Vector, d)
+	}
+	for i := 0; i < n; i++ {
+		p := f.RowView(i, rowBuf)
 		for a, x := range p {
 			coord[a] = int64(math.Floor(x / side))
 		}
@@ -364,11 +391,15 @@ func cmpCoords(a, b []int64) int {
 	return 0
 }
 
-// cellScratch holds per-worker query buffers.
+// cellScratch holds per-worker query buffers: the odometer state of the
+// candidate enumeration plus two row-decode buffers (center for synthetic
+// query points, row for float32 source-row decoding). All count passes
+// thread one of these through, so a warm pass allocates nothing per cell.
 type cellScratch struct {
 	buf         []byte
 	lo, hi, cur []int64
 	center      vec.Vector
+	row         vec.Vector
 }
 
 func newCellScratch(d int) *cellScratch {
@@ -378,8 +409,13 @@ func newCellScratch(d int) *cellScratch {
 		hi:     make([]int64, d),
 		cur:    make([]int64, d),
 		center: make(vec.Vector, d),
+		row:    make(vec.Vector, d),
 	}
 }
+
+// getScratch and putScratch recycle cellScratch values across count passes.
+func (ix *CellIndex) getScratch() *cellScratch   { return ix.scratch.Get().(*cellScratch) }
+func (ix *CellIndex) putScratch(sc *cellScratch) { ix.scratch.Put(sc) }
 
 // bucketCount returns how many points of bucket b lie within distance
 // √rsq of p, resolved at cell granularity: cells whose AABB is entirely
@@ -416,7 +452,7 @@ func (ix *CellIndex) bucketCount(b *cellBucket, side float64, p vec.Vector, rsq 
 	case exactBoundary:
 		var cnt int32
 		for _, id := range b.ids {
-			if ix.points[id].DistSq(p) <= rsq {
+			if ix.frame.DistSq(int(id), p) <= rsq {
 				cnt++
 			}
 		}
@@ -558,15 +594,16 @@ func boxBoxDistSq(a, b []int64, side float64) (minSq, maxSq float64) {
 // candidate-enumeration cost is thus paid per occupied cell pair rather
 // than per point pair — a large win exactly where the data is dense.
 //
-// srcB's ids index srcPts; the out slot of id is gids[id] (nil gids: ids
-// index out directly — the single-index case where sources are members).
+// srcB's ids index the rows of src; the out slot of id is gids[id] (nil
+// gids: ids index out directly — the single-index case where sources are
+// members).
 // Counts saturate at limit, and contributions accumulate onto whatever out
 // already holds: nonnegative saturating addition is order-independent, so a
 // sharded caller summing per-shard member contributions lands on exactly
 // min(total, limit), bit-identical to a single pass over all members —
 // provided srcB and lv use the same cell side (the shared-ladder invariant
 // ShardedIndex maintains).
-func (ix *CellIndex) accumulateCellCounts(lv *cellLevel, srcB *cellBucket, srcPts []vec.Vector, gids []int32, r float64, limit int32, exactBoundary bool, out []int32, sc *cellScratch) {
+func (ix *CellIndex) accumulateCellCounts(lv *cellLevel, srcB *cellBucket, src *vec.Frame, gids []int32, r float64, limit int32, exactBoundary bool, out []int32, sc *cellScratch) {
 	side := lv.side
 	rsq := r * r
 	// The block around the source cell's box covers the ball bounding
@@ -596,7 +633,7 @@ func (ix *CellIndex) accumulateCellCounts(lv *cellLevel, srcB *cellBucket, srcPt
 				if out[gid] >= limit {
 					continue
 				}
-				if c := out[gid] + ix.bucketCount(b, side, srcPts[pid], rsq, exactBoundary); c < limit {
+				if c := out[gid] + ix.bucketCount(b, side, src.RowView(int(pid), sc.row), rsq, exactBoundary); c < limit {
 					out[gid] = c
 				} else {
 					out[gid] = limit
@@ -632,11 +669,24 @@ func (ix *CellIndex) accumulateCellCounts(lv *cellLevel, srcB *cellBucket, srcPt
 // exits — no leaked goroutines), and the call returns ctx.Err() instead of
 // the partial counts.
 func (ix *CellIndex) countAll(ctx context.Context, lv *cellLevel, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	out := make([]int32, ix.frame.N())
+	if err := ix.countAllInto(ctx, lv, r, limit, exactBoundary, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// countAllInto is countAll with a caller-owned result buffer (len must be
+// N(); the caller zeroes it between passes): a ladder sweep reuses one
+// buffer for every level instead of allocating O(n) per level, and the
+// per-worker scratch comes from the index's pool.
+func (ix *CellIndex) countAllInto(ctx context.Context, lv *cellLevel, r float64, limit int32, exactBoundary bool, out []int32) error {
 	ctx = ctxOrBackground(ctx)
-	n := len(ix.points)
-	out := make([]int32, n)
+	if len(out) != ix.frame.N() {
+		return fmt.Errorf("geometry: countAllInto out has length %d, want %d", len(out), ix.frame.N())
+	}
 	if r < 0 || limit <= 0 {
-		return out, nil
+		return nil
 	}
 	nb := len(lv.buckets)
 	workers := ix.opts.Workers
@@ -650,13 +700,14 @@ func (ix *CellIndex) countAll(ctx context.Context, lv *cellLevel, r float64, lim
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sc := newCellScratch(ix.dim)
+			sc := ix.getScratch()
+			defer ix.putScratch(sc)
 			for rg := range ranges {
 				if ctx.Err() != nil {
 					continue // drain the channel so the feeder never blocks
 				}
 				for src := rg[0]; src < rg[1]; src++ {
-					ix.accumulateCellCounts(lv, &lv.buckets[src], ix.points, nil, r, limit, exactBoundary, out, sc)
+					ix.accumulateCellCounts(lv, &lv.buckets[src], ix.frame, nil, r, limit, exactBoundary, out, sc)
 				}
 			}
 		}()
@@ -670,36 +721,35 @@ func (ix *CellIndex) countAll(ctx context.Context, lv *cellLevel, r float64, lim
 	}
 	close(ranges)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return ctx.Err()
 }
 
 // CountWithin returns B_r(x_i) exactly.
 func (ix *CellIndex) CountWithin(i int, r float64) int {
 	lv := ix.level(ix.levelFor(r))
-	return int(ix.countOne(lv, ix.points[i], r, newCellScratch(ix.dim)))
+	sc := ix.getScratch()
+	defer ix.putScratch(sc)
+	p := ix.frame.RowView(i, sc.row)
+	return int(ix.countOne(lv, p, r, sc))
 }
 
 // RadiusForCount returns the t-th smallest distance from point i — exact,
 // via a direct O(n·d) scan (cheap for point queries, and never Θ(n²)).
 func (ix *CellIndex) RadiusForCount(i, t int) (float64, error) {
-	return radiusForCount(ix.points, i, t)
+	return radiusForCount(ix.frame, i, t)
 }
 
 // radiusForCount is the exact t-th-smallest-distance scan shared by the
 // scalable backends (the sharded index runs it over the global points, so
 // both must stay one implementation).
-func radiusForCount(points []vec.Vector, i, t int) (float64, error) {
-	n := len(points)
+func radiusForCount(f *vec.Frame, i, t int) (float64, error) {
+	n := f.N()
 	if t < 1 || t > n {
 		return 0, fmt.Errorf("geometry: RadiusForCount t=%d out of [1,%d]", t, n)
 	}
+	p := f.RowView(i, nil)
 	ds := make([]float64, n)
-	for j, q := range points {
-		ds[j] = points[i].DistSq(q)
-	}
+	f.DistSqInto(p, ds)
 	return math.Sqrt(kthSmallest(ds, t)), nil
 }
 
@@ -740,7 +790,7 @@ func kthSmallest(xs []float64, k int) float64 {
 // radius is at most max(MinRadius, ρ·r₂), r₂ being the exact TwoApprox
 // radius (≤ 2·r_opt by "known fact 3") and ρ the ladder ratio.
 func (ix *CellIndex) TwoApprox(t int) (center int, radius float64, err error) {
-	return twoApproxLadder(len(ix.points), t, ix.dupCount, ix.lad, func(j int) []int32 {
+	return twoApproxLadder(ix.frame.N(), t, ix.dupCount, ix.lad, func(j int) []int32 {
 		// Background context: point/ladder queries are not cancellable —
 		// countAll never errors under it.
 		c, _ := ix.countAll(context.Background(), ix.level(j), ix.levelRadius(j), int32(t), true)
@@ -827,7 +877,7 @@ func (ix *CellIndex) dupLValue(t int) float64 {
 // inputs (their minimum nonzero pairwise distance is 2·MinRadius when
 // MinRadius = Grid.RadiusUnit()).
 func (ix *CellIndex) LValue(r float64, t int) (float64, error) {
-	n := len(ix.points)
+	n := ix.frame.N()
 	if t < 1 || t > n {
 		return 0, fmt.Errorf("geometry: LValue t=%d out of [1,%d]", t, n)
 	}
@@ -881,7 +931,7 @@ func topTAvg(counts []int32, t int) float64 {
 // ladder levels — this sweep is the dominant per-query cost at scale.
 func (ix *CellIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
 	ctx = ctxOrBackground(ctx)
-	n := len(ix.points)
+	n := ix.frame.N()
 	if t < 1 || t > n {
 		return nil, fmt.Errorf("geometry: BuildLStep t=%d out of [1,%d]", t, n)
 	}
@@ -889,6 +939,7 @@ func (ix *CellIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
 	prev := ix.dupLValue(t)
 	l.Breaks = append(l.Breaks, 0)
 	l.Vals = append(l.Vals, prev)
+	counts := make([]int32, n) // one buffer for every ladder level
 	// Every ladder level is visited in order and the recorded function is
 	// the running max of the per-level estimates (run-length encoded: equal
 	// values add no break). The per-level estimate is NOT monotone across
@@ -902,8 +953,9 @@ func (ix *CellIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
 	// rule, and a pointwise max of sensitivity-2 values has sensitivity
 	// ≤ 2.
 	for j := 0; j <= ix.lad.top && prev < float64(t); j++ {
-		counts, err := ix.lCounts(ctx, ix.levelRadius(j), t)
-		if err != nil {
+		r := ix.levelRadius(j)
+		clear(counts)
+		if err := ix.countAllInto(ctx, ix.level(ix.levelFor(r)), r, int32(t), false, counts); err != nil {
 			return nil, err
 		}
 		v := topTAvg(counts, t)

@@ -2,6 +2,7 @@ package geometry
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -16,30 +17,48 @@ import (
 // Section 3), and the construction of the L(r, S) step function GoodRadius
 // searches.
 //
-// Memory is Θ(n²) float64s; callers should keep n in the low thousands,
-// which covers every experiment in EXPERIMENTS.md.
+// Memory is Θ(n²) float64s in one flat backing allocation (sorted[i] is a
+// subslice of it); callers should keep n in the low thousands, which covers
+// every experiment in EXPERIMENTS.md.
 type DistanceIndex struct {
-	points []vec.Vector
-	sorted [][]float64 // sorted[i] = ascending distances from point i
+	frame   *vec.Frame
+	sorted  [][]float64 // sorted[i] = ascending distances from point i; rows of backing
+	backing []float64   // one n×n allocation holding every row
 }
 
-// NewDistanceIndex builds the index. It returns an error for an empty input
-// or mismatched dimensions.
+// NewDistanceIndex builds the index over a slice of vectors — a convenience
+// wrapper that copies the points into a flat Frame first.
 func NewDistanceIndex(points []vec.Vector) (*DistanceIndex, error) {
-	n := len(points)
-	if n == 0 {
+	if len(points) == 0 {
 		return nil, fmt.Errorf("geometry: distance index over empty point set")
 	}
-	d := points[0].Dim()
-	for i, p := range points {
-		if p.Dim() != d {
-			return nil, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
-		}
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return nil, fmt.Errorf("geometry: %w", err)
 	}
-	idx := &DistanceIndex{points: points, sorted: make([][]float64, n)}
+	return NewDistanceIndexFrame(f)
+}
+
+// NewDistanceIndexFrame builds the index directly over a Frame without
+// copying the coordinates. The index aliases the frame: the caller must not
+// mutate rows afterwards.
+func NewDistanceIndexFrame(f *vec.Frame) (*DistanceIndex, error) {
+	if f == nil || f.N() == 0 {
+		return nil, fmt.Errorf("geometry: distance index over empty point set")
+	}
+	n := f.N()
+	idx := &DistanceIndex{
+		frame:   f,
+		sorted:  make([][]float64, n),
+		backing: make([]float64, n*n),
+	}
+	for i := range idx.sorted {
+		idx.sorted[i] = idx.backing[i*n : (i+1)*n : (i+1)*n]
+	}
 	// Row construction is embarrassingly parallel and dominates the
 	// pipeline's preprocessing cost (Θ(n²·d) distances + Θ(n²·log n) sort),
-	// so fan it out across the cores.
+	// so fan it out across the cores. Each worker writes disjoint rows of
+	// the shared backing.
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -50,13 +69,14 @@ func NewDistanceIndex(points []vec.Vector) (*DistanceIndex, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			scratch := make(vec.Vector, f.Dim())
 			for i := range rows {
-				row := make([]float64, n)
-				for j := 0; j < n; j++ {
-					row[j] = points[i].Dist(points[j])
+				row := idx.sorted[i]
+				f.DistSqInto(f.RowView(i, scratch), row)
+				for j, s := range row {
+					row[j] = math.Sqrt(s)
 				}
 				sort.Float64s(row)
-				idx.sorted[i] = row
 			}
 		}()
 	}
@@ -69,10 +89,10 @@ func NewDistanceIndex(points []vec.Vector) (*DistanceIndex, error) {
 }
 
 // N returns the number of indexed points.
-func (ix *DistanceIndex) N() int { return len(ix.points) }
+func (ix *DistanceIndex) N() int { return ix.frame.N() }
 
-// Points returns the indexed points (not a copy).
-func (ix *DistanceIndex) Points() []vec.Vector { return ix.points }
+// Frame returns the indexed point store (not a copy).
+func (ix *DistanceIndex) Frame() *vec.Frame { return ix.frame }
 
 // CountWithin returns B_r(x_i): the number of input points within distance r
 // of point i (always ≥ 1, the point itself).

@@ -40,16 +40,26 @@ func (g Grid) Step() float64 { return 1 / float64(g.Size-1) }
 // Quantize snaps v onto the grid: each coordinate is clamped to [0, 1] and
 // rounded to the nearest multiple of Step.
 func (g Grid) Quantize(v vec.Vector) vec.Vector {
+	out := make(vec.Vector, len(v))
+	g.QuantizeInto(out, v)
+	return out
+}
+
+// QuantizeInto writes Quantize(v) into dst without allocating; dst may alias
+// v. It is the allocation-free path Dataset.Open uses to quantize straight
+// into a frame's rows.
+func (g Grid) QuantizeInto(dst, v vec.Vector) {
 	if v.Dim() != g.Dim {
 		panic(fmt.Sprintf("geometry: Quantize dimension %d, want %d", v.Dim(), g.Dim))
 	}
+	if dst.Dim() != g.Dim {
+		panic(fmt.Sprintf("geometry: QuantizeInto destination dimension %d, want %d", dst.Dim(), g.Dim))
+	}
 	s := g.Step()
-	out := make(vec.Vector, len(v))
 	for i, x := range v {
 		x = math.Max(0, math.Min(1, x))
-		out[i] = math.Round(x/s) * s
+		dst[i] = math.Round(x/s) * s
 	}
-	return out
 }
 
 // OnGrid reports whether v lies (numerically) on the grid.

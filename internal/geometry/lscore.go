@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"privcluster/internal/vec"
 )
 
 // ctxOrBackground normalizes the "nil means never cancel" contract the
@@ -146,12 +148,14 @@ func (ix *DistanceIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) 
 		i, j int
 	}
 	events := make([]event, 0, n*(n-1)/2)
+	scratch := make(vec.Vector, ix.frame.Dim())
 	for i := 0; i < n; i++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		pi := ix.frame.RowView(i, scratch)
 		for j := i + 1; j < n; j++ {
-			events = append(events, event{ix.points[i].Dist(ix.points[j]), i, j})
+			events = append(events, event{ix.frame.Dist(j, pi), i, j})
 		}
 	}
 	sort.Slice(events, func(a, b int) bool { return events[a].d < events[b].d })

@@ -2,7 +2,6 @@ package geometry
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sync"
@@ -58,8 +57,10 @@ type ShardBackend interface {
 // every shard must share. It is the payload a remote transport ships at
 // handshake.
 type ShardConfig struct {
-	// Points is the full global point set, in global order.
-	Points []vec.Vector
+	// Points is the full global point set, in global order, as a flat
+	// frame — the same storage the transport ships in one copy at
+	// handshake.
+	Points *vec.Frame
 	// Members lists the global ids of the points this shard holds.
 	Members []int32
 	// Cell configures the shard's cell index. It must be the defaulted
@@ -72,18 +73,12 @@ type ShardConfig struct {
 
 // validate rejects configs that cannot describe a shard.
 func (cfg ShardConfig) validate() error {
-	n := len(cfg.Points)
-	if n == 0 {
+	if cfg.Points == nil || cfg.Points.N() == 0 {
 		return fmt.Errorf("geometry: shard config with no global points")
 	}
+	n := cfg.Points.N()
 	if len(cfg.Members) == 0 {
 		return fmt.Errorf("geometry: shard config with no member points")
-	}
-	d := cfg.Points[0].Dim()
-	for i, p := range cfg.Points {
-		if p.Dim() != d {
-			return fmt.Errorf("geometry: global point %d has dimension %d, want %d", i, p.Dim(), d)
-		}
 	}
 	for _, g := range cfg.Members {
 		if g < 0 || int(g) >= n {
@@ -122,21 +117,17 @@ func NewLocalShard(cfg ShardConfig) (*LocalShard, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	cell := cfg.Cell.withDefaults(cfg.Points[0].Dim())
+	cell := cfg.Cell.withDefaults(cfg.Points.Dim())
 	// Neither structure needs a duplicate table: DupCounts is answered
 	// from a key map against the global centers (a per-shard CellIndex
 	// table could not see them), and the source index only ever serves
 	// cell levels.
 	cell.skipDupTable = true
-	sub := make([]vec.Vector, len(cfg.Members))
-	for k, g := range cfg.Members {
-		sub[k] = cfg.Points[g]
-	}
-	members, err := NewCellIndex(sub, cell)
+	members, err := NewCellIndexFrame(cfg.Points.Gather(cfg.Members), cell)
 	if err != nil {
 		return nil, err
 	}
-	src, err := NewCellIndex(cfg.Points, cell)
+	src, err := NewCellIndexFrame(cfg.Points, cell)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +170,7 @@ func (s *LocalShard) CountBatch(ctx context.Context, centers []vec.Vector, r flo
 // feeder stops, the workers drain, no goroutines leak.
 func (s *LocalShard) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
 	ctx = ctxOrBackground(ctx)
-	n := len(s.cfg.Points)
+	n := s.cfg.Points.N()
 	out := make([]int32, n)
 	if r < 0 || limit <= 0 {
 		return out, nil
@@ -247,21 +238,15 @@ func (s *LocalShard) DupCounts(ctx context.Context) ([]int32, error) {
 		return nil, err
 	}
 	s.dupOnce.Do(func() {
-		d := s.cfg.Points[0].Dim()
-		buf := make([]byte, 8*d)
-		key := func(p vec.Vector) string {
-			for a, x := range p {
-				binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
-			}
-			return string(buf)
-		}
+		pts := s.cfg.Points
+		buf := make([]byte, 0, 8*pts.Dim())
 		m := make(map[string]int32, len(s.cfg.Members))
 		for _, g := range s.cfg.Members {
-			m[key(s.cfg.Points[g])]++
+			m[string(pts.AppendRowKey(buf[:0], int(g)))]++
 		}
-		out := make([]int32, len(s.cfg.Points))
-		for i, p := range s.cfg.Points {
-			out[i] = m[key(p)]
+		out := make([]int32, pts.N())
+		for i := range out {
+			out[i] = m[string(pts.AppendRowKey(buf[:0], i))]
 		}
 		s.dup = out
 	})

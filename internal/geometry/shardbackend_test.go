@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
-
-	"privcluster/internal/vec"
 )
 
 // localDialer is the in-process ShardDialer: the generic backend summation
@@ -40,7 +38,7 @@ func TestShardedIndexBackendsMatchesCellIndex(t *testing.T) {
 		}
 		for _, s := range []int{1, 2, 4} {
 			for _, pol := range []ShardPolicy{ShardRoundRobin, ShardMorton} {
-				sh, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+				sh, err := NewShardedIndexBackends(context.Background(), frameOf(t, pts), ShardedIndexOptions{
 					Shards: s, Policy: pol, Cell: opts,
 				}, localDialer)
 				if err != nil {
@@ -137,7 +135,7 @@ func TestShardedIndexBackendFailure(t *testing.T) {
 	opts := shardTestOptions(2)
 	wantErr := errors.New("shard 1 went away")
 	var fb *failingBackend
-	sh, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+	sh, err := NewShardedIndexBackends(context.Background(), frameOf(t, pts), ShardedIndexOptions{
 		Shards: 2, Cell: opts,
 	}, func(ctx context.Context, shard int, cfg ShardConfig) (ShardBackend, error) {
 		ls, err := NewLocalShard(cfg)
@@ -173,7 +171,7 @@ func TestShardedIndexBackendFailure(t *testing.T) {
 func TestShardedIndexBackendsCancellation(t *testing.T) {
 	pts := shardTestPoints(t, 5, 2000, 2)
 	opts := shardTestOptions(2)
-	sh, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+	sh, err := NewShardedIndexBackends(context.Background(), frameOf(t, pts), ShardedIndexOptions{
 		Shards: 4, Cell: opts,
 	}, localDialer)
 	if err != nil {
@@ -232,10 +230,11 @@ func TestLocalShardConfigValidation(t *testing.T) {
 		cfg  ShardConfig
 	}{
 		{"no points", ShardConfig{Members: []int32{0}, Cell: opts}},
-		{"no members", ShardConfig{Points: pts, Cell: opts}},
-		{"member out of range", ShardConfig{Points: pts, Members: []int32{int32(len(pts))}, Cell: opts}},
-		{"negative member", ShardConfig{Points: pts, Members: []int32{-1}, Cell: opts}},
-		{"mixed dims", ShardConfig{Points: []vec.Vector{{0.1, 0.2}, {0.3}}, Members: []int32{0}, Cell: opts}},
+		{"no members", ShardConfig{Points: frameOf(t, pts), Cell: opts}},
+		{"member out of range", ShardConfig{Points: frameOf(t, pts), Members: []int32{int32(len(pts))}, Cell: opts}},
+		{"negative member", ShardConfig{Points: frameOf(t, pts), Members: []int32{-1}, Cell: opts}},
+		// A ragged "mixed dims" config is no longer representable: the frame
+		// type guarantees uniform dimension by construction.
 	}
 	for _, tc := range cases {
 		if _, err := NewLocalShard(tc.cfg); err == nil {
@@ -250,7 +249,7 @@ func TestShardedIndexBackendsDialFailure(t *testing.T) {
 	pts := shardTestPoints(t, 9, 100, 2)
 	opts := shardTestOptions(2)
 	closed := 0
-	_, err := NewShardedIndexBackends(context.Background(), pts, ShardedIndexOptions{
+	_, err := NewShardedIndexBackends(context.Background(), frameOf(t, pts), ShardedIndexOptions{
 		Shards: 3, Cell: opts,
 	}, func(ctx context.Context, shard int, cfg ShardConfig) (ShardBackend, error) {
 		if shard == 1 {

@@ -2,7 +2,6 @@ package geometry
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -84,7 +83,7 @@ type indexShard struct {
 // stream and sharded pipelines release exactly what unsharded ones do under
 // the same seed. ShardedIndex is safe for concurrent use.
 type ShardedIndex struct {
-	points []vec.Vector // global order — what Points() must expose
+	frame  *vec.Frame // global order — what Frame() must expose
 	dim    int
 	opts   CellIndexOptions
 	lad    radiusLadder
@@ -99,18 +98,30 @@ type ShardedIndex struct {
 	// location transparency. Results are bit-identical either way.
 	backends []ShardBackend
 
-	// dupCount[i] is the number of input points identical to points[i]
+	// dupCount[i] is the number of input points identical to row i
 	// across ALL shards — the exact global B_0 counts (per-shard duplicate
 	// tables cannot see cross-shard duplicates).
 	dupCount []int32
 }
 
-// NewShardedIndex partitions the points per opts and builds the per-shard
-// cell indexes in parallel. It returns an error for an empty input or
-// mismatched dimensions, and ctx.Err() when cancelled mid-build (in-flight
-// shard builds are waited for, so no goroutines leak). A nil ctx means
-// "never cancel".
+// NewShardedIndex builds a sharded index over a slice of vectors — a
+// convenience wrapper that copies the points into a flat Frame first.
 func NewShardedIndex(ctx context.Context, points []vec.Vector, opts ShardedIndexOptions) (*ShardedIndex, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("geometry: sharded index over empty point set")
+	}
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return nil, fmt.Errorf("geometry: %w", err)
+	}
+	return NewShardedIndexFrame(ctx, f, opts)
+}
+
+// NewShardedIndexFrame partitions the frame's rows per opts and builds the
+// per-shard cell indexes in parallel. It returns an error for an empty input,
+// and ctx.Err() when cancelled mid-build (in-flight shard builds are waited
+// for, so no goroutines leak). A nil ctx means "never cancel".
+func NewShardedIndexFrame(ctx context.Context, points *vec.Frame, opts ShardedIndexOptions) (*ShardedIndex, error) {
 	ctx = ctxOrBackground(ctx)
 	ix, s, err := newShardedBase(points, opts)
 	if err != nil {
@@ -144,11 +155,7 @@ func NewShardedIndex(ctx context.Context, points []vec.Vector, opts ShardedIndex
 		wg.Add(1)
 		go func(si int, sh *indexShard) {
 			defer wg.Done()
-			sub := make([]vec.Vector, len(sh.global))
-			for k, g := range sh.global {
-				sub[k] = points[g]
-			}
-			sh.ix, errs[si] = NewCellIndex(sub, shardCell)
+			sh.ix, errs[si] = NewCellIndexFrame(points.Gather(sh.global), shardCell)
 		}(si, sh)
 	}
 	wg.Wait()
@@ -172,17 +179,11 @@ func NewShardedIndex(ctx context.Context, points []vec.Vector, opts ShardedIndex
 // newShardedBase runs the prologue both constructors share: input
 // validation, shard-count clamping, option defaulting and the global
 // bounding box → shared radius ladder.
-func newShardedBase(points []vec.Vector, opts ShardedIndexOptions) (*ShardedIndex, int, error) {
-	n := len(points)
-	if n == 0 {
+func newShardedBase(points *vec.Frame, opts ShardedIndexOptions) (*ShardedIndex, int, error) {
+	if points == nil || points.N() == 0 {
 		return nil, 0, fmt.Errorf("geometry: sharded index over empty point set")
 	}
-	d := points[0].Dim()
-	for i, p := range points {
-		if p.Dim() != d {
-			return nil, 0, fmt.Errorf("geometry: point %d has dimension %d, want %d", i, p.Dim(), d)
-		}
-	}
+	n, d := points.N(), points.Dim()
 	s := opts.Shards
 	if s < 1 {
 		s = 1
@@ -193,8 +194,14 @@ func newShardedBase(points []vec.Vector, opts ShardedIndexOptions) (*ShardedInde
 	cellOpts := opts.Cell.withDefaults(d)
 
 	// Global bounding box → the ladder every shard must share.
-	lo, hi := points[0].Clone(), points[0].Clone()
-	for _, p := range points {
+	var rowBuf vec.Vector
+	if points.Precision() == vec.Float32 {
+		rowBuf = make(vec.Vector, d)
+	}
+	first := points.RowView(0, rowBuf)
+	lo, hi := first.Clone(), first.Clone()
+	for i := 0; i < n; i++ {
+		p := points.RowView(i, rowBuf)
 		for a, x := range p {
 			if x < lo[a] {
 				lo[a] = x
@@ -205,10 +212,10 @@ func newShardedBase(points []vec.Vector, opts ShardedIndexOptions) (*ShardedInde
 		}
 	}
 	return &ShardedIndex{
-		points: points,
-		dim:    d,
-		opts:   cellOpts,
-		lad:    newRadiusLadder(cellOpts, d, hi.Dist(lo)),
+		frame: points,
+		dim:   d,
+		opts:  cellOpts,
+		lad:   newRadiusLadder(cellOpts, d, hi.Dist(lo)),
 	}, s, nil
 }
 
@@ -233,7 +240,7 @@ type ShardDialer func(ctx context.Context, shard int, cfg ShardConfig) (ShardBac
 // already dialed and aborts. ctx governs dialing and the duplicate-table
 // round trip. The caller owns the returned index's backends: Close
 // releases them.
-func NewShardedIndexBackends(ctx context.Context, points []vec.Vector, opts ShardedIndexOptions, dial ShardDialer) (*ShardedIndex, error) {
+func NewShardedIndexBackends(ctx context.Context, points *vec.Frame, opts ShardedIndexOptions, dial ShardDialer) (*ShardedIndex, error) {
 	ctx = ctxOrBackground(ctx)
 	ix, s, err := newShardedBase(points, opts)
 	if err != nil {
@@ -295,7 +302,7 @@ func NewShardedIndexBackends(ctx context.Context, points []vec.Vector, opts Shar
 		ix.Close()
 		return nil, err
 	}
-	dup := make([]int32, len(points))
+	dup := make([]int32, points.N())
 	for _, p := range parts {
 		for i, c := range p {
 			dup[i] += c
@@ -323,8 +330,8 @@ func (ix *ShardedIndex) Close() error {
 
 // assignShards partitions global point ids into s shards per the policy.
 // Every shard receives at least one point when s ≤ n.
-func assignShards(points []vec.Vector, s int, pol ShardPolicy) [][]int32 {
-	n := len(points)
+func assignShards(points *vec.Frame, s int, pol ShardPolicy) [][]int32 {
+	n := points.N()
 	out := make([][]int32, s)
 	if pol != ShardMorton {
 		for i := 0; i < n; i++ {
@@ -332,7 +339,7 @@ func assignShards(points []vec.Vector, s int, pol ShardPolicy) [][]int32 {
 		}
 		return out
 	}
-	d := points[0].Dim()
+	d := points.Dim()
 	bits := 64 / d
 	if bits < 1 {
 		bits = 1
@@ -342,8 +349,9 @@ func assignShards(points []vec.Vector, s int, pol ShardPolicy) [][]int32 {
 	}
 	keys := make([]uint64, n)
 	cells := make([]uint64, d)
-	for i, p := range points {
-		keys[i] = mortonKey(p, bits, cells)
+	rowBuf := make(vec.Vector, d)
+	for i := 0; i < n; i++ {
+		keys[i] = mortonKey(points.RowView(i, rowBuf), bits, cells)
 	}
 	order := make([]int32, n)
 	for i := range order {
@@ -412,9 +420,8 @@ func fnv64(b []byte) uint64 {
 // worker pool, points are partitioned by key hash (identical points always
 // land in one partition), and each partition counts its duplicate classes
 // with an independent map.
-func globalDupCount(ctx context.Context, points []vec.Vector, workers int) ([]int32, error) {
-	n := len(points)
-	d := points[0].Dim()
+func globalDupCount(ctx context.Context, points *vec.Frame, workers int) ([]int32, error) {
+	n, d := points.N(), points.Dim()
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -434,11 +441,9 @@ func globalDupCount(ctx context.Context, points []vec.Vector, workers int) ([]in
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			buf := make([]byte, 8*d)
+			buf := make([]byte, 0, 8*d)
 			for i := lo; i < hi; i++ {
-				for a, x := range points[i] {
-					binary.LittleEndian.PutUint64(buf[8*a:], math.Float64bits(x))
-				}
+				buf = points.AppendRowKey(buf[:0], i)
 				keys[i] = string(buf)
 				hash[i] = fnv64(buf)
 			}
@@ -476,12 +481,12 @@ func globalDupCount(ctx context.Context, points []vec.Vector, workers int) ([]in
 }
 
 // N returns the number of indexed points.
-func (ix *ShardedIndex) N() int { return len(ix.points) }
+func (ix *ShardedIndex) N() int { return ix.frame.N() }
 
-// Points returns the indexed points (not a copy), in the original global
-// order — downstream stages (GoodCenter's SVT loop) iterate them, so the
+// Frame returns the indexed point store (not a copy), in the original global
+// order — downstream stages (GoodCenter's SVT loop) iterate it, so the
 // order must not depend on the sharding.
-func (ix *ShardedIndex) Points() []vec.Vector { return ix.points }
+func (ix *ShardedIndex) Frame() *vec.Frame { return ix.frame }
 
 // Shards returns the number of shards (diagnostic).
 func (ix *ShardedIndex) Shards() int {
@@ -498,7 +503,7 @@ func (ix *ShardedIndex) Shards() int {
 // failure the siblings are cancelled and the error (never a partial sum)
 // is returned; a cancelled caller ctx aborts every in-flight call.
 func (ix *ShardedIndex) countAllBackends(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
-	n := len(ix.points)
+	n := ix.frame.N()
 	out := make([]int32, n)
 	if r < 0 || limit <= 0 {
 		return out, nil
@@ -573,7 +578,7 @@ func (ix *ShardedIndex) countAll(ctx context.Context, j int, r float64, limit in
 	if ix.backends != nil {
 		return ix.countAllBackends(ctx, j, r, limit, exactBoundary)
 	}
-	n := len(ix.points)
+	n := ix.frame.N()
 	out := make([]int32, n)
 	if r < 0 || limit <= 0 {
 		return out, nil
@@ -630,7 +635,7 @@ func (ix *ShardedIndex) countAll(ctx context.Context, j int, r float64, limit in
 								continue members
 							}
 						}
-						member.ix.accumulateCellCounts(mlv, srcB, src.ix.points, src.global, r, limit, exactBoundary, out, sc)
+						member.ix.accumulateCellCounts(mlv, srcB, src.ix.frame, src.global, r, limit, exactBoundary, out, sc)
 					}
 				}
 			}
@@ -667,7 +672,7 @@ func (ix *ShardedIndex) CountWithin(i int, r float64) int {
 		return 0
 	}
 	if ix.backends != nil {
-		center := []vec.Vector{ix.points[i]}
+		center := []vec.Vector{ix.frame.RowView(i, nil)}
 		total := 0
 		for _, be := range ix.backends {
 			c, err := be.CountBatch(context.Background(), center, r)
@@ -680,9 +685,10 @@ func (ix *ShardedIndex) CountWithin(i int, r float64) int {
 	}
 	j := ix.lad.levelFor(r)
 	sc := newCellScratch(ix.dim)
+	p := ix.frame.RowView(i, sc.row)
 	total := 0
 	for _, sh := range ix.shards {
-		total += int(sh.ix.countOne(sh.ix.level(j), ix.points[i], r, sc))
+		total += int(sh.ix.countOne(sh.ix.level(j), p, r, sc))
 	}
 	return total
 }
@@ -690,7 +696,7 @@ func (ix *ShardedIndex) CountWithin(i int, r float64) int {
 // RadiusForCount returns the t-th smallest distance from point i — exact,
 // via the scan shared with the CellIndex.
 func (ix *ShardedIndex) RadiusForCount(i, t int) (float64, error) {
-	return radiusForCount(ix.points, i, t)
+	return radiusForCount(ix.frame, i, t)
 }
 
 // TwoApprox runs the shared ladder search (twoApproxLadder) on the summed
@@ -701,7 +707,7 @@ func (ix *ShardedIndex) TwoApprox(t int) (center int, radius float64, err error)
 	// can (transport failures), so the closure captures the first error
 	// and it preempts whatever the ladder search made of the nil counts.
 	var callErr error
-	c, r, err := twoApproxLadder(len(ix.points), t, ix.dupCount, ix.lad, func(j int) []int32 {
+	c, r, err := twoApproxLadder(ix.frame.N(), t, ix.dupCount, ix.lad, func(j int) []int32 {
 		counts, err := ix.countAll(context.Background(), j, ix.lad.radius(j), int32(t), true)
 		if err != nil && callErr == nil {
 			callErr = err
@@ -733,7 +739,7 @@ func (ix *ShardedIndex) dupLValue(t int) float64 {
 // LValue estimates L(r, S) with exactly the CellIndex bounds (the summed
 // center-rule counts are bit-identical to the unsharded estimate).
 func (ix *ShardedIndex) LValue(r float64, t int) (float64, error) {
-	n := len(ix.points)
+	n := ix.frame.N()
 	if t < 1 || t > n {
 		return 0, fmt.Errorf("geometry: LValue t=%d out of [1,%d]", t, n)
 	}
@@ -758,7 +764,7 @@ func (ix *ShardedIndex) LValue(r float64, t int) (float64, error) {
 // unchanged; see the ShardedIndex equivalence contract.
 func (ix *ShardedIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
 	ctx = ctxOrBackground(ctx)
-	n := len(ix.points)
+	n := ix.frame.N()
 	if t < 1 || t > n {
 		return nil, fmt.Errorf("geometry: BuildLStep t=%d out of [1,%d]", t, n)
 	}

@@ -10,6 +10,17 @@ import (
 	"privcluster/internal/vec"
 )
 
+// frameOf packs test vectors into a flat frame, failing the test on ragged
+// input.
+func frameOf(t *testing.T, pts []vec.Vector) *vec.Frame {
+	t.Helper()
+	f, err := vec.FrameFromVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 // shardTestPoints builds a planted-cluster-plus-background workload with a
 // block of duplicates, quantized onto a grid — the shapes (dense cluster,
 // uniform background, exact duplicate classes) that exercise every branch
@@ -306,7 +317,7 @@ func TestAssignShardsBalanced(t *testing.T) {
 	pts := shardTestPoints(t, 5, 103, 2)
 	for _, pol := range []ShardPolicy{ShardRoundRobin, ShardMorton} {
 		for _, s := range []int{1, 2, 7, 103} {
-			parts := assignShards(pts, s, pol)
+			parts := assignShards(frameOf(t, pts), s, pol)
 			seen := make([]bool, len(pts))
 			minSz, maxSz := len(pts), 0
 			for _, ids := range parts {

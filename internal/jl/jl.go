@@ -85,6 +85,33 @@ func (t *Transform) ApplyAll(xs []vec.Vector) []vec.Vector {
 	return out
 }
 
+// ApplyFrame maps every row of a frame, returning the projections as a
+// frame. The identity transform on a float64 frame returns f itself — a
+// no-copy alias, safe because frames are read-only once shared — so the
+// common k ≥ d case costs zero allocations. Otherwise the projections are
+// written into one fresh float64 frame.
+func (t *Transform) ApplyFrame(f *vec.Frame) *vec.Frame {
+	if f.Dim() != t.inDim {
+		panic(fmt.Sprintf("jl: ApplyFrame dimension %d, want %d", f.Dim(), t.inDim))
+	}
+	if t.identity && f.Precision() == vec.Float64 {
+		return f
+	}
+	out := vec.NewFrame(f.N(), t.outDim)
+	var scratch vec.Vector // only allocated for float32 inputs
+	for i := 0; i < f.N(); i++ {
+		x := f.RowView(i, scratch)
+		scratch = x
+		dst := out.Row(i)
+		if t.identity {
+			copy(dst, x)
+		} else {
+			t.a.MulVecInto(dst, x)
+		}
+	}
+	return out
+}
+
 // TargetDim returns the projection dimension that makes the distortion bound
 // of Lemma 4.10 hold for n points with parameter η and failure probability
 // β: the smallest k with 2n²·exp(−η²k/8) ≤ β, i.e. k = ⌈(8/η²)·ln(2n²/β)⌉.

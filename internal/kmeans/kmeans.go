@@ -156,6 +156,13 @@ func Run(rng *rand.Rand, points []vec.Vector, prm Params) (Result, error) {
 	if err := prm.Validate(n); err != nil {
 		return Result{}, err
 	}
+	// One flat frame backs every per-round distance pass (assignment, the
+	// NoisyAVG selections, the final cost) — the Lloyd loops sweep it via
+	// the shared kernels instead of pointer-chasing n row slices.
+	frame, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return Result{}, fmt.Errorf("kmeans: %w", err)
+	}
 	seedBudget, avgBudget := prm.budgets()
 
 	// Stage 1: seed centers with the k-ball covering.
@@ -179,11 +186,14 @@ func Run(rng *rand.Rand, points []vec.Vector, prm Params) (Result, error) {
 		centers[i] = b.Center.Clone()
 	}
 
-	// Stage 2: Lloyd rounds with NoisyAVG center updates.
+	// Stage 2: Lloyd rounds with NoisyAVG center updates. The assignment is
+	// the frame's nearest-center kernel (strict <, ties to the lowest
+	// index — the same rule the per-point loop applied), and the averages
+	// run straight off the frame's rows.
 	for round := 0; round < prm.Rounds; round++ {
-		assignments := assign(points, centers)
+		assignments := assign(frame, centers)
 		for c := range centers {
-			res, err := dp.NoisyAverage(rng, assignments[c], centers[c], prm.MoveRadius, avgBudget)
+			res, err := dp.NoisyAverageRows(rng, frame, assignments[c], centers[c], prm.MoveRadius, avgBudget)
 			if err != nil {
 				return Result{}, err
 			}
@@ -195,20 +205,16 @@ func Run(rng *rand.Rand, points []vec.Vector, prm Params) (Result, error) {
 			centers[c] = res.Average.Clamp(0, 1)
 		}
 	}
-	return Result{Centers: centers, SeedBalls: balls, Cost: Cost(points, centers)}, nil
+	return Result{Centers: centers, SeedBalls: balls, Cost: costFrame(frame, centers)}, nil
 }
 
-// assign splits points by nearest center.
-func assign(points []vec.Vector, centers []vec.Vector) [][]vec.Vector {
-	out := make([][]vec.Vector, len(centers))
-	for _, p := range points {
-		best, bestD := 0, math.Inf(1)
-		for c, ctr := range centers {
-			if d := p.DistSq(ctr); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		out[best] = append(out[best], p)
+// assign splits the frame's rows by nearest center, returning per-center row
+// ids in row order.
+func assign(f *vec.Frame, centers []vec.Vector) [][]int {
+	out := make([][]int, len(centers))
+	for i := 0; i < f.N(); i++ {
+		best, _ := f.Nearest(i, centers)
+		out[best] = append(out[best], i)
 	}
 	return out
 }
@@ -219,17 +225,36 @@ func Cost(points []vec.Vector, centers []vec.Vector) float64 {
 	if len(points) == 0 || len(centers) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, p := range points {
-		best := math.Inf(1)
-		for _, c := range centers {
-			if d := p.DistSq(c); d < best {
-				best = d
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		// Ragged input: fall back to the per-point loop, which panics on the
+		// first mismatched pair exactly as it always did.
+		var sum float64
+		for _, p := range points {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if d := p.DistSq(c); d < best {
+					best = d
+				}
 			}
+			sum += best
 		}
+		return sum / float64(len(points))
+	}
+	return costFrame(f, centers)
+}
+
+// costFrame is Cost on a prebuilt frame.
+func costFrame(f *vec.Frame, centers []vec.Vector) float64 {
+	if f == nil || f.N() == 0 || len(centers) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < f.N(); i++ {
+		_, best := f.Nearest(i, centers)
 		sum += best
 	}
-	return sum / float64(len(points))
+	return sum / float64(f.N())
 }
 
 // LloydNonprivate runs plain k-means from the given initial centers — the
@@ -239,16 +264,28 @@ func LloydNonprivate(points []vec.Vector, initial []vec.Vector, rounds int) []ve
 	for i, c := range initial {
 		centers[i] = c.Clone()
 	}
+	f, err := vec.FrameFromVectors(points)
+	if err != nil {
+		return centers
+	}
+	d := f.Dim()
 	for r := 0; r < rounds; r++ {
-		groups := assign(points, centers)
+		groups := assign(f, centers)
 		for c, g := range groups {
 			if len(g) == 0 {
 				continue
 			}
-			m, err := vec.Mean(g)
-			if err == nil {
-				centers[c] = m
+			mean := make(vec.Vector, d)
+			for _, id := range g {
+				row := f.Row(id)
+				for j := range mean {
+					mean[j] += row[j]
+				}
 			}
+			for j := range mean {
+				mean[j] /= float64(len(g))
+			}
+			centers[c] = mean
 		}
 	}
 	return centers

@@ -127,7 +127,11 @@ func TestRunInvalidParams(t *testing.T) {
 func TestCostAndAssign(t *testing.T) {
 	pts := []vec.Vector{vec.Of(0, 0), vec.Of(0.1, 0), vec.Of(1, 1)}
 	centers := []vec.Vector{vec.Of(0, 0), vec.Of(1, 1)}
-	groups := assign(pts, centers)
+	f, err := vec.FrameFromVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := assign(f, centers)
 	if len(groups[0]) != 2 || len(groups[1]) != 1 {
 		t.Fatalf("assign = %d/%d", len(groups[0]), len(groups[1]))
 	}

@@ -92,11 +92,15 @@ type RemoteShard struct {
 // must already be pinned to the shared global ladder
 // (geometry.NewShardedIndexBackends does this for every dialer).
 func DialShard(ctx context.Context, addr string, cfg geometry.ShardConfig, opts Options) (*RemoteShard, error) {
-	if len(cfg.Points) == 0 || len(cfg.Members) == 0 {
+	if cfg.Points == nil || cfg.Points.N() == 0 || len(cfg.Members) == 0 {
+		n := 0
+		if cfg.Points != nil {
+			n = cfg.Points.N()
+		}
 		return nil, &Error{Op: "dial", Addr: addr, Kind: KindDial,
-			Err: fmt.Errorf("empty shard config (points=%d, members=%d)", len(cfg.Points), len(cfg.Members))}
+			Err: fmt.Errorf("empty shard config (points=%d, members=%d)", n, len(cfg.Members))}
 	}
-	c := &RemoteShard{addr: addr, cfg: cfg, opts: opts.withDefaults(), dim: cfg.Points[0].Dim()}
+	c := &RemoteShard{addr: addr, cfg: cfg, opts: opts.withDefaults(), dim: cfg.Points.Dim()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.ensureConnLocked(ctx); err != nil {
@@ -146,7 +150,7 @@ func (c *RemoteShard) PartialCounts(ctx context.Context, j int, r float64, limit
 	if err != nil {
 		return nil, err
 	}
-	counts, err := decodeCounts(payload, len(c.cfg.Points))
+	counts, err := decodeCounts(payload, c.cfg.Points.N())
 	if err != nil {
 		return nil, &Error{Op: "partials", Addr: c.addr, Kind: KindProtocol, Err: err}
 	}
@@ -183,7 +187,7 @@ func (c *RemoteShard) DupCounts(ctx context.Context) ([]int32, error) {
 	if err != nil {
 		return nil, err
 	}
-	counts, err := decodeCounts(payload, len(c.cfg.Points))
+	counts, err := decodeCounts(payload, c.cfg.Points.N())
 	if err != nil {
 		return nil, &Error{Op: "dupcounts", Addr: c.addr, Kind: KindProtocol, Err: err}
 	}
@@ -359,7 +363,7 @@ func (c *RemoteShard) handshakeLocked(ctx context.Context) error {
 			Err: fmt.Errorf("%w: server answered version %d, want %d", ErrVersionMismatch, v, ProtocolVersion)}
 	}
 
-	open := &wbuf{b: make([]byte, 0, 64+8*len(c.cfg.Points)*c.dim+4*len(c.cfg.Members))}
+	open := &wbuf{b: make([]byte, 0, 64+8*c.cfg.Points.N()*c.dim+4*len(c.cfg.Members))}
 	open.f64(c.cfg.Cell.MinRadius)
 	open.f64(c.cfg.Cell.MaxRadius)
 	open.u32(uint32(c.cfg.Cell.LevelsPerOctave))
@@ -369,14 +373,14 @@ func (c *RemoteShard) handshakeLocked(ctx context.Context) error {
 	} else {
 		open.u8(1)
 	}
-	open.u32(uint32(len(c.cfg.Points)))
+	open.u32(uint32(c.cfg.Points.N()))
 	open.u16(uint16(c.dim))
 	if c.opts.OmitPoints {
 		// The server must hold bit-identical coordinates, not merely the
 		// right count — ship a checksum in place of the payload.
 		open.b = binary.BigEndian.AppendUint64(open.b, PointsChecksum(c.cfg.Points))
 	} else {
-		open.vectors(c.cfg.Points)
+		open.frame(c.cfg.Points)
 	}
 	open.u32(uint32(len(c.cfg.Members)))
 	for _, m := range c.cfg.Members {
@@ -401,9 +405,9 @@ func (c *RemoteShard) handshakeLocked(ctx context.Context) error {
 	if r.err != nil {
 		return &Error{Op: "handshake", Addr: c.addr, Kind: KindProtocol, Err: r.err}
 	}
-	if m != len(c.cfg.Members) || n != len(c.cfg.Points) {
+	if m != len(c.cfg.Members) || n != c.cfg.Points.N() {
 		return &Error{Op: "handshake", Addr: c.addr, Kind: KindProtocol,
-			Err: fmt.Errorf("server echoed shard %d/%d, want %d/%d", m, n, len(c.cfg.Members), len(c.cfg.Points))}
+			Err: fmt.Errorf("server echoed shard %d/%d, want %d/%d", m, n, len(c.cfg.Members), c.cfg.Points.N())}
 	}
 	conn.SetDeadline(time.Time{})
 	return nil

@@ -20,7 +20,7 @@ type ServerOptions struct {
 	// only ship member ids; the server verifies the handshake's count and
 	// dimension against the preloaded data. Handshakes that do carry
 	// points always use the shipped ones.
-	Points []vec.Vector
+	Points *vec.Frame
 	// Workers bounds the worker pools of the hosted shards' count passes
 	// (0 = GOMAXPROCS). Worker count never affects results — only how
 	// fast this server produces them.
@@ -287,19 +287,19 @@ func (sc *serverConn) handleOpen(payload []byte) (byte, []byte, *wireError) {
 	if r.err != nil || n <= 0 || dim <= 0 {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed open frame"}
 	}
-	var points []vec.Vector
+	var points *vec.Frame
 	if hasPoints {
-		points = r.vectors(n, dim)
+		points = r.frame(n, dim)
 	} else {
 		points = sc.srv.opts.Points
-		if len(points) == 0 {
+		if points == nil || points.N() == 0 {
 			return 0, nil, &wireError{code: codeBadRequest, fatal: true,
 				msg: "handshake omits points but the server has none preloaded"}
 		}
-		if len(points) != n || points[0].Dim() != dim {
+		if points.N() != n || points.Dim() != dim {
 			return 0, nil, &wireError{code: codeBadRequest, fatal: true,
 				msg: fmt.Sprintf("preloaded data is %d points of dimension %d, handshake wants %d of %d",
-					len(points), points[0].Dim(), n, dim)}
+					points.N(), points.Dim(), n, dim)}
 		}
 		sum := r.u64()
 		if r.err != nil {

@@ -16,6 +16,17 @@ import (
 	"privcluster/internal/vec"
 )
 
+// frameOf packs test vectors into a flat frame, failing the test on ragged
+// input.
+func frameOf(t *testing.T, pts []vec.Vector) *vec.Frame {
+	t.Helper()
+	f, err := vec.FrameFromVectors(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
 // testPoints builds the planted-cluster-plus-duplicates workload the
 // geometry equivalence tests use: dense cluster, exact duplicate block,
 // uniform background, all grid-quantized.
@@ -86,7 +97,7 @@ func startServers(t *testing.T, count int, sopts ServerOptions) ([]string, Optio
 func remoteIndex(t *testing.T, pts []vec.Vector, shards int, addrs []string, copts Options) *geometry.ShardedIndex {
 	t.Helper()
 	d := pts[0].Dim()
-	ix, err := geometry.NewShardedIndexBackends(context.Background(), pts, geometry.ShardedIndexOptions{
+	ix, err := geometry.NewShardedIndexBackends(context.Background(), frameOf(t, pts), geometry.ShardedIndexOptions{
 		Shards: shards, Policy: geometry.ShardMorton, Cell: testCellOptions(d),
 	}, ShardDialer(addrs, copts))
 	if err != nil {
@@ -148,7 +159,7 @@ func TestRemoteShardedIndexMatchesCellIndex(t *testing.T) {
 					t.Fatalf("d=%d s=%d: RadiusForCount(%d) = %v, want %v", d, s, tq, g, w)
 				}
 			}
-			if sh.N() != ref.N() || len(sh.Points()) != len(ref.Points()) {
+			if sh.N() != ref.N() || sh.Frame().N() != ref.Frame().N() {
 				t.Fatalf("d=%d s=%d: N/Points diverged", d, s)
 			}
 			step, err := sh.BuildLStep(context.Background(), tt)
@@ -177,7 +188,7 @@ func TestPreloadedPoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	addrs, copts := startServers(t, 2, ServerOptions{Points: pts})
+	addrs, copts := startServers(t, 2, ServerOptions{Points: frameOf(t, pts)})
 	copts.OmitPoints = true
 	sh := remoteIndex(t, pts, 2, addrs, copts)
 	for _, r := range []float64{0, 0.05, 0.3} {
@@ -189,7 +200,7 @@ func TestPreloadedPoints(t *testing.T) {
 	// A client opening a different dataset against the preloaded server
 	// must be refused with a remote (application) error.
 	short := pts[:len(pts)-1]
-	_, err = geometry.NewShardedIndexBackends(context.Background(), short, geometry.ShardedIndexOptions{
+	_, err = geometry.NewShardedIndexBackends(context.Background(), frameOf(t, short), geometry.ShardedIndexOptions{
 		Shards: 2, Cell: testCellOptions(2),
 	}, ShardDialer(addrs, copts))
 	var te *Error
@@ -287,7 +298,7 @@ func TestServerDeathMidSweep(t *testing.T) {
 	}
 	scriptedShard(t, l1, 2)
 
-	ix, err := geometry.NewShardedIndexBackends(context.Background(), pts, geometry.ShardedIndexOptions{
+	ix, err := geometry.NewShardedIndexBackends(context.Background(), frameOf(t, pts), geometry.ShardedIndexOptions{
 		Shards: 2, Cell: testCellOptions(2),
 	}, ShardDialer([]string{"alive", "doomed"}, Options{Dial: ln.Dial}))
 	if err != nil {
@@ -338,7 +349,7 @@ func TestRetryReconnects(t *testing.T) {
 		return ln.Dial(ctx, addr)
 	}
 	rs, err := DialShard(context.Background(), "flaky", geometry.ShardConfig{
-		Points: pts, Members: members, Cell: cell,
+		Points: frameOf(t, pts), Members: members, Cell: cell,
 	}, Options{Dial: countingDial})
 	if err != nil {
 		t.Fatal(err)
@@ -425,7 +436,7 @@ func TestCancellationTearsDownInFlight(t *testing.T) {
 	}
 	before := runtime.NumGoroutine()
 	rs, err := DialShard(context.Background(), "tarpit", geometry.ShardConfig{
-		Points: pts, Members: members, Cell: testCellOptions(2),
+		Points: frameOf(t, pts), Members: members, Cell: testCellOptions(2),
 	}, Options{Dial: ln.Dial})
 	if err != nil {
 		t.Fatal(err)
@@ -491,7 +502,7 @@ func TestVersionMismatch(t *testing.T) {
 
 	members := []int32{0, 1}
 	_, err = DialShard(context.Background(), "old", geometry.ShardConfig{
-		Points: pts, Members: members, Cell: testCellOptions(2),
+		Points: frameOf(t, pts), Members: members, Cell: testCellOptions(2),
 	}, Options{Dial: func(ctx context.Context, addr string) (net.Conn, error) {
 		dials.Add(1)
 		return ln.Dial(ctx, addr)
@@ -559,7 +570,7 @@ func TestGracefulShutdown(t *testing.T) {
 		members[i] = int32(i)
 	}
 	rs, err := DialShard(context.Background(), "srv", geometry.ShardConfig{
-		Points: pts, Members: members, Cell: testCellOptions(2),
+		Points: frameOf(t, pts), Members: members, Cell: testCellOptions(2),
 	}, Options{Dial: ln.Dial, Retries: 0})
 	if err != nil {
 		t.Fatal(err)
@@ -649,7 +660,7 @@ func TestHostileOpenFrame(t *testing.T) {
 		members[i] = int32(i)
 	}
 	rs, err := DialShard(context.Background(), "srv", geometry.ShardConfig{
-		Points: pts, Members: members, Cell: testCellOptions(2),
+		Points: frameOf(t, pts), Members: members, Cell: testCellOptions(2),
 	}, Options{Dial: ln.Dial})
 	if err != nil {
 		t.Fatalf("server unusable after hostile frame: %v", err)

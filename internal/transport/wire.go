@@ -136,6 +136,29 @@ func (w *wbuf) vectors(vs []vec.Vector) {
 	}
 }
 
+// frame encodes a Frame's coordinates straight from its flat backing slice —
+// one pass, no per-row indirection — producing exactly the bytes vectors()
+// would for the same values (big-endian float64 bit patterns in row-major
+// order). Float32 frames are upconverted coordinate-wise (exact), so the
+// wire format is precision-independent and ProtocolVersion is unaffected.
+func (w *wbuf) frame(f *vec.Frame) {
+	if data := f.Data(); data != nil {
+		need := 8 * len(data)
+		if cap(w.b)-len(w.b) < need {
+			grown := make([]byte, len(w.b), len(w.b)+need)
+			copy(grown, w.b)
+			w.b = grown
+		}
+		for _, x := range data {
+			w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(x))
+		}
+		return
+	}
+	for _, x := range f.Data32() {
+		w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(float64(x)))
+	}
+}
+
 // errTruncated marks a payload shorter than its grammar requires.
 var errTruncated = errors.New("truncated payload")
 
@@ -211,13 +234,12 @@ func (r *rbuf) str() string {
 	return string(r.take(n))
 }
 
-// vectors decodes k vectors of dimension d, backed by one flat
-// allocation. The allocation is bounded by the bytes actually present:
-// header-claimed counts a malformed or hostile frame inflates past its
-// payload fail as truncated here, before any make() can OOM or panic the
-// server (the maxFramePayload cap alone bounds the payload, not what a
-// frame claims to contain).
-func (r *rbuf) vectors(k, d int) []vec.Vector {
+// flat decodes k·d float64 coordinates into one flat allocation. The
+// allocation is bounded by the bytes actually present: header-claimed counts
+// a malformed or hostile frame inflates past its payload fail as truncated
+// here, before any make() can OOM or panic the server (the maxFramePayload
+// cap alone bounds the payload, not what a frame claims to contain).
+func (r *rbuf) flat(k, d int) []float64 {
 	if r.err != nil {
 		return nil
 	}
@@ -236,11 +258,36 @@ func (r *rbuf) vectors(k, d int) []vec.Vector {
 	if r.err != nil {
 		return nil
 	}
+	return flat
+}
+
+// vectors decodes k vectors of dimension d as header views over one flat
+// allocation (ad-hoc center batches).
+func (r *rbuf) vectors(k, d int) []vec.Vector {
+	flat := r.flat(k, d)
+	if flat == nil {
+		return nil
+	}
 	out := make([]vec.Vector, k)
 	for i := range out {
 		out[i] = vec.Vector(flat[i*d : (i+1)*d])
 	}
 	return out
+}
+
+// frame decodes k rows of dimension d straight into a Frame wrapping the
+// flat allocation — the decode-side counterpart of wbuf.frame.
+func (r *rbuf) frame(k, d int) *vec.Frame {
+	flat := r.flat(k, d)
+	if flat == nil {
+		return nil
+	}
+	f, err := vec.FrameFromData(flat, d)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	return f
 }
 
 // counts decodes a msgCounts payload, enforcing the expected length.
@@ -280,16 +327,26 @@ func encodeCounts(counts []int32) []byte {
 // prepared different coordinates (wrong grid size, wrong domain bounds)
 // than the client did — a silent way to lose the bit-identical
 // equivalence contract.
-func PointsChecksum(points []vec.Vector) uint64 {
+// The hash runs over the frame's flat backing slice in one pass; for
+// float64 frames the bytes are identical to hashing the rows vector by
+// vector, so existing baselines and preloaded servers keep verifying.
+func PointsChecksum(points *vec.Frame) uint64 {
 	h := uint64(14695981039346656037)
 	var buf [8]byte
-	for _, p := range points {
-		for _, x := range p {
-			binary.BigEndian.PutUint64(buf[:], math.Float64bits(x))
-			for _, c := range buf {
-				h ^= uint64(c)
-				h *= 1099511628211
-			}
+	mix := func(x float64) {
+		binary.BigEndian.PutUint64(buf[:], math.Float64bits(x))
+		for _, c := range buf {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+	}
+	if data := points.Data(); data != nil {
+		for _, x := range data {
+			mix(x)
+		}
+	} else {
+		for _, x := range points.Data32() {
+			mix(float64(x))
 		}
 	}
 	return h

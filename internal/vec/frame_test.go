@@ -1,0 +1,198 @@
+package vec
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestFrameRowAliasing(t *testing.T) {
+	f := FrameOf(Of(1, 2), Of(3, 4), Of(5, 6))
+	if f.N() != 3 || f.Dim() != 2 {
+		t.Fatalf("shape = %d×%d, want 3×2", f.N(), f.Dim())
+	}
+	r1 := f.Row(1)
+	if !r1.Equal(Of(3, 4)) {
+		t.Fatalf("Row(1) = %v, want [3 4]", r1)
+	}
+	// Row is a view, not a copy: a write through the view is visible to the
+	// frame and to every other view of the same row.
+	r1[0] = 99
+	if got := f.At(1, 0); got != 99 {
+		t.Errorf("after writing through Row view, At(1,0) = %v, want 99", got)
+	}
+	if again := f.Row(1); again[0] != 99 {
+		t.Errorf("second Row view sees %v, want 99", again[0])
+	}
+	// Neighboring rows are untouched, and the view's capacity is clipped so
+	// an append cannot silently spill into row 2.
+	if got := f.At(2, 0); got != 5 {
+		t.Errorf("row 2 corrupted: At(2,0) = %v, want 5", got)
+	}
+	if cap(r1) != f.Dim() {
+		t.Errorf("Row view cap = %d, want %d (three-index slice)", cap(r1), f.Dim())
+	}
+	// RowView on a float64 frame aliases too — scratch is not used.
+	scratch := make(Vector, 2)
+	v := f.RowView(1, scratch)
+	v[1] = -7
+	if got := f.At(1, 1); got != -7 {
+		t.Errorf("RowView on float64 frame should alias; At(1,1) = %v, want -7", got)
+	}
+}
+
+func TestFrameFromDataStrideMismatch(t *testing.T) {
+	if _, err := FrameFromData(make([]float64, 7), 3); err == nil {
+		t.Fatal("FrameFromData(7 coords, stride 3) should fail")
+	} else if !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("stride mismatch error = %v, want ErrDimMismatch", err)
+	}
+	if _, err := FrameFromData(make([]float64, 6), 0); err == nil {
+		t.Fatal("FrameFromData with stride 0 should fail")
+	}
+	if _, err := FrameFromData(make([]float64, 6), -2); err == nil {
+		t.Fatal("FrameFromData with negative stride should fail")
+	}
+	f, err := FrameFromData([]float64{1, 2, 3, 4, 5, 6}, 3)
+	if err != nil {
+		t.Fatalf("FrameFromData: %v", err)
+	}
+	if f.N() != 2 || !f.Row(1).Equal(Of(4, 5, 6)) {
+		t.Fatalf("frame = %d rows, Row(1) = %v", f.N(), f.Row(1))
+	}
+	if _, err := FrameFromVectors([]Vector{Of(1, 2), Of(3)}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("ragged FrameFromVectors error = %v, want ErrDimMismatch", err)
+	}
+}
+
+func TestFrameFloat32RoundTrip(t *testing.T) {
+	// Values exactly representable in float32 survive the round trip
+	// bit-for-bit; values that are not get quantized to the nearest float32.
+	exact := Of(0.5, -3.25, 1024)
+	inexact := Of(0.1, 1.0/3.0, math.Pi)
+
+	f := NewFrame32(2, 3)
+	f.SetRow(0, exact)
+	f.SetRow(1, inexact)
+	if f.Precision() != Float32 {
+		t.Fatalf("Precision = %v, want Float32", f.Precision())
+	}
+
+	scratch := make(Vector, 3)
+	got := f.RowView(0, scratch)
+	if !got.Equal(exact) {
+		t.Errorf("exact float32 values changed: %v vs %v", got, exact)
+	}
+	got = f.RowView(1, scratch)
+	for j := range inexact {
+		want := float64(float32(inexact[j]))
+		if got[j] != want {
+			t.Errorf("coord %d = %v, want float64(float32(x)) = %v", j, got[j], want)
+		}
+		if got[j] == inexact[j] {
+			t.Errorf("coord %d survived float32 unchanged — test value %v is not exercising quantization", j, inexact[j])
+		}
+	}
+
+	// Kernels agree with the decoded rows.
+	q := Of(1, 1, 1)
+	want := got.DistSq(q)
+	if s := f.DistSq(1, q); s != want {
+		t.Errorf("DistSq(1, q) = %v, want %v", s, want)
+	}
+
+	// Row must refuse to hand out a float64 alias that does not exist.
+	defer func() {
+		if recover() == nil {
+			t.Error("Row on a float32 frame should panic")
+		}
+	}()
+	_ = f.Row(1)
+}
+
+func TestFrameKernelsMatchVector(t *testing.T) {
+	rows := []Vector{Of(0, 0), Of(1, 0), Of(0.25, -0.75), Of(2, 2)}
+	f := FrameOf(rows...)
+	q := Of(0.5, 0.5)
+	out := make([]float64, f.N())
+	f.DistSqInto(q, out)
+	for i, r := range rows {
+		if want := r.DistSq(q); out[i] != want {
+			t.Errorf("DistSqInto[%d] = %v, want %v", i, out[i], want)
+		}
+		if got := f.DistSq(i, q); got != rows[i].DistSq(q) {
+			t.Errorf("DistSq(%d) = %v, want %v", i, got, rows[i].DistSq(q))
+		}
+	}
+	if n := f.CountWithin(q, 0.75); n != 2 {
+		t.Errorf("CountWithin = %d, want 2 (rows 0 and 1 at dist ~0.707)", n)
+	}
+	centers := []Vector{Of(2, 2), Of(0, 0), Of(1, 0)}
+	if best, _ := f.Nearest(0, centers); best != 1 {
+		t.Errorf("Nearest(row 0) = center %d, want 1", best)
+	}
+	// Equidistant centers tie toward the lowest index.
+	if best, _ := FrameOf(Of(0.5, 0)).Nearest(0, []Vector{Of(0, 0), Of(1, 0)}); best != 0 {
+		t.Errorf("tie should go to the lowest center index, got %d", best)
+	}
+	g := f.Gather([]int32{3, 1})
+	if g.N() != 2 || !g.Row(0).Equal(Of(2, 2)) || !g.Row(1).Equal(Of(1, 0)) {
+		t.Errorf("Gather([3 1]) wrong: %v, %v", g.Row(0), g.Row(1))
+	}
+}
+
+// TestFrameConcurrentSweeps exercises the read-only sharing contract: many
+// goroutines sweeping one frame with every kernel concurrently. Run with
+// -race to validate.
+func TestFrameConcurrentSweeps(t *testing.T) {
+	const n, d = 512, 4
+	f := NewFrame(n, d)
+	for i := 0; i < n; i++ {
+		row := f.Row(i)
+		for j := range row {
+			row[j] = float64(i*d+j) * 0.001
+		}
+	}
+	q := Of(0.1, 0.2, 0.3, 0.4)
+	want := f.CountWithin(q, 0.9)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, n)
+			scratch := make(Vector, d)
+			for iter := 0; iter < 20; iter++ {
+				if got := f.CountWithin(q, 0.9); got != want {
+					t.Errorf("concurrent CountWithin = %d, want %d", got, want)
+					return
+				}
+				f.DistSqInto(q, out)
+				for i := 0; i < n; i += 37 {
+					_ = f.DistSq(i, q)
+					_ = f.RowView(i, scratch)
+					_ = f.AppendRowKey(nil, i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFrameAppendRowKey(t *testing.T) {
+	f64 := FrameOf(Of(0.5, -1.25))
+	f32 := NewFrame32(1, 2)
+	f32.SetRow(0, Of(0.5, -1.25))
+	// 0.5 and -1.25 are exact in float32, so both precisions must produce
+	// the same duplicate-table key.
+	k64 := string(f64.AppendRowKey(nil, 0))
+	k32 := string(f32.AppendRowKey(nil, 0))
+	if k64 != k32 {
+		t.Errorf("float32 and float64 keys differ for exactly representable coords")
+	}
+	if len(k64) != 16 {
+		t.Errorf("key length = %d, want 16 (two little-endian float64s)", len(k64))
+	}
+}

@@ -208,8 +208,14 @@ func (c Cluster) Contains(p Point) bool {
 	return geometry.Ball{Center: vec.Vector(c.Center), Radius: c.Radius}.Contains(vec.Vector(p))
 }
 
-// Count returns how many of the given points lie in the cluster's ball.
+// Count returns how many of the given points lie in the cluster's ball. For
+// a uniform-dimension slice it runs as one flat sweep over a frame view of
+// the points (the same CountWithin kernel the indexes use; Contains and the
+// kernel compare DistSq ≤ Radius² identically, so the count is unchanged).
 func (c Cluster) Count(points []Point) int {
+	if f, err := vec.FrameFromVectors(vecsOf(points)); err == nil && f.Dim() == len(c.Center) {
+		return f.CountWithin(vec.Vector(c.Center), c.Radius)
+	}
 	n := 0
 	for _, p := range points {
 		if c.Contains(p) {
@@ -217,6 +223,15 @@ func (c Cluster) Count(points []Point) int {
 		}
 	}
 	return n
+}
+
+// vecsOf reinterprets a []Point as []vec.Vector without copying coordinates.
+func vecsOf(points []Point) []vec.Vector {
+	vs := make([]vec.Vector, len(points))
+	for i, p := range points {
+		vs[i] = vec.Vector(p)
+	}
+	return vs
 }
 
 // ErrNoPoints is returned for empty inputs.
@@ -336,7 +351,8 @@ func Aggregate[R any](rows []R, f func([]R) Point, dim, m int, alpha float64, o 
 		Preflight: func(evals []vec.Vector, t int) error {
 			check := cprm
 			check.T = t
-			return checkFeasible(evals, check, 1, q, o.GridSize)
+			plaus := func(p core.Params) bool { return core.ZeroClusterPlausible(evals, p) }
+			return checkFeasible(plaus, check, 1, q, o.GridSize)
 		},
 	}
 	res, err := agg.Run(o.rng(), rows, func(rs []R) vec.Vector { return vec.Vector(f(rs)) }, prm)
