@@ -502,3 +502,66 @@ func BenchmarkFindClusterScalable(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkAppendMerge is the steady-state streaming cycle on a warm
+// mutable handle: every iteration appends a 64-row batch and answers one
+// seeded query pinned at the fresh epoch (a full snapshot build plus the
+// L-sweep — the real serving cost of an advancing epoch, since per-epoch
+// caches cannot help a brand-new epoch); every 8th iteration deletes the
+// oldest surviving batch and merges the append deltas into the shard
+// bases. What the gate watches: allocs/op regressions here mean the
+// epoch-view or delta-merge path started copying or rebuilding more than
+// the mutation batch warrants.
+func BenchmarkAppendMerge(b *testing.B) {
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, 20000, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := make([]Point, len(pts))
+	for i, p := range pts {
+		pub[i] = Point(p)
+	}
+	ds, err := Open(pub, DatasetOptions{Mutable: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ds.Close()
+	ctx := context.Background()
+	// Prime the handle outside the timer: first epoch pinned, first sweep
+	// done — iterations then measure the advancing-epoch cycle alone.
+	if _, err := ds.FindCluster(ctx, tt, QueryOptions{Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	var batches [][]uint64
+	batch := make([]Point, 64)
+	next := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = pub[next%len(pub)]
+			next++
+		}
+		ids, _, err := ds.Append(ctx, batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		batches = append(batches, ids)
+		if _, err := ds.FindCluster(ctx, tt, QueryOptions{Seed: int64(i) + 2}); err != nil {
+			b.Fatal(err)
+		}
+		if i%8 == 7 {
+			if _, err := ds.Delete(ctx, batches[0]); err != nil {
+				b.Fatal(err)
+			}
+			batches = batches[1:]
+			if err := ds.Merge(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -111,14 +111,14 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dup, err := rs.DupCounts(context.Background())
+	dup, err := rs.DupCounts(context.Background(), geometry.EpochFrozen)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(dup) != cfg.Points.N() {
 		t.Fatalf("dup table has %d slots, want %d", len(dup), cfg.Points.N())
 	}
-	counts, err := rs.PartialCounts(context.Background(), 0, cfg.Cell.MinRadius, 10, true)
+	counts, err := rs.PartialCounts(context.Background(), geometry.EpochFrozen, 0, cfg.Cell.MinRadius, 10, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +180,11 @@ func TestDaemonPreloadedCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rs2.Close()
-	a, err := rs.PartialCounts(context.Background(), 2, 4*grid.RadiusUnit(), 50, false)
+	a, err := rs.PartialCounts(context.Background(), geometry.EpochFrozen, 2, 4*grid.RadiusUnit(), 50, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := rs2.PartialCounts(context.Background(), 2, 4*grid.RadiusUnit(), 50, false)
+	b, err := rs2.PartialCounts(context.Background(), geometry.EpochFrozen, 2, 4*grid.RadiusUnit(), 50, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -90,6 +90,16 @@ type DatasetOptions struct {
 	// nearly always constant per handle, so the bound only matters when
 	// resolution drifts (see indexKey).
 	IndexCacheSize int
+	// Mutable opens a streaming handle: Append and Delete advance the
+	// dataset through numbered epochs, and every query runs on an
+	// immutable snapshot of one epoch (the current one, or the epoch
+	// pinned by QueryOptions.AtEpoch) that answers bit-identically to a
+	// fresh Open on exactly that epoch's point set. Mutability presumes
+	// the scalable backend — IndexExact is rejected (IndexAuto resolves
+	// scalable) — and Float64 storage (Float32 is rejected). Mutation
+	// spends no budget; releases spend exactly as on an immutable handle.
+	// See the package documentation's "Streaming ingestion" section.
+	Mutable bool
 	// Budget is the total (ε, δ) the handle may spend across all queries.
 	// The zero value means "no budget": spending is tracked (Spent) but
 	// never refused — the semantics of the one-shot free functions. Budget
@@ -136,6 +146,14 @@ func (o DatasetOptions) validate() error {
 		return fmt.Errorf("privcluster: index cache size must be ≥ 0 (0 = default %d), got %d",
 			defaultIndexCacheSize, o.IndexCacheSize)
 	}
+	if o.Mutable {
+		if o.Precision == Float32 {
+			return fmt.Errorf("privcluster: Mutable requires Float64 precision (snapshots promise bit-identity with fresh Float64 opens)")
+		}
+		if o.IndexPolicy == IndexExact {
+			return fmt.Errorf("privcluster: Mutable requires the scalable index (IndexExact has no incremental form)")
+		}
+	}
 	return o.Budget.validate()
 }
 
@@ -177,6 +195,13 @@ type QueryOptions struct {
 	// Options.Seed).
 	Seed     int64
 	ZeroSeed bool
+	// AtEpoch pins the query to a past epoch of a Mutable handle: the
+	// release is computed on exactly that epoch's point set, regardless of
+	// appends, deletes, or merges that landed since. 0 means the current
+	// epoch. Deletes retire older epochs — pinning one fails with
+	// ErrEpochRetired unless its snapshot is still cached. On an immutable
+	// handle any nonzero value is an error.
+	AtEpoch uint64
 }
 
 func (q QueryOptions) withDefaults() QueryOptions {
@@ -334,10 +359,37 @@ type Dataset struct {
 	values []float64
 	pol    core.IndexPolicy
 
+	// mut is the handle's mutable index (nil unless opts.Mutable): appends
+	// and deletes advance it in numbered epochs; queries pin one epoch's
+	// snapshot. Built eagerly at Open — a streaming handle must accept
+	// mutations before its first query.
+	mut geometry.MutableBallIndex
+	// mutMu serializes mutations and guards the 1-D raw-value mirror
+	// below. It is separate from mu so budget accounting and index cache
+	// lookups never wait behind a remote append round trip.
+	mutMu sync.Mutex
+	// rawVals/rowIDs mirror the mutable index's row order for 1-D handles:
+	// the unit-mapped, unquantized values InteriorPoint runs on, with the
+	// assigned ids alongside so deletes compact the mirror identically.
+	rawVals []float64
+	rowIDs  []uint64
+	// valsAt records the mirror length at each live epoch (reset by
+	// deletes, which retire older epochs); valsAtOrder FIFO-bounds it.
+	valsAt      map[uint64]int
+	valsAtOrder []uint64
+	// valsCache holds sorted copies of the mirror per pinned epoch.
+	valsCache      map[uint64][]float64
+	valsCacheOrder []uint64
+
 	mu       sync.Mutex
+	closed   bool
 	spent    Budget
 	indexes  map[indexKey]*indexEntry
 	keyOrder []indexKey // FIFO of cached keys for eviction
+	// epochs caches one built snapshot per pinned epoch of a mutable
+	// handle (single-flight, FIFO-evicted like indexes).
+	epochs     map[geometry.Epoch]*indexEntry
+	epochOrder []geometry.Epoch
 	// builds counts index constructions (diagnostics; the concurrency test
 	// pins it at one).
 	builds atomic.Int32
@@ -390,20 +442,66 @@ func Open(points []Point, o DatasetOptions) (*Dataset, error) {
 		grid.QuantizeInto(u, u)
 		frame.SetRow(i, u)
 	}
-	sort.Float64s(values) // no-op for nil; see the Dataset.values doc
-	return &Dataset{
+	ds := &Dataset{
 		opts:    o,
 		grid:    grid,
 		dim:     d,
 		frame:   frame,
-		values:  values,
 		pol:     pol,
 		indexes: make(map[indexKey]*indexEntry),
-	}, nil
+	}
+	if o.Mutable {
+		// A mutable handle keeps the 1-D mirror in insertion order (sorted
+		// copies are cut per pinned epoch) and builds its index eagerly:
+		// mutations must land before the first query.
+		if d == 1 {
+			ds.rawVals = values
+			ds.rowIDs = make([]uint64, len(points))
+			for i := range ds.rowIDs {
+				ds.rowIDs[i] = uint64(i)
+			}
+		}
+		var mut geometry.MutableBallIndex
+		var err error
+		if len(o.RemoteShards) > 0 {
+			mut, err = core.NewRemoteMutableBallIndexFrame(context.Background(), frame, grid,
+				o.Workers, o.RemoteShards, o.RemoteDial)
+		} else {
+			mut, err = core.NewMutableBallIndexFrame(context.Background(), frame, grid, o.Workers, o.Shards)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ds.mut = mut
+		ds.valsAt = map[uint64]int{uint64(mut.Epoch()): len(points)}
+		ds.valsAtOrder = []uint64{uint64(mut.Epoch())}
+		ds.valsCache = make(map[uint64][]float64)
+		ds.epochs = make(map[geometry.Epoch]*indexEntry)
+		return ds, nil
+	}
+	sort.Float64s(values) // no-op for nil; see the Dataset.values doc
+	ds.values = values
+	return ds, nil
 }
 
-// N returns the number of points in the handle.
-func (ds *Dataset) N() int { return ds.frame.N() }
+// N returns the number of points in the handle — for a mutable handle,
+// the count at the current epoch.
+func (ds *Dataset) N() int {
+	if ds.mut != nil {
+		return ds.mut.Rows()
+	}
+	return ds.frame.N()
+}
+
+// checkOpen refuses work on a closed handle with the typed ErrClosed.
+func (ds *Dataset) checkOpen() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.closed {
+		return ErrClosed
+	}
+	return nil
+}
 
 // Dim returns the dimension of the handle's points.
 func (ds *Dataset) Dim() int { return ds.dim }
@@ -531,19 +629,33 @@ func (ds *Dataset) indexCacheSize() int {
 }
 
 // Close releases the resources held by the handle's cached indexes — the
-// shard-server connections of a remote handle; local indexes hold none,
-// making Close optional for them. Queries in flight when Close is called
-// may fail; the handle must not be queried afterwards.
+// shard-server connections of a remote handle, the mutable index's merge
+// goroutines and sessions; local immutable indexes hold none, making Close
+// optional for them. Close is idempotent; after the first call every
+// query and mutation fails with ErrClosed. Queries in flight when Close is
+// called may fail.
 func (ds *Dataset) Close() error {
 	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		return nil
+	}
+	ds.closed = true
 	entries := make([]*indexEntry, 0, len(ds.indexes))
 	for _, e := range ds.indexes {
 		entries = append(entries, e)
 	}
 	ds.indexes = make(map[indexKey]*indexEntry)
 	ds.keyOrder = nil
+	// Epoch snapshots are views into the mutable index — closing it below
+	// releases their backing; the cache entries just drop.
+	ds.epochs = nil
+	ds.epochOrder = nil
 	ds.mu.Unlock()
 	var first error
+	if ds.mut != nil {
+		first = ds.mut.Close()
+	}
 	for _, e := range entries {
 		e.once.Do(func() {}) // settle concurrent builders
 		ci, ok := e.ix.(*cachedIndex)
@@ -575,8 +687,10 @@ func (ds *Dataset) params(ctx context.Context, t int, q QueryOptions) core.Param
 // prepareQuery is the shared front door of the cluster queries: defaults,
 // parameter validation, the prompt pre-cancellation check (before any
 // budget is consulted), the t range check, and the feasibility pre-flight
-// at the per-round budget. It spends nothing.
-func (ds *Dataset) prepareQuery(ctx context.Context, t, rounds int, q QueryOptions) (QueryOptions, core.Params, error) {
+// at the per-round budget — all against the frame the query will actually
+// run on (the handle's own for immutable queries, the pinned epoch's
+// snapshot for mutable ones). It spends nothing.
+func (ds *Dataset) prepareQuery(ctx context.Context, f *vec.Frame, t, rounds int, q QueryOptions) (QueryOptions, core.Params, error) {
 	q = q.withDefaults()
 	if err := q.validate(); err != nil {
 		return q, core.Params{}, err
@@ -584,15 +698,35 @@ func (ds *Dataset) prepareQuery(ctx context.Context, t, rounds int, q QueryOptio
 	if err := ctx.Err(); err != nil {
 		return q, core.Params{}, err
 	}
-	if t < 1 || t > ds.frame.N() {
-		return q, core.Params{}, fmt.Errorf("privcluster: t=%d out of [1, n=%d]", t, ds.frame.N())
+	if t < 1 || t > f.N() {
+		return q, core.Params{}, fmt.Errorf("privcluster: t=%d out of [1, n=%d]", t, f.N())
 	}
 	prm := ds.params(ctx, t, q)
-	plaus := func(p core.Params) bool { return core.ZeroClusterPlausibleFrame(ds.frame, p) }
+	plaus := func(p core.Params) bool { return core.ZeroClusterPlausibleFrame(f, p) }
 	if err := checkFeasible(plaus, prm, rounds, q, ds.opts.GridSize); err != nil {
 		return q, core.Params{}, err
 	}
 	return q, prm, nil
+}
+
+// queryIndex resolves the ball index and frame one cluster query runs on.
+// Immutable handles defer the (cached, lazily built) index until after
+// validation, so ix may come back nil with a nil error — the caller builds
+// it via ds.index(ds.effectiveKey()) once the query is known to be valid.
+// Mutable handles must pin a snapshot up front (its frame feeds
+// validation); pinning spends nothing.
+func (ds *Dataset) queryIndex(q QueryOptions) (ix geometry.BallIndex, f *vec.Frame, err error) {
+	if ds.mut == nil {
+		if q.AtEpoch != 0 {
+			return nil, nil, fmt.Errorf("privcluster: AtEpoch=%d on an immutable dataset (open with DatasetOptions.Mutable)", q.AtEpoch)
+		}
+		return nil, ds.frame, nil
+	}
+	ix, err = ds.pinEpoch(q.AtEpoch)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ix, ix.Frame(), nil
 }
 
 // acquireScratch lends the handle's pooled per-query working buffers into
@@ -615,13 +749,21 @@ func (ds *Dataset) FindCluster(ctx context.Context, t int, q QueryOptions) (Clus
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	q, prm, err := ds.prepareQuery(ctx, t, 1, q)
+	if err := ds.checkOpen(); err != nil {
+		return Cluster{}, err
+	}
+	ix, f, err := ds.queryIndex(q)
 	if err != nil {
 		return Cluster{}, err
 	}
-	ix, err := ds.index(ds.effectiveKey())
+	q, prm, err := ds.prepareQuery(ctx, f, t, 1, q)
 	if err != nil {
 		return Cluster{}, err
+	}
+	if ix == nil {
+		if ix, err = ds.index(ds.effectiveKey()); err != nil {
+			return Cluster{}, err
+		}
 	}
 	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
 		return Cluster{}, err
@@ -654,13 +796,21 @@ func (ds *Dataset) FindClusters(ctx context.Context, k, t int, q QueryOptions) (
 	if k < 1 {
 		return nil, fmt.Errorf("privcluster: FindClusters needs k ≥ 1, got %d", k)
 	}
-	q, prm, err := ds.prepareQuery(ctx, t, k, q)
+	if err := ds.checkOpen(); err != nil {
+		return nil, err
+	}
+	ix, f, err := ds.queryIndex(q)
 	if err != nil {
 		return nil, err
 	}
-	ix, err := ds.index(ds.effectiveKey())
+	q, prm, err := ds.prepareQuery(ctx, f, t, k, q)
 	if err != nil {
 		return nil, err
+	}
+	if ix == nil {
+		if ix, err = ds.index(ds.effectiveKey()); err != nil {
+			return nil, err
+		}
 	}
 	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
 		return nil, err
@@ -692,6 +842,9 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := ds.checkOpen(); err != nil {
+		return 0, err
+	}
 	if ds.dim != 1 {
 		return 0, fmt.Errorf("privcluster: InteriorPoint needs a 1-dimensional dataset, got dimension %d", ds.dim)
 	}
@@ -702,7 +855,16 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	m := len(ds.values)
+	values := ds.values
+	if ds.mut != nil {
+		var err error
+		if values, err = ds.epochValues(q.AtEpoch); err != nil {
+			return 0, err
+		}
+	} else if q.AtEpoch != 0 {
+		return 0, fmt.Errorf("privcluster: AtEpoch=%d on an immutable dataset (open with DatasetOptions.Mutable)", q.AtEpoch)
+	}
+	m := len(values)
 	if innerN <= 0 || innerN >= m {
 		return 0, fmt.Errorf("privcluster: InteriorPoint needs 0 < innerN < n, got innerN=%d, n=%d", innerN, m)
 	}
@@ -714,9 +876,9 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 	cprm := ds.params(ctx, innerN/2, q)
 	// Feasibility pre-flight on exactly the middle sub-database the inner
 	// 1-cluster stage will see — the same check FindCluster gets, run
-	// before any budget is charged. ds.values is kept sorted, so the
+	// before any budget is charged. values is kept (or cut) sorted, so the
 	// middle extraction is a slice, not a fresh sort.
-	middle := core.IntPointMiddleSorted(ds.values, innerN)
+	middle := core.IntPointMiddleSorted(values, innerN)
 	plaus := func(p core.Params) bool { return core.ZeroClusterPlausible(middle, p) }
 	if err := checkFeasible(plaus, cprm, 1, q, ds.opts.GridSize); err != nil {
 		return 0, err
@@ -726,7 +888,7 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 	}
 	release := ds.acquireScratch(&cprm)
 	defer release()
-	res, err := core.IntPoint(q.rng(), ds.values, core.IntPointParams{
+	res, err := core.IntPoint(q.rng(), values, core.IntPointParams{
 		InnerN:  innerN,
 		Cluster: cprm,
 		Privacy: dp.Params{Epsilon: q.Epsilon, Delta: q.Delta},

@@ -194,6 +194,53 @@
 // protocol itself is deliberately plain TCP and does not pretend to add
 // privacy.
 //
+// # Streaming ingestion
+//
+// DatasetOptions.Mutable opens a handle whose point set can grow and
+// shrink after Open: Append adds a batch of points (returning stable ids),
+// Delete removes rows by id, and each successful mutation advances the
+// handle's epoch by exactly one — Open is epoch 1. Queries run against
+// epoch snapshots: by default the epoch current when the query pins its
+// view, or an explicit one via QueryOptions.AtEpoch. The contract is the
+// same equivalence that anchors sharding and the wire protocol: a query
+// pinned at epoch E releases bit-identically (same seed, same outcome,
+// success or failure) to a fresh Open on exactly the epoch-E point set —
+// regardless of what the mutator does meanwhile, of Merge timing, and of
+// whether the shards are in-process or remote. examples/ingest re-proves
+// this in CI against live shard servers.
+//
+// Internally a snapshot is a row-prefix view: appends only ever extend the
+// flat frame, so epoch E is "the first n_E rows", indexed as a frozen base
+// generation plus a small delta index over the rows appended since the
+// last merge — the same partition-independent sum decomposition sharding
+// uses, so the split is invisible to releases. Merge (also triggered
+// automatically once enough delta rows accumulate) folds the delta into a
+// fresh base off the query path; it is a serving-cost knob, never a
+// semantic one. Deletes compact the storage and therefore retire all older
+// epochs: a query already holding its pin keeps answering, but a new pin
+// of a pre-delete epoch fails with ErrEpochRetired (wrapped, with the
+// epoch) unless its snapshot is still cached. Snapshots are cached per
+// epoch and built single-flight; BenchmarkAppendMerge (gated in CI) tracks
+// the steady-state append → query → delete/merge cycle.
+//
+// Privacy under mutation: the (ε, δ) ledger never moves on Append, Delete,
+// or Merge — only releases spend. That is not an accounting shortcut but
+// the sensitivity argument itself: each mechanism's differential-privacy
+// analysis is per-release on the neighboring-database relation of the
+// point set the pinned epoch holds, so mutating the data between releases
+// changes which database the next release is private about, not how much
+// budget it costs. The caveat is the same as for any interactive DP
+// system: the budget bounds leakage about the rows present in the queried
+// epochs; an adversary who also controls the mutation stream learns
+// nothing extra from mutations alone, since mutations produce no output.
+//
+// Mutable sessions over RemoteShards are connection-scoped: mutations are
+// not idempotent, so a broken shard connection is never silently re-dialed
+// mid-epoch — the handle turns sticky-broken and every subsequent
+// operation reports the failure rather than risking a cross-epoch answer.
+// Open a fresh handle to resume (re-shipping the current rows), and treat
+// transport failures on mutable remote handles as fatal.
+//
 // # Memory model
 //
 // The data-bearing layers share one representation: internal/vec.Frame, a
@@ -268,7 +315,9 @@
 // See the examples/ directory for runnable programs (examples/scale runs
 // n = 200,000; examples/serving demonstrates the handle's amortization,
 // budget accounting and deadlines; examples/remote self-checks the shard
-// transport's equivalence) and DESIGN.md for the system inventory, the
+// transport's equivalence; examples/ingest self-checks the streaming
+// epoch model against live shard servers) and DESIGN.md for the system
+// inventory, the
 // paper-vs-implementation substitutions, and the experiment index.
 // EXPERIMENTS.md reports paper-vs-measured results for every table and
 // figure.

@@ -140,6 +140,59 @@ func NewBallIndexFrame(ctx context.Context, points *vec.Frame, grid geometry.Gri
 	return geometry.NewCellIndexFrame(points, cell)
 }
 
+// NewMutableBallIndexFrame builds the streaming-ingestion counterpart of
+// NewBallIndexFrame: a mutable index whose epochs snapshot to BallIndexes
+// bit-identical to a fresh build on that epoch's point set. Mutability
+// presumes the scalable backend (the exact index's Θ(n²) matrix has no
+// incremental form), so the policy knob does not apply; shards resolve by
+// the same rule as NewBallIndexFrame, with in-process shard backends. The
+// frame is shared until the first mutation takes ownership of a copy.
+func NewMutableBallIndexFrame(ctx context.Context, points *vec.Frame, grid geometry.Grid, workers, shards int) (geometry.MutableBallIndex, error) {
+	cell := geometry.CellIndexOptions{
+		MinRadius: grid.RadiusUnit(),
+		MaxRadius: grid.MaxDistance(),
+		Workers:   workers,
+	}
+	if s := ResolveShards(shards, points.N()); s > 1 {
+		return geometry.NewMutableShardedIndexBackends(ctx, points, geometry.ShardedIndexOptions{
+			Shards: s,
+			Policy: geometry.ShardMorton,
+			Cell:   cell,
+		}, func(ctx context.Context, shard int, cfg geometry.ShardConfig) (geometry.MutableShardBackend, error) {
+			return geometry.NewMutableLocalShard(cfg)
+		})
+	}
+	return geometry.NewMutableCellIndexFrame(points, cell)
+}
+
+// NewRemoteMutableBallIndexFrame is NewMutableBallIndexFrame with every
+// shard living behind a remote epoch session: one shard per address,
+// opened mutable so appends and deletes advance the remote shards in
+// lockstep. Remote mutable sessions are connection-scoped — a broken
+// connection permanently fails that shard's backend and the coordinator
+// marks the index broken (see transport.Options.Mutable) — so callers
+// should treat transport failures as fatal to the handle.
+func NewRemoteMutableBallIndexFrame(ctx context.Context, points *vec.Frame, grid geometry.Grid, workers int, addrs []string, dial transport.DialFunc) (geometry.MutableBallIndex, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("core: remote mutable ball index needs at least one shard address")
+	}
+	for i, a := range addrs {
+		if a == "" {
+			return nil, fmt.Errorf("core: remote shard address %d is empty", i)
+		}
+	}
+	cell := geometry.CellIndexOptions{
+		MinRadius: grid.RadiusUnit(),
+		MaxRadius: grid.MaxDistance(),
+		Workers:   workers,
+	}
+	return geometry.NewMutableShardedIndexBackends(ctx, points, geometry.ShardedIndexOptions{
+		Shards: len(addrs),
+		Policy: geometry.ShardMorton,
+		Cell:   cell,
+	}, transport.MutableShardDialer(addrs, transport.Options{Dial: dial}))
+}
+
 // NewRemoteBallIndex builds the scalable sharded index with every shard
 // served over the wire protocol: one shard per address in addrs (the same
 // Morton partition NewBallIndex uses, clamped to at most n shards), dialed

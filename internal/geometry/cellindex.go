@@ -329,6 +329,15 @@ func (ix *CellIndex) level(j int) *cellLevel {
 	return lv
 }
 
+// cachedLevelKeys returns the ladder levels currently materialized, oldest
+// first — what a background merge pre-warms on a replacement index so the
+// atomic swap never moves a level build onto the query path.
+func (ix *CellIndex) cachedLevelKeys() []int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return append([]int(nil), ix.order...)
+}
+
 func newCellLevel(f *vec.Frame, side float64) *cellLevel {
 	n, d := f.N(), f.Dim()
 	lv := &cellLevel{side: side}

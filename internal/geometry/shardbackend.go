@@ -3,7 +3,6 @@ package geometry
 import (
 	"context"
 	"fmt"
-	"math"
 	"sync"
 
 	"privcluster/internal/vec"
@@ -19,33 +18,42 @@ import (
 // may run in-process (LocalShard) or on another machine behind an RPC
 // client, and releases stay bit-identical.
 //
-// Bulk methods take the batch implicitly: the full global point set is
-// fixed at construction (ShardConfig.Points), so PartialCounts and
-// DupCounts answer for every global point in one call — one network round
-// trip per call for a remote implementation, never one per point.
+// Bulk methods take the batch implicitly: the global point set is fixed
+// per snapshot (ShardConfig.Points at construction, grown by appends on
+// mutable backends), so PartialCounts and DupCounts answer for every
+// global point of the pinned snapshot in one call — one network round trip
+// per call for a remote implementation, never one per point.
+//
+// Every bulk query names the snapshot it must be answered from: an epoch.
+// Immutable backends serve exactly one snapshot, EpochFrozen; mutable ones
+// (MutableShardBackend) serve the retained epoch range. Threading the
+// epoch through the seam is what lets all shards of one query answer from
+// the same snapshot regardless of concurrent mutation or merge timing.
 //
 // Implementations must be safe for sequential reuse; ShardedIndex never
 // issues concurrent calls to the same backend, but distinct backends are
 // queried concurrently.
 type ShardBackend interface {
-	// NPoints returns the number of points the shard holds.
+	// NPoints returns the number of points the shard currently holds.
 	NPoints() int
 	// CountBatch returns, for each center, the exact number of shard
-	// points within distance r of it — the batched CountWithin partial.
-	// A negative r yields zeros.
-	CountBatch(ctx context.Context, centers []vec.Vector, r float64) ([]int32, error)
+	// points within distance r of it at the given epoch — the batched
+	// CountWithin partial. A negative r yields zeros.
+	CountBatch(ctx context.Context, epoch Epoch, centers []vec.Vector, r float64) ([]int32, error)
 	// PartialCounts returns this shard's contribution to the capped
-	// within-r counts around every global point, at ladder level j: slot i
-	// holds min(|{y ∈ shard : y contributes to B_r(points[i])}|, limit),
-	// with boundary cells resolved exactly (exactBoundary) or by the
-	// center rule of the L estimators. Summing the per-shard vectors with
-	// saturation at limit reproduces the unsharded capped counts bit for
-	// bit (capping commutes — see ShardedIndex).
-	PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error)
-	// DupCounts returns, for every global point, how many shard points
-	// are bitwise identical to it — this shard's contribution to the
-	// global duplicate table (the exact radius-0 counts).
-	DupCounts(ctx context.Context) ([]int32, error)
+	// within-r counts around every global point of the epoch's snapshot,
+	// at ladder level j: slot i holds min(|{y ∈ shard : y contributes to
+	// B_r(points[i])}|, limit), with boundary cells resolved exactly
+	// (exactBoundary) or by the center rule of the L estimators. Summing
+	// the per-shard vectors with saturation at limit reproduces the
+	// unsharded capped counts bit for bit (capping commutes — see
+	// ShardedIndex).
+	PartialCounts(ctx context.Context, epoch Epoch, j int, r float64, limit int32, exactBoundary bool) ([]int32, error)
+	// DupCounts returns, for every global point of the epoch's snapshot,
+	// how many shard points are bitwise identical to it — this shard's
+	// contribution to the global duplicate table (the exact radius-0
+	// counts).
+	DupCounts(ctx context.Context, epoch Epoch) ([]int32, error)
 	// Close releases the backend's resources (network connections for
 	// remote implementations; a no-op locally).
 	Close() error
@@ -141,9 +149,18 @@ func (s *LocalShard) NPoints() int { return s.members.N() }
 // Close is a no-op: the shard holds no external resources.
 func (s *LocalShard) Close() error { return nil }
 
+// errFrozenEpoch rejects a pinned-epoch query against an immutable shard:
+// it serves exactly one snapshot, the one fixed at construction.
+func errFrozenEpoch(epoch Epoch) error {
+	return fmt.Errorf("geometry: immutable shard queried at epoch %d (only the frozen snapshot exists)", epoch)
+}
+
 // CountBatch returns the exact number of shard points within r of each
 // center.
-func (s *LocalShard) CountBatch(ctx context.Context, centers []vec.Vector, r float64) ([]int32, error) {
+func (s *LocalShard) CountBatch(ctx context.Context, epoch Epoch, centers []vec.Vector, r float64) ([]int32, error) {
+	if epoch != EpochFrozen {
+		return nil, errFrozenEpoch(epoch)
+	}
 	out := make([]int32, len(centers))
 	if r < 0 {
 		return out, nil
@@ -163,68 +180,19 @@ func (s *LocalShard) CountBatch(ctx context.Context, centers []vec.Vector, r flo
 }
 
 // PartialCounts computes the shard's member contributions around every
-// global point at ladder level j, capped at limit. Source cells (over the
-// global points) fan out across the shard's worker pool; a global point's
-// slot is written only by the task owning its source cell, so the pass is
-// data-race free, and a cancelled ctx aborts it with ctx.Err() — the
-// feeder stops, the workers drain, no goroutines leak.
-func (s *LocalShard) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
-	ctx = ctxOrBackground(ctx)
-	n := s.cfg.Points.N()
-	out := make([]int32, n)
-	if r < 0 || limit <= 0 {
-		return out, nil
+// global point at ladder level j, capped at limit, via the shared
+// crossCellCounts engine (the source structure over the global points as
+// the one source group, the member index as the one member group). A
+// cancelled ctx aborts it with ctx.Err() and no leaked goroutines.
+func (s *LocalShard) PartialCounts(ctx context.Context, epoch Epoch, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	if epoch != EpochFrozen {
+		return nil, errFrozenEpoch(epoch)
 	}
-	srcLv := s.src.level(j)
-	mLv := s.members.level(j)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	// Source cells whose candidate block cannot reach the member bounding
-	// box contribute nothing — the same O(d) prune the fused local pass
-	// applies per (source cell, member shard) pair.
-	span := int64(math.Ceil(r/srcLv.side)) + 1
-
-	nb := len(srcLv.buckets)
-	workers := s.cfg.Cell.Workers
-	if workers > nb {
-		workers = nb
-	}
-	const chunk = 64
-	ranges := make(chan [2]int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := newCellScratch(s.members.dim)
-			for rg := range ranges {
-				if ctx.Err() != nil {
-					continue // drain the channel so the feeder never blocks
-				}
-			cells:
-				for bi := rg[0]; bi < rg[1]; bi++ {
-					srcB := &srcLv.buckets[bi]
-					for a, c := range srcB.coord {
-						if c+span < mLv.lo[a] || c-span > mLv.hi[a] {
-							continue cells
-						}
-					}
-					s.members.accumulateCellCounts(mLv, srcB, s.cfg.Points, nil, r, limit, exactBoundary, out, sc)
-				}
-			}
-		}()
-	}
-	for lo := 0; lo < nb && ctx.Err() == nil; lo += chunk {
-		hi := lo + chunk
-		if hi > nb {
-			hi = nb
-		}
-		ranges <- [2]int{lo, hi}
-	}
-	close(ranges)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	out := make([]int32, s.cfg.Points.N())
+	err := crossCellCounts(ctx, s.cfg.Cell.Workers,
+		[]cellGroup{{ix: s.src}}, []cellGroup{{ix: s.members}},
+		j, r, limit, exactBoundary, out)
+	if err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -233,7 +201,10 @@ func (s *LocalShard) PartialCounts(ctx context.Context, j int, r float64, limit 
 // DupCounts returns, for every global point, the number of shard points
 // bitwise identical to it (computed once and memoized — the table is a
 // pure function of the config).
-func (s *LocalShard) DupCounts(ctx context.Context) ([]int32, error) {
+func (s *LocalShard) DupCounts(ctx context.Context, epoch Epoch) ([]int32, error) {
+	if epoch != EpochFrozen {
+		return nil, errFrozenEpoch(epoch)
+	}
 	if err := ctxOrBackground(ctx).Err(); err != nil {
 		return nil, err
 	}

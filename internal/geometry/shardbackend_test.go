@@ -119,12 +119,12 @@ type failingBackend struct {
 	err              error
 }
 
-func (f *failingBackend) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+func (f *failingBackend) PartialCounts(ctx context.Context, epoch Epoch, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
 	f.calls++
 	if f.calls > f.failAfter {
 		return nil, f.err
 	}
-	return f.LocalShard.PartialCounts(ctx, j, r, limit, exactBoundary)
+	return f.LocalShard.PartialCounts(ctx, epoch, j, r, limit, exactBoundary)
 }
 
 // TestShardedIndexBackendFailure: a backend failing mid-LStep-sweep must
@@ -213,11 +213,11 @@ type cancelOnCall struct {
 	cancel context.CancelFunc
 }
 
-func (c *cancelOnCall) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+func (c *cancelOnCall) PartialCounts(ctx context.Context, epoch Epoch, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
 	if c.n.Add(1) >= c.after {
 		c.cancel()
 	}
-	return c.ShardBackend.PartialCounts(ctx, j, r, limit, exactBoundary)
+	return c.ShardBackend.PartialCounts(ctx, epoch, j, r, limit, exactBoundary)
 }
 
 // TestLocalShardConfigValidation covers the malformed-config rejections a

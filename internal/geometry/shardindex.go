@@ -102,6 +102,16 @@ type ShardedIndex struct {
 	// across ALL shards — the exact global B_0 counts (per-shard duplicate
 	// tables cannot see cross-shard duplicates).
 	dupCount []int32
+
+	// epoch is the snapshot every backend call is pinned to: EpochFrozen
+	// for indexes built over a fixed point set, a concrete epoch for the
+	// per-epoch views a mutable index hands out (see MutableShardedIndex).
+	epoch Epoch
+	// sharedBackends marks the backends as owned by someone else (the
+	// mutable coordinator that minted this view): Close then leaves them
+	// alone, so closing a cached snapshot can never tear down the live
+	// connections every other epoch still queries.
+	sharedBackends bool
 }
 
 // NewShardedIndex builds a sharded index over a slice of vectors — a
@@ -291,7 +301,7 @@ func NewShardedIndexBackends(ctx context.Context, points *vec.Frame, opts Sharde
 		wg.Add(1)
 		go func(si int, be ShardBackend) {
 			defer wg.Done()
-			parts[si], errs[si] = be.DupCounts(dctx)
+			parts[si], errs[si] = be.DupCounts(dctx, EpochFrozen)
 			if errs[si] != nil {
 				cancel()
 			}
@@ -314,8 +324,12 @@ func NewShardedIndexBackends(ctx context.Context, points *vec.Frame, opts Sharde
 
 // Close releases the shard backends (network connections, for a remote
 // transport). Indexes from the local constructor hold no external
-// resources, so Close is then a no-op. Queries after Close fail.
+// resources, so Close is then a no-op, as it is for per-epoch views whose
+// backends belong to a mutable coordinator. Queries after Close fail.
 func (ix *ShardedIndex) Close() error {
+	if ix.sharedBackends {
+		return nil
+	}
 	var first error
 	for _, be := range ix.backends {
 		if be == nil {
@@ -517,7 +531,7 @@ func (ix *ShardedIndex) countAllBackends(ctx context.Context, j int, r float64, 
 		wg.Add(1)
 		go func(si int, be ShardBackend) {
 			defer wg.Done()
-			parts[si], errs[si] = be.PartialCounts(cctx, j, r, limit, exactBoundary)
+			parts[si], errs[si] = be.PartialCounts(cctx, ix.epoch, j, r, limit, exactBoundary)
 			if errs[si] != nil {
 				cancel() // tear down the sibling calls
 			}
@@ -527,7 +541,12 @@ func (ix *ShardedIndex) countAllBackends(ctx context.Context, j int, r float64, 
 	if err := firstRealError(ctx, errs); err != nil {
 		return nil, err
 	}
-	for _, p := range parts {
+	for si, p := range parts {
+		if len(p) != n {
+			// A backend answering for the wrong snapshot (or a hostile
+			// server) must never silently skew the sums.
+			return nil, fmt.Errorf("geometry: shard %d returned %d partial counts at epoch %d, want %d", si, len(p), ix.epoch, n)
+		}
 		for i, c := range p {
 			if s := out[i] + c; s < limit {
 				out[i] = s
@@ -562,17 +581,14 @@ func firstRealError(ctx context.Context, errs []error) error {
 }
 
 // countAll computes the capped within-r count of every indexed point by
-// summing per-shard member contributions at ladder level j. Each shard's
-// cell level uses exactly the cell side the unsharded index would (shared
-// ladder), so the per-(source cell, member cell) classification — and
-// therefore every per-point count — is bit-identical to the single-index
-// pass, accumulated shard by shard with saturation at limit.
-//
-// Source cells fan out over one worker pool shared by all shard pairs;
-// tasks partition each shard's source cells, and a point's count is
-// written only by the task owning its source cell, so the pass is
-// data-race free. A cancelled ctx aborts the pass with ctx.Err(): the
-// feeder stops, the workers drain, no goroutines leak.
+// summing per-shard member contributions at ladder level j, via the shared
+// crossCellCounts engine with the shards as both source and member groups.
+// Each shard's cell level uses exactly the cell side the unsharded index
+// would (shared ladder), so the per-(source cell, member cell)
+// classification — and therefore every per-point count — is bit-identical
+// to the single-index pass, accumulated shard by shard with saturation at
+// limit. A cancelled ctx aborts the pass with ctx.Err() and no leaked
+// goroutines (see crossCellCounts).
 func (ix *ShardedIndex) countAll(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
 	ctx = ctxOrBackground(ctx)
 	if ix.backends != nil {
@@ -580,87 +596,21 @@ func (ix *ShardedIndex) countAll(ctx context.Context, j int, r float64, limit in
 	}
 	n := ix.frame.N()
 	out := make([]int32, n)
-	if r < 0 || limit <= 0 {
-		return out, nil
-	}
-	// Materialize the shards' cell levels for j up front, in parallel —
-	// each shard's lazy level cache has its own lock, so pool workers
-	// below never serialize behind one another's builds.
-	levels := make([]*cellLevel, len(ix.shards))
-	var lwg sync.WaitGroup
-	for si, sh := range ix.shards {
-		lwg.Add(1)
-		go func(si int, sh *indexShard) {
-			defer lwg.Done()
-			levels[si] = sh.ix.level(j)
-		}(si, sh)
-	}
-	lwg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// A source cell's candidate block spans at most ⌈r/side⌉+1 cells per
-	// axis beyond its own coordinates (forCandidates pads by side/2 from
-	// the cell center); a member shard whose occupied-cell bounding box
-	// lies wholly outside that span cannot contribute and is skipped in
-	// O(d). With the Morton policy's spatially compact shards this prunes
-	// most of the S-fold candidate-enumeration overhead — a pure
-	// performance skip, since the pruned shards' passes would find no
-	// buckets anyway.
-	span := int64(math.Ceil(r/levels[0].side)) + 1
-
-	type task struct{ shard, lo, hi int }
-	const chunk = 64
-	tasks := make(chan task)
-	var wg sync.WaitGroup
-	for w := 0; w < ix.opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := newCellScratch(ix.dim)
-			for tk := range tasks {
-				if ctx.Err() != nil {
-					continue // drain the channel so the feeder never blocks
-				}
-				src := ix.shards[tk.shard]
-				srcLv := levels[tk.shard]
-				for bi := tk.lo; bi < tk.hi; bi++ {
-					srcB := &srcLv.buckets[bi]
-				members:
-					for mi, member := range ix.shards {
-						mlv := levels[mi]
-						for a, c := range srcB.coord {
-							if c+span < mlv.lo[a] || c-span > mlv.hi[a] {
-								continue members
-							}
-						}
-						member.ix.accumulateCellCounts(mlv, srcB, src.ix.frame, src.global, r, limit, exactBoundary, out, sc)
-					}
-				}
-			}
-		}()
-	}
-feed:
-	for si := range ix.shards {
-		nb := len(levels[si].buckets)
-		for lo := 0; lo < nb; lo += chunk {
-			if ctx.Err() != nil {
-				break feed
-			}
-			hi := lo + chunk
-			if hi > nb {
-				hi = nb
-			}
-			tasks <- task{si, lo, hi}
-		}
-	}
-	close(tasks)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
+	groups := ix.cellGroups()
+	if err := crossCellCounts(ctx, ix.opts.Workers, groups, groups, j, r, limit, exactBoundary, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// cellGroups exposes the local shards as cross-counting groups: each
+// shard's index with its local→global id mapping (see crossCellCounts).
+func (ix *ShardedIndex) cellGroups() []cellGroup {
+	groups := make([]cellGroup, len(ix.shards))
+	for si, sh := range ix.shards {
+		groups[si] = cellGroup{ix: sh.ix, gids: sh.global}
+	}
+	return groups
 }
 
 // CountWithin returns B_r(x_i) exactly: the sum of exact per-shard counts.
@@ -675,7 +625,7 @@ func (ix *ShardedIndex) CountWithin(i int, r float64) int {
 		center := []vec.Vector{ix.frame.RowView(i, nil)}
 		total := 0
 		for _, be := range ix.backends {
-			c, err := be.CountBatch(context.Background(), center, r)
+			c, err := be.CountBatch(context.Background(), ix.epoch, center, r)
 			if err != nil {
 				return -1
 			}

@@ -37,6 +37,15 @@ type Options struct {
 	// handshake before serving. The member-id assignment still travels,
 	// so the partition policy stays client-controlled.
 	OmitPoints bool
+	// Mutable opens an epoch/mutation session: the server builds a
+	// MutableLocalShard and the client implements
+	// geometry.MutableShardBackend. Mutable sessions never reconnect — the
+	// session's epochs live in the server connection, and a silent
+	// re-handshake would resurrect an empty-delta shard that answers
+	// wrongly — so a broken connection fails the backend permanently (the
+	// coordinator marks its index broken). It also makes the non-idempotent
+	// mutations unrepeatable, which is exactly right.
+	Mutable bool
 }
 
 func (o Options) withDefaults() Options {
@@ -60,10 +69,13 @@ func (o Options) withDefaults() Options {
 
 // RemoteShard is the client side of one shard: it implements
 // geometry.ShardBackend by speaking the wire protocol to a shard server.
-// Each bulk query is one batched round trip. A broken connection is
-// closed, re-dialed and re-handshaken transparently within the retry
-// budget (every request is a pure read of immutable shard state, so
-// retries are safe); failures surface as *Error with a Kind.
+// Each bulk query is one batched round trip. On an immutable session a
+// broken connection is closed, re-dialed and re-handshaken transparently
+// within the retry budget (every request is a pure read of immutable
+// shard state, so retries are safe); failures surface as *Error with a
+// Kind. A mutable session (Options.Mutable) is never reconnected and
+// never retried: its epochs live in the server connection, and a silent
+// re-handshake would resurrect an empty-delta shard.
 //
 // Context handling: a deadline on the call's ctx is installed as the
 // connection deadline for the round trip, and cancellation fires a
@@ -80,11 +92,12 @@ type RemoteShard struct {
 	opts Options
 	dim  int
 
-	mu     sync.Mutex
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	closed bool
+	mu         sync.Mutex
+	conn       net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	closed     bool
+	handshaken bool // a session was established at least once
 }
 
 // DialShard connects to addr and performs the handshake, returning a
@@ -119,6 +132,19 @@ func ShardDialer(addrs []string, opts Options) geometry.ShardDialer {
 	}
 }
 
+// MutableShardDialer is ShardDialer's epoch-session counterpart: it forces
+// Options.Mutable and satisfies geometry.MutableShardDialer, so
+// geometry.NewMutableShardedIndexBackends can coordinate streaming
+// ingestion over remote shard servers.
+func MutableShardDialer(addrs []string, opts Options) geometry.MutableShardDialer {
+	opts.Mutable = true
+	return func(ctx context.Context, shard int, cfg geometry.ShardConfig) (geometry.MutableShardBackend, error) {
+		return DialShard(ctx, addrs[shard%len(addrs)], cfg, opts)
+	}
+}
+
+var _ geometry.MutableShardBackend = (*RemoteShard)(nil)
+
 // NPoints returns the number of points the shard holds.
 func (c *RemoteShard) NPoints() int { return len(c.cfg.Members) }
 
@@ -133,11 +159,23 @@ func (c *RemoteShard) Close() error {
 // Addr returns the shard server address (diagnostic).
 func (c *RemoteShard) Addr() string { return c.addr }
 
+// countsWant returns the strict slot count expected of a bulk response at
+// the given epoch: the frozen snapshot's row count is the config's, while
+// a pinned epoch's is known only shard-side (the geometry coordinator
+// validates it against the pinned view).
+func (c *RemoteShard) countsWant(epoch geometry.Epoch) int {
+	if epoch == geometry.EpochFrozen {
+		return c.cfg.Points.N()
+	}
+	return -1
+}
+
 // PartialCounts runs one capped bulk-count pass on the server: a single
 // round trip whose response carries the shard's contribution around every
-// global point.
-func (c *RemoteShard) PartialCounts(ctx context.Context, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
-	w := &wbuf{b: make([]byte, 0, 17)}
+// global point of the pinned epoch.
+func (c *RemoteShard) PartialCounts(ctx context.Context, epoch geometry.Epoch, j int, r float64, limit int32, exactBoundary bool) ([]int32, error) {
+	w := &wbuf{b: make([]byte, 0, 25)}
+	w.b = binary.BigEndian.AppendUint64(w.b, epoch)
 	w.i32(int32(j))
 	w.f64(r)
 	w.i32(limit)
@@ -146,21 +184,22 @@ func (c *RemoteShard) PartialCounts(ctx context.Context, j int, r float64, limit
 	} else {
 		w.u8(0)
 	}
-	payload, err := c.call(ctx, "partials", msgPartials, w.b)
+	payload, err := c.call(ctx, "partials", msgPartials, w.b, msgCounts)
 	if err != nil {
 		return nil, err
 	}
-	counts, err := decodeCounts(payload, c.cfg.Points.N())
+	counts, err := decodeCounts(payload, c.countsWant(epoch))
 	if err != nil {
 		return nil, &Error{Op: "partials", Addr: c.addr, Kind: KindProtocol, Err: err}
 	}
 	return counts, nil
 }
 
-// CountBatch returns the exact number of shard points within r of each
-// center — one round trip for the whole batch.
-func (c *RemoteShard) CountBatch(ctx context.Context, centers []vec.Vector, r float64) ([]int32, error) {
-	w := &wbuf{b: make([]byte, 0, 12+8*len(centers)*c.dim)}
+// CountBatch returns the exact number of epoch-pinned shard points within
+// r of each center — one round trip for the whole batch.
+func (c *RemoteShard) CountBatch(ctx context.Context, epoch geometry.Epoch, centers []vec.Vector, r float64) ([]int32, error) {
+	w := &wbuf{b: make([]byte, 0, 20+8*len(centers)*c.dim)}
+	w.b = binary.BigEndian.AppendUint64(w.b, epoch)
 	w.f64(r)
 	w.u32(uint32(len(centers)))
 	for i, p := range centers {
@@ -170,7 +209,7 @@ func (c *RemoteShard) CountBatch(ctx context.Context, centers []vec.Vector, r fl
 		}
 	}
 	w.vectors(centers)
-	payload, err := c.call(ctx, "countbatch", msgCountBatch, w.b)
+	payload, err := c.call(ctx, "countbatch", msgCountBatch, w.b, msgCounts)
 	if err != nil {
 		return nil, err
 	}
@@ -181,21 +220,132 @@ func (c *RemoteShard) CountBatch(ctx context.Context, centers []vec.Vector, r fl
 	return counts, nil
 }
 
-// DupCounts fetches the shard's duplicate-table contribution.
-func (c *RemoteShard) DupCounts(ctx context.Context) ([]int32, error) {
-	payload, err := c.call(ctx, "dupcounts", msgDupCounts, nil)
+// DupCounts fetches the shard's duplicate-table contribution at the
+// pinned epoch.
+func (c *RemoteShard) DupCounts(ctx context.Context, epoch geometry.Epoch) ([]int32, error) {
+	w := &wbuf{b: make([]byte, 0, 8)}
+	w.b = binary.BigEndian.AppendUint64(w.b, epoch)
+	payload, err := c.call(ctx, "dupcounts", msgDupCounts, w.b, msgCounts)
 	if err != nil {
 		return nil, err
 	}
-	counts, err := decodeCounts(payload, c.cfg.Points.N())
+	counts, err := decodeCounts(payload, c.countsWant(epoch))
 	if err != nil {
 		return nil, &Error{Op: "dupcounts", Addr: c.addr, Kind: KindProtocol, Err: err}
 	}
 	return counts, nil
 }
 
+// errNotMutable rejects mutation calls on an immutable session client-side
+// (the server would also refuse, fatally).
+func (c *RemoteShard) errNotMutable(op string) error {
+	return &Error{Op: op, Addr: c.addr, Kind: KindRemote,
+		Err: errors.New("mutation on an immutable shard session (dial with Options.Mutable)")}
+}
+
+// epochResponse decodes the msgEpoch payload of a mutation round trip.
+func (c *RemoteShard) epochResponse(op string, payload []byte) (geometry.Epoch, error) {
+	epoch, _, err := decodeEpoch(payload)
+	if err != nil {
+		return 0, &Error{Op: op, Addr: c.addr, Kind: KindProtocol, Err: err}
+	}
+	return epoch, nil
+}
+
+// Append lands one epoch-advancing append batch on the shard session (see
+// geometry.MutableShardBackend). Never retried: a mutation is not
+// idempotent, so any transport failure poisons the session instead.
+func (c *RemoteShard) Append(ctx context.Context, rows *vec.Frame, memberLocal []int32, ids []uint64) (geometry.Epoch, error) {
+	if !c.opts.Mutable {
+		return 0, c.errNotMutable("append")
+	}
+	if rows == nil || rows.N() == 0 || len(ids) != rows.N() {
+		return 0, &Error{Op: "append", Addr: c.addr, Kind: KindRemote,
+			Err: fmt.Errorf("append of %d rows with %d ids", rowCount(rows), len(ids))}
+	}
+	if rows.Dim() != c.dim {
+		return 0, &Error{Op: "append", Addr: c.addr, Kind: KindRemote,
+			Err: fmt.Errorf("append of dimension %d, want %d", rows.Dim(), c.dim)}
+	}
+	w := &wbuf{b: make([]byte, 0, 10+8*rows.N()*(c.dim+1)+4+4*len(memberLocal))}
+	w.u32(uint32(rows.N()))
+	w.u16(uint16(c.dim))
+	w.frame(rows)
+	for _, id := range ids {
+		w.b = binary.BigEndian.AppendUint64(w.b, id)
+	}
+	w.u32(uint32(len(memberLocal)))
+	for _, li := range memberLocal {
+		w.i32(li)
+	}
+	payload, err := c.call(ctx, "append", msgAppend, w.b, msgEpoch)
+	if err != nil {
+		return 0, err
+	}
+	return c.epochResponse("append", payload)
+}
+
+// Delete lands one epoch-advancing delete batch on the shard session.
+// Never retried, like Append.
+func (c *RemoteShard) Delete(ctx context.Context, ids []uint64) (geometry.Epoch, error) {
+	if !c.opts.Mutable {
+		return 0, c.errNotMutable("delete")
+	}
+	if len(ids) == 0 {
+		return 0, &Error{Op: "delete", Addr: c.addr, Kind: KindRemote,
+			Err: errors.New("delete of no rows")}
+	}
+	w := &wbuf{b: make([]byte, 0, 4+8*len(ids))}
+	w.u32(uint32(len(ids)))
+	for _, id := range ids {
+		w.b = binary.BigEndian.AppendUint64(w.b, id)
+	}
+	payload, err := c.call(ctx, "delete", msgDelete, w.b, msgEpoch)
+	if err != nil {
+		return 0, err
+	}
+	return c.epochResponse("delete", payload)
+}
+
+// CurrentEpoch asks the session for its epoch.
+func (c *RemoteShard) CurrentEpoch(ctx context.Context) (geometry.Epoch, error) {
+	if !c.opts.Mutable {
+		return 0, c.errNotMutable("epoch")
+	}
+	payload, err := c.call(ctx, "epoch", msgEpochGet, nil, msgEpoch)
+	if err != nil {
+		return 0, err
+	}
+	return c.epochResponse("epoch", payload)
+}
+
+// Merge folds the session shard's append deltas into its base, server
+// side.
+func (c *RemoteShard) Merge(ctx context.Context) error {
+	if !c.opts.Mutable {
+		return c.errNotMutable("merge")
+	}
+	payload, err := c.call(ctx, "merge", msgMerge, nil, msgEpoch)
+	if err != nil {
+		return err
+	}
+	_, err = c.epochResponse("merge", payload)
+	return err
+}
+
+// rowCount is a nil-safe frame row count for error messages.
+func rowCount(f *vec.Frame) int {
+	if f == nil {
+		return 0
+	}
+	return f.N()
+}
+
 // call performs one request/response round trip with reconnect-and-retry.
-func (c *RemoteShard) call(ctx context.Context, op string, reqType byte, req []byte) ([]byte, error) {
+// Mutable sessions get zero retries: re-sending a mutation could apply it
+// twice, and re-sending a query after a reconnect would run it against a
+// freshly recreated session that lost every epoch.
+func (c *RemoteShard) call(ctx context.Context, op string, reqType byte, req []byte, wantResp byte) ([]byte, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -204,8 +354,12 @@ func (c *RemoteShard) call(ctx context.Context, op string, reqType byte, req []b
 	if c.closed {
 		return nil, &Error{Op: op, Addr: c.addr, Kind: KindClosed, Err: ErrClosed}
 	}
+	retries := c.opts.Retries
+	if c.opts.Mutable {
+		retries = 0
+	}
 	var last error
-	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, &Error{Op: op, Addr: c.addr, Kind: KindCanceled, Err: err}
 		}
@@ -217,7 +371,7 @@ func (c *RemoteShard) call(ctx context.Context, op string, reqType byte, req []b
 			last = err
 			continue
 		}
-		payload, err := c.roundTripLocked(ctx, op, reqType, req)
+		payload, err := c.roundTripLocked(ctx, op, reqType, req, wantResp)
 		if err == nil {
 			return payload, nil
 		}
@@ -244,7 +398,7 @@ func (c *RemoteShard) call(ctx context.Context, op string, reqType byte, req []b
 // roundTripLocked writes one request frame and reads its response on the
 // live connection, propagating the ctx deadline onto the connection and
 // arming an AfterFunc so cancellation interrupts the blocking I/O.
-func (c *RemoteShard) roundTripLocked(ctx context.Context, op string, reqType byte, req []byte) ([]byte, error) {
+func (c *RemoteShard) roundTripLocked(ctx context.Context, op string, reqType byte, req []byte, wantResp byte) ([]byte, error) {
 	conn := c.conn
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
@@ -266,13 +420,13 @@ func (c *RemoteShard) roundTripLocked(ctx context.Context, op string, reqType by
 	}
 	conn.SetDeadline(time.Time{})
 	switch typ {
-	case msgCounts:
+	case wantResp:
 		return payload, nil
 	case msgError:
 		return nil, c.remoteError(op, payload)
 	default:
 		return nil, &Error{Op: op, Addr: c.addr, Kind: KindProtocol,
-			Err: fmt.Errorf("unexpected message type %d", typ)}
+			Err: fmt.Errorf("unexpected message type %d, want %d", typ, wantResp)}
 	}
 }
 
@@ -300,10 +454,17 @@ func (c *RemoteShard) remoteError(op string, payload []byte) error {
 	return &Error{Op: op, Addr: c.addr, Kind: KindRemote, Err: errors.New(msg)}
 }
 
-// ensureConnLocked dials and handshakes if no live connection exists.
+// ensureConnLocked dials and handshakes if no live connection exists. A
+// mutable session refuses to reconnect once its first connection is gone:
+// the session state (epochs, deltas) died with it, and a fresh handshake
+// would silently recreate an empty-delta shard that answers wrongly.
 func (c *RemoteShard) ensureConnLocked(ctx context.Context) error {
 	if c.conn != nil {
 		return nil
+	}
+	if c.opts.Mutable && c.handshaken {
+		return &Error{Op: "dial", Addr: c.addr, Kind: KindIO,
+			Err: errors.New("mutable shard session lost (connection broken; epochs are not resumable)")}
 	}
 	dctx := ctx
 	if _, ok := ctx.Deadline(); !ok {
@@ -325,6 +486,7 @@ func (c *RemoteShard) ensureConnLocked(ctx context.Context) error {
 		c.resetConnLocked()
 		return err
 	}
+	c.handshaken = true
 	return nil
 }
 
@@ -368,6 +530,11 @@ func (c *RemoteShard) handshakeLocked(ctx context.Context) error {
 	open.f64(c.cfg.Cell.MaxRadius)
 	open.u32(uint32(c.cfg.Cell.LevelsPerOctave))
 	open.u32(uint32(c.cfg.Cell.CellsPerRadius))
+	if c.opts.Mutable {
+		open.u8(1)
+	} else {
+		open.u8(0)
+	}
 	if c.opts.OmitPoints {
 		open.u8(0)
 	} else {

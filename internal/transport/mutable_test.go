@@ -1,0 +1,246 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/vec"
+)
+
+// assertSnapshotMatches compares a pinned snapshot against a fresh
+// CellIndex over the same rows on a representative query battery: counts,
+// max counts, L-values, the 2-approximation, and the full step function —
+// the wire-level restatement of the epoch contract: a pinned snapshot is
+// bit-identical to Open on that epoch's point set.
+func assertSnapshotMatches(t *testing.T, tag string, got geometry.BallIndex, ref *geometry.CellIndex, minR float64) {
+	t.Helper()
+	n := ref.N()
+	if got.N() != n {
+		t.Fatalf("%s: N = %d, want %d", tag, got.N(), n)
+	}
+	tt := n / 3
+	if tt < 1 {
+		tt = 1
+	}
+	for _, r := range []float64{-1, 0, minR / 2, 0.01, 0.05, 0.3, 2} {
+		for _, i := range []int{0, n / 2, n - 1} {
+			if g, w := got.CountWithin(i, r), ref.CountWithin(i, r); g != w {
+				t.Fatalf("%s: CountWithin(%d, %v) = %d, want %d", tag, i, r, g, w)
+			}
+		}
+		if g, w := got.MaxCountWithin(r), ref.MaxCountWithin(r); g != w {
+			t.Fatalf("%s: MaxCountWithin(%v) = %d, want %d", tag, r, g, w)
+		}
+		gl, err1 := got.LValue(r, tt)
+		wl, err2 := ref.LValue(r, tt)
+		if (err1 == nil) != (err2 == nil) || gl != wl {
+			t.Fatalf("%s: LValue(%v) = %v (%v), want %v (%v)", tag, r, gl, err1, wl, err2)
+		}
+	}
+	gi, gr, err1 := got.TwoApprox(tt)
+	wi, wr, err2 := ref.TwoApprox(tt)
+	if gi != wi || gr != wr || (err1 == nil) != (err2 == nil) {
+		t.Fatalf("%s: TwoApprox(%d) = (%d, %v, %v), want (%d, %v, %v)", tag, tt, gi, gr, err1, wi, wr, err2)
+	}
+	step, err := got.BuildLStep(context.Background(), tt)
+	if err != nil {
+		t.Fatalf("%s: BuildLStep: %v", tag, err)
+	}
+	refStep, err := ref.BuildLStep(context.Background(), tt)
+	if err != nil {
+		t.Fatalf("%s: ref BuildLStep: %v", tag, err)
+	}
+	if len(step.Breaks) != len(refStep.Breaks) {
+		t.Fatalf("%s: %d breaks, want %d", tag, len(step.Breaks), len(refStep.Breaks))
+	}
+	for k := range step.Breaks {
+		if step.Breaks[k] != refStep.Breaks[k] || step.Vals[k] != refStep.Vals[k] {
+			t.Fatalf("%s: step[%d] = (%v, %v), want (%v, %v)",
+				tag, k, step.Breaks[k], step.Vals[k], refStep.Breaks[k], refStep.Vals[k])
+		}
+	}
+}
+
+// TestMutableRemoteMatchesFresh: a MutableShardedIndex over remote epoch
+// sessions answers every snapshot bit-identically to a fresh CellIndex on
+// exactly that epoch's point set — through appends, merges, and deletes.
+func TestMutableRemoteMatchesFresh(t *testing.T) {
+	ctx := context.Background()
+	pts := testPoints(t, 11, 400, 2)
+	opts := testCellOptions(2)
+	n0 := 300
+	addrs, copts := startServers(t, 2, ServerOptions{})
+
+	m, err := geometry.NewMutableShardedIndexBackends(ctx, frameOf(t, pts[:n0]), geometry.ShardedIndexOptions{
+		Shards: 2, Policy: geometry.ShardMorton, Cell: opts,
+	}, MutableShardDialer(addrs, copts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	freshAt := func(rows []vec.Vector) *geometry.CellIndex {
+		ref, err := geometry.NewCellIndex(rows, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ref
+	}
+
+	snap := func(e geometry.Epoch) geometry.BallIndex {
+		ix, err := m.Snapshot(ctx, e)
+		if err != nil {
+			t.Fatalf("Snapshot(%d): %v", e, err)
+		}
+		return ix
+	}
+
+	e1 := m.Epoch()
+	assertSnapshotMatches(t, "epoch1", snap(e1), freshAt(pts[:n0]), opts.MinRadius)
+
+	// Two append batches, checked at each resulting epoch.
+	cut := n0 + 60
+	ids1, e2, err := m.Append(ctx, frameOf(t, pts[n0:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids1) != cut-n0 || e2 != e1+1 {
+		t.Fatalf("append 1: %d ids, epoch %d", len(ids1), e2)
+	}
+	assertSnapshotMatches(t, "epoch2", snap(e2), freshAt(pts[:cut]), opts.MinRadius)
+
+	_, e3, err := m.Append(ctx, frameOf(t, pts[cut:]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotMatches(t, "epoch3", snap(e3), freshAt(pts), opts.MinRadius)
+	// The older pin still answers for its own epoch.
+	assertSnapshotMatches(t, "epoch2-after-3", snap(e2), freshAt(pts[:cut]), opts.MinRadius)
+
+	// Merge folds the deltas into the base without changing any answer.
+	if err := m.Merge(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotMatches(t, "epoch3-merged", snap(e3), freshAt(pts), opts.MinRadius)
+
+	// Delete a mix of base and appended rows; survivors keep input order.
+	del := []uint64{3, 7, uint64(n0) + 5, uint64(cut) + 1}
+	gone := make(map[uint64]bool, len(del))
+	for _, id := range del {
+		gone[id] = true
+	}
+	e4, err := m.Delete(ctx, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4 != e3+1 {
+		t.Fatalf("delete advanced to %d, want %d", e4, e3+1)
+	}
+	var surv []vec.Vector
+	for i, p := range pts {
+		if !gone[uint64(i)] {
+			surv = append(surv, p)
+		}
+	}
+	assertSnapshotMatches(t, "epoch4-deleted", snap(e4), freshAt(surv), opts.MinRadius)
+}
+
+// TestMutableSessionGuards: mutation calls on an immutable session are
+// refused client-side, a frozen-epoch query on a mutable session is
+// refused by the server, and a broken mutable session is never silently
+// reconnected.
+func TestMutableSessionGuards(t *testing.T) {
+	pts := testPoints(t, 5, 120, 2)
+	members := make([]int32, len(pts))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	cfg := geometry.ShardConfig{Points: frameOf(t, pts), Members: members, Cell: testCellOptions(2)}
+
+	addrs, copts := startServers(t, 1, ServerOptions{})
+
+	// Immutable session: mutations are refused before touching the wire.
+	rs, err := DialShard(context.Background(), addrs[0], cfg, copts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if _, err := rs.Append(context.Background(), frameOf(t, pts[:1]), nil, []uint64{999}); err == nil ||
+		!strings.Contains(err.Error(), "immutable") {
+		t.Fatalf("Append on immutable session: %v, want immutable-session error", err)
+	}
+	if _, err := rs.Delete(context.Background(), []uint64{0}); err == nil {
+		t.Fatal("Delete on immutable session succeeded")
+	}
+	if _, err := rs.CurrentEpoch(context.Background()); err == nil {
+		t.Fatal("CurrentEpoch on immutable session succeeded")
+	}
+	if err := rs.Merge(context.Background()); err == nil {
+		t.Fatal("Merge on immutable session succeeded")
+	}
+
+	// Mutable session: epoch 0 queries are a protocol misuse the server
+	// rejects without dropping the session.
+	mcopts := copts
+	mcopts.Mutable = true
+	ms, err := DialShard(context.Background(), addrs[0], cfg, mcopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	if _, err := ms.DupCounts(context.Background(), geometry.EpochFrozen); err == nil {
+		t.Fatal("frozen-epoch DupCounts on mutable session succeeded")
+	}
+	e, err := ms.CurrentEpoch(context.Background())
+	if err != nil || e != 1 {
+		t.Fatalf("CurrentEpoch after bad request = %d, %v; want 1", e, err)
+	}
+}
+
+// TestMutableSessionNotResumed: once a mutable session's connection dies,
+// every further call fails — the client must not re-dial and silently
+// recreate an empty-delta session.
+func TestMutableSessionNotResumed(t *testing.T) {
+	pts := testPoints(t, 9, 100, 2)
+	members := make([]int32, len(pts))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	cfg := geometry.ShardConfig{Points: frameOf(t, pts), Members: members, Cell: testCellOptions(2)}
+
+	ln := NewLoopbackNet()
+	l, err := ln.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(ServerOptions{})
+	go srv.Serve(l)
+
+	opts := Options{Dial: ln.Dial, Mutable: true, Retries: 3}
+	rs, err := DialShard(context.Background(), "srv", cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if _, err := rs.CurrentEpoch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close() // slams every connection
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := rs.CurrentEpoch(ctx); err == nil {
+		t.Fatal("call on a dead mutable session succeeded")
+	}
+	// The second call must hit the session-lost guard, not a re-dial.
+	var te *Error
+	_, err = rs.CurrentEpoch(ctx)
+	if !errors.As(err, &te) || te.Kind != KindIO || !strings.Contains(err.Error(), "session lost") {
+		t.Fatalf("after session death: %v, want io session-lost error", err)
+	}
+}

@@ -31,11 +31,12 @@ type ServerOptions struct {
 }
 
 // Server hosts shards behind the wire protocol. Each connection carries
-// one shard session: the OPEN handshake builds a geometry.LocalShard for
-// the requested member set, and subsequent requests are answered from it.
-// One server process therefore hosts as many shards as clients open
-// against it — a ShardedIndex with S remote shards may point all S
-// backends at one address or spread them over a fleet.
+// one shard session: the OPEN handshake builds a geometry.LocalShard (or,
+// for mutable sessions, a geometry.MutableLocalShard) for the requested
+// member set, and subsequent requests are answered from it. One server
+// process therefore hosts as many shards as clients open against it — a
+// ShardedIndex with S remote shards may point all S backends at one
+// address or spread them over a fleet.
 //
 // Shutdown is graceful: the listeners close first (no new sessions), idle
 // connections are torn down, in-flight requests run to completion until
@@ -177,19 +178,26 @@ func (s *Server) Close() error {
 }
 
 // serverConn is one connection: handshake state plus the shard session it
-// opened.
+// opened — exactly one of shard (immutable) or mshard (mutable) after a
+// successful OPEN. A mutable session's state lives and dies with the
+// connection: there is no session resumption, which is also why the client
+// never auto-reconnects a mutable backend.
 type serverConn struct {
 	srv  *Server
 	conn net.Conn
 	busy atomic.Bool // a request is being served (graceful-shutdown hint)
 
-	shard *geometry.LocalShard
-	n     int // global point count of the session
+	shard  *geometry.LocalShard
+	mshard *geometry.MutableLocalShard
+	n      int // global point count of the session (at open, for mutable)
 }
 
 func (sc *serverConn) serve() {
 	defer func() {
 		sc.conn.Close()
+		if sc.mshard != nil {
+			sc.mshard.Close()
+		}
 		sc.srv.mu.Lock()
 		delete(sc.srv.conns, sc)
 		sc.srv.mu.Unlock()
@@ -251,6 +259,14 @@ func (sc *serverConn) handle(typ byte, payload []byte) (byte, []byte, *wireError
 		return sc.handleCountBatch(payload)
 	case msgDupCounts:
 		return sc.handleDupCounts(payload)
+	case msgAppend:
+		return sc.handleAppend(payload)
+	case msgDelete:
+		return sc.handleDelete(payload)
+	case msgEpochGet:
+		return sc.handleEpochGet(payload)
+	case msgMerge:
+		return sc.handleMerge(payload)
 	default:
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true,
 			msg: fmt.Sprintf("unknown message type %d", typ)}
@@ -281,6 +297,7 @@ func (sc *serverConn) handleOpen(payload []byte) (byte, []byte, *wireError) {
 	cell.LevelsPerOctave = int(r.u32())
 	cell.CellsPerRadius = int(r.u32())
 	cell.Workers = sc.srv.opts.Workers
+	mutable := r.u8() == 1
 	hasPoints := r.u8() == 1
 	n := int(r.u32())
 	dim := int(r.u16())
@@ -322,11 +339,20 @@ func (sc *serverConn) handleOpen(payload []byte) (byte, []byte, *wireError) {
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed open frame"}
 	}
-	shard, err := geometry.NewLocalShard(geometry.ShardConfig{Points: points, Members: members, Cell: cell})
-	if err != nil {
-		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: err.Error()}
+	cfg := geometry.ShardConfig{Points: points, Members: members, Cell: cell}
+	if mutable {
+		mshard, err := geometry.NewMutableLocalShard(cfg)
+		if err != nil {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: err.Error()}
+		}
+		sc.mshard = mshard
+	} else {
+		shard, err := geometry.NewLocalShard(cfg)
+		if err != nil {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: err.Error()}
+		}
+		sc.shard = shard
 	}
-	sc.shard = shard
 	sc.n = n
 	w := &wbuf{}
 	w.u32(uint32(m))
@@ -334,11 +360,28 @@ func (sc *serverConn) handleOpen(payload []byte) (byte, []byte, *wireError) {
 	return msgOpenOK, w.b, nil
 }
 
+// backend returns the session's query backend (immutable or mutable), or
+// nil before a successful OPEN. The epoch discipline is enforced by the
+// geometry layer: an immutable shard rejects any non-zero epoch, a mutable
+// one rejects the frozen epoch, so a client speaking the wrong epoch
+// grammar gets a typed remote error either way.
+func (sc *serverConn) backend() geometry.ShardBackend {
+	if sc.mshard != nil {
+		return sc.mshard
+	}
+	if sc.shard != nil {
+		return sc.shard
+	}
+	return nil
+}
+
 func (sc *serverConn) handlePartials(payload []byte) (byte, []byte, *wireError) {
-	if sc.shard == nil {
+	be := sc.backend()
+	if be == nil {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
 	}
 	r := &rbuf{b: payload}
+	epoch := r.u64()
 	j := int(r.i32())
 	radius := r.f64()
 	limit := r.i32()
@@ -346,7 +389,7 @@ func (sc *serverConn) handlePartials(payload []byte) (byte, []byte, *wireError) 
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed partials frame"}
 	}
-	counts, err := sc.shard.PartialCounts(sc.srv.ctx, j, radius, limit, exact)
+	counts, err := be.PartialCounts(sc.srv.ctx, epoch, j, radius, limit, exact)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
@@ -354,10 +397,12 @@ func (sc *serverConn) handlePartials(payload []byte) (byte, []byte, *wireError) 
 }
 
 func (sc *serverConn) handleCountBatch(payload []byte) (byte, []byte, *wireError) {
-	if sc.shard == nil {
+	be := sc.backend()
+	if be == nil {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
 	}
 	r := &rbuf{b: payload}
+	epoch := r.u64()
 	radius := r.f64()
 	k := int(r.u32())
 	if r.err != nil || k < 0 {
@@ -375,7 +420,7 @@ func (sc *serverConn) handleCountBatch(payload []byte) (byte, []byte, *wireError
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed countbatch frame"}
 	}
-	counts, err := sc.shard.CountBatch(sc.srv.ctx, centers, radius)
+	counts, err := be.CountBatch(sc.srv.ctx, epoch, centers, radius)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
@@ -383,17 +428,122 @@ func (sc *serverConn) handleCountBatch(payload []byte) (byte, []byte, *wireError
 }
 
 func (sc *serverConn) handleDupCounts(payload []byte) (byte, []byte, *wireError) {
-	if sc.shard == nil {
+	be := sc.backend()
+	if be == nil {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
 	}
-	if len(payload) != 0 {
+	r := &rbuf{b: payload}
+	epoch := r.u64()
+	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed dupcounts frame"}
 	}
-	counts, err := sc.shard.DupCounts(sc.srv.ctx)
+	counts, err := be.DupCounts(sc.srv.ctx, epoch)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
 	return msgCounts, encodeCounts(counts), nil
+}
+
+// mutableSession gates the mutation handlers: mutating an immutable
+// session is an out-of-contract request, fatal to the connection.
+func (sc *serverConn) mutableSession() *wireError {
+	if sc.shard == nil && sc.mshard == nil {
+		return &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
+	}
+	if sc.mshard == nil {
+		return &wireError{code: codeBadRequest, fatal: true, msg: "mutation on an immutable session"}
+	}
+	return nil
+}
+
+func (sc *serverConn) handleAppend(payload []byte) (byte, []byte, *wireError) {
+	if werr := sc.mutableSession(); werr != nil {
+		return 0, nil, werr
+	}
+	r := &rbuf{b: payload}
+	k := int(r.u32())
+	dim := int(r.u16())
+	if r.err != nil || k <= 0 || dim <= 0 {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed append frame"}
+	}
+	rows := r.frame(k, dim)
+	ids := make([]uint64, k)
+	for i := range ids {
+		ids[i] = r.u64()
+	}
+	mcount := int(r.u32())
+	if r.err != nil || mcount < 0 || mcount > k {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed append frame"}
+	}
+	memberLocal := make([]int32, mcount)
+	for i := range memberLocal {
+		memberLocal[i] = r.i32()
+	}
+	if r.err != nil || r.off != len(payload) {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed append frame"}
+	}
+	epoch, err := sc.mshard.Append(sc.srv.ctx, rows, memberLocal, ids)
+	if err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	return msgEpoch, encodeEpoch(epoch, sc.mshard.NPoints()), nil
+}
+
+func (sc *serverConn) handleDelete(payload []byte) (byte, []byte, *wireError) {
+	if werr := sc.mutableSession(); werr != nil {
+		return 0, nil, werr
+	}
+	r := &rbuf{b: payload}
+	k := int(r.u32())
+	if r.err != nil || k <= 0 || 8*k > len(payload)-r.off {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed delete frame"}
+	}
+	ids := make([]uint64, k)
+	for i := range ids {
+		ids[i] = r.u64()
+	}
+	if r.err != nil || r.off != len(payload) {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed delete frame"}
+	}
+	epoch, err := sc.mshard.Delete(sc.srv.ctx, ids)
+	if err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	return msgEpoch, encodeEpoch(epoch, sc.mshard.NPoints()), nil
+}
+
+func (sc *serverConn) handleEpochGet(payload []byte) (byte, []byte, *wireError) {
+	if werr := sc.mutableSession(); werr != nil {
+		return 0, nil, werr
+	}
+	if len(payload) != 0 {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed epoch frame"}
+	}
+	epoch, err := sc.mshard.CurrentEpoch(sc.srv.ctx)
+	if err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	return msgEpoch, encodeEpoch(epoch, sc.mshard.NPoints()), nil
+}
+
+// handleMerge folds the session shard's append deltas under the server
+// context, so a shutdown cancels an in-flight merge rather than waiting
+// out an index rebuild.
+func (sc *serverConn) handleMerge(payload []byte) (byte, []byte, *wireError) {
+	if werr := sc.mutableSession(); werr != nil {
+		return 0, nil, werr
+	}
+	if len(payload) != 0 {
+		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed merge frame"}
+	}
+	if err := sc.mshard.Merge(sc.srv.ctx); err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	epoch, err := sc.mshard.CurrentEpoch(sc.srv.ctx)
+	if err != nil {
+		return 0, nil, sc.computeError(err)
+	}
+	return msgEpoch, encodeEpoch(epoch, sc.mshard.NPoints()), nil
 }
 
 // computeError maps a shard-side failure to a wire error. A cancelled

@@ -242,6 +242,7 @@ func scriptedShard(t *testing.T, l net.Listener, reqs int) {
 		r.f64()
 		r.u32()
 		r.u32()
+		r.u8() // mutable flag
 		hasPoints := r.u8() == 1
 		n := int(r.u32())
 		dim := int(r.u16())
@@ -355,7 +356,7 @@ func TestRetryReconnects(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rs.Close()
-	want, err := rs.DupCounts(context.Background())
+	want, err := rs.DupCounts(context.Background(), geometry.EpochFrozen)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +366,7 @@ func TestRetryReconnects(t *testing.T) {
 	rs.mu.Lock()
 	rs.conn.Close()
 	rs.mu.Unlock()
-	got, err := rs.DupCounts(context.Background())
+	got, err := rs.DupCounts(context.Background(), geometry.EpochFrozen)
 	if err != nil {
 		t.Fatalf("call after severed conn: %v", err)
 	}
@@ -414,6 +415,7 @@ func TestCancellationTearsDownInFlight(t *testing.T) {
 		r.f64()
 		r.u32()
 		r.u32()
+		r.u8() // mutable flag
 		hasPoints := r.u8() == 1
 		n := int(r.u32())
 		dim := int(r.u16())
@@ -449,7 +451,7 @@ func TestCancellationTearsDownInFlight(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err = rs.DupCounts(ctx)
+	_, err = rs.DupCounts(ctx, geometry.EpochFrozen)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled call: err = %v, want context.Canceled in the chain", err)
 	}
@@ -576,7 +578,7 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer rs.Close()
-	if _, err := rs.DupCounts(context.Background()); err != nil {
+	if _, err := rs.DupCounts(context.Background(), geometry.EpochFrozen); err != nil {
 		t.Fatal(err)
 	}
 
@@ -588,7 +590,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err := <-serveDone; !errors.Is(err, ErrClosed) {
 		t.Fatalf("Serve returned %v, want ErrClosed", err)
 	}
-	if _, err := rs.DupCounts(context.Background()); err == nil {
+	if _, err := rs.DupCounts(context.Background(), geometry.EpochFrozen); err == nil {
 		t.Fatal("call succeeded against a shut-down server")
 	}
 }
@@ -644,6 +646,7 @@ func TestHostileOpenFrame(t *testing.T) {
 		w.f64(1.5)
 		w.u32(2)
 		w.u32(4)
+		w.u8(0)           // mutable
 		w.u8(1)           // hasPoints
 		w.u32(0xFFFFFFF0) // n
 		w.u16(0xFFFF)     // dim

@@ -16,13 +16,21 @@
 // A connection speaks a strict request/response sequence. It opens with a
 // handshake — HELLO (magic "PCSH" + protocol version) answered by
 // HELLO_OK, then OPEN (the shard's geometry.ShardConfig: pinned cell
-// options, the global point set or a preloaded-data reference, and the
-// shard's member ids) answered by OPEN_OK — after which the client issues
-// one request frame at a time (PARTIALS, COUNT_BATCH, DUP_COUNTS) and
-// reads one response frame (COUNTS or ERROR). Queries are batched by
-// construction: a single PARTIALS round trip carries the capped counts for
-// every global point, so the per-sweep network cost is one round trip per
-// (ladder level × shard), never per point.
+// options, a mutability flag, the global point set or a preloaded-data
+// reference, and the shard's member ids) answered by OPEN_OK — after which
+// the client issues one request frame at a time (PARTIALS, COUNT_BATCH,
+// DUP_COUNTS, and on mutable sessions APPEND, DELETE, EPOCH_GET, MERGE)
+// and reads one response frame (COUNTS, EPOCH, or ERROR). Queries are
+// batched by construction: a single PARTIALS round trip carries the capped
+// counts for every global point, so the per-sweep network cost is one
+// round trip per (ladder level × shard), never per point.
+//
+// Epochs: every query frame opens with the uint64 epoch it must be
+// answered from — 0 (geometry.EpochFrozen) on immutable sessions, a
+// concrete pinned epoch on mutable ones. Mutations (APPEND/DELETE) advance
+// the session's epoch by exactly one and answer with an EPOCH frame; the
+// coordinator drives all shards of one index in lockstep, so a pinned
+// query hits the same snapshot on every replica.
 //
 // Versioning: the version is negotiated in the handshake. A server that
 // does not speak the client's version answers with a typed ERROR frame
@@ -48,7 +56,10 @@ import (
 )
 
 // ProtocolVersion is the wire protocol version this package speaks.
-const ProtocolVersion uint16 = 1
+// Version 2 added mutable sessions: the OPEN mutability flag, the leading
+// epoch on every query frame, and the APPEND/DELETE/EPOCH_GET/MERGE
+// request types with their EPOCH response.
+const ProtocolVersion uint16 = 2
 
 // wireMagic opens every HELLO frame: a connection that does not start
 // with it is not speaking this protocol at all.
@@ -61,15 +72,20 @@ const maxFramePayload = 1 << 30
 
 // Message types.
 const (
-	msgHello      = 1 // client → server: magic + version
-	msgHelloOK    = 2 // server → client: accepted version
-	msgOpen       = 3 // client → server: shard config
-	msgOpenOK     = 4 // server → client: member/global count echo
-	msgPartials   = 5 // client → server: one capped bulk-count pass
-	msgCounts     = 6 // server → client: []int32 results
-	msgCountBatch = 7 // client → server: exact counts around ad-hoc centers
-	msgDupCounts  = 8 // client → server: duplicate-table contribution
-	msgError      = 9 // server → client: typed failure
+	msgHello      = 1  // client → server: magic + version
+	msgHelloOK    = 2  // server → client: accepted version
+	msgOpen       = 3  // client → server: shard config
+	msgOpenOK     = 4  // server → client: member/global count echo
+	msgPartials   = 5  // client → server: one capped bulk-count pass
+	msgCounts     = 6  // server → client: []int32 results
+	msgCountBatch = 7  // client → server: exact counts around ad-hoc centers
+	msgDupCounts  = 8  // client → server: duplicate-table contribution
+	msgError      = 9  // server → client: typed failure
+	msgAppend     = 10 // client → server: one epoch-advancing append batch
+	msgDelete     = 11 // client → server: one epoch-advancing delete batch
+	msgEpochGet   = 12 // client → server: current epoch query
+	msgMerge      = 13 // client → server: fold append deltas into the base
+	msgEpoch      = 14 // server → client: epoch + member-row count
 )
 
 // Server-side error codes carried by msgError frames.
@@ -290,12 +306,18 @@ func (r *rbuf) frame(k, d int) *vec.Frame {
 	return f
 }
 
-// counts decodes a msgCounts payload, enforcing the expected length.
+// counts decodes a msgCounts payload. want >= 0 enforces the expected
+// slot count; want < 0 accepts any self-consistent length — the
+// pinned-epoch bulk responses, whose row count only the epoch's snapshot
+// knows (the geometry layer validates it against the pinned view).
 func decodeCounts(payload []byte, want int) ([]int32, error) {
 	r := &rbuf{b: payload}
 	k := int(r.u32())
-	if k != want {
+	if want >= 0 && k != want {
 		return nil, fmt.Errorf("counts response carries %d slots, want %d", k, want)
+	}
+	if k < 0 || 4*k > len(payload)-r.off {
+		return nil, errTruncated
 	}
 	out := make([]int32, k)
 	for i := range out {
@@ -318,6 +340,29 @@ func encodeCounts(counts []int32) []byte {
 		w.i32(c)
 	}
 	return w.b
+}
+
+// encodeEpoch builds a msgEpoch payload: the session's epoch plus its
+// member-row count (a cheap consistency echo for diagnostics).
+func encodeEpoch(epoch uint64, rows int) []byte {
+	w := &wbuf{b: make([]byte, 0, 12)}
+	w.b = binary.BigEndian.AppendUint64(w.b, epoch)
+	w.u32(uint32(rows))
+	return w.b
+}
+
+// decodeEpoch decodes a msgEpoch payload.
+func decodeEpoch(payload []byte) (epoch uint64, rows int, err error) {
+	r := &rbuf{b: payload}
+	epoch = r.u64()
+	rows = int(r.u32())
+	if r.err != nil {
+		return 0, 0, r.err
+	}
+	if r.off != len(payload) {
+		return 0, 0, fmt.Errorf("epoch response has %d trailing bytes", len(payload)-r.off)
+	}
+	return epoch, rows, nil
 }
 
 // PointsChecksum is FNV-1a over the big-endian bit patterns of every
