@@ -1,6 +1,7 @@
 package privcluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -91,3 +92,92 @@ func (e *BudgetError) Error() string {
 
 // Unwrap makes errors.Is(err, ErrBudgetExhausted) hold for BudgetError.
 func (e *BudgetError) Unwrap() error { return ErrBudgetExhausted }
+
+// Admitter is the budget admission seam: it decides whether a query's
+// (ε, δ) cost may be spent, before any mechanism runs. The default — a
+// nil DatasetOptions.Admitter — is the in-handle accountant below, which
+// enforces the handle's own total Budget exactly as Open has always
+// done. A non-nil Admitter replaces that gate, letting an external
+// authority own the accounting: cmd/privclusterd plugs a durable
+// per-principal ledger (internal/ledger) in here, carrying the principal
+// in ctx, so budgets survive restarts and span handles and processes.
+//
+// Admission is two-phase. Reserve places a hold for the cost and is
+// called before the expensive per-query work; a refusal must leave no
+// state behind and should be a *BudgetError (or at least wrap
+// ErrBudgetExhausted) so callers can match it. The returned Reservation
+// is settled exactly once: Commit once the mechanism has run (success or
+// failure — noise may have been drawn either way), Release only when the
+// mechanism provably never ran (the handle releases when index
+// construction fails after admission). Implementations must be safe for
+// concurrent use.
+type Admitter interface {
+	Reserve(ctx context.Context, cost Budget) (Reservation, error)
+}
+
+// Reservation is one admitted hold, settled exactly once.
+type Reservation interface {
+	// Commit finalizes the charge.
+	Commit() error
+	// Release returns the hold (legitimate only if no mechanism ran).
+	Release() error
+}
+
+// handleAdmitter is the default Admitter: the handle's own Budget and
+// spent counter, checked and charged atomically under the handle mutex —
+// the former Budget.allows admission path, now behind the seam. Reserve
+// charges immediately (the handle keeps its historical "no refund after
+// the mechanism starts" semantics, so Commit has nothing left to do) and
+// Release refunds, preserving the old behavior that a query aborted
+// before its mechanism — e.g. by a failed index build — never charges.
+type handleAdmitter struct{ ds *Dataset }
+
+func (a handleAdmitter) Reserve(_ context.Context, cost Budget) (Reservation, error) {
+	ds := a.ds
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if b := ds.opts.Budget; !b.IsZero() && !b.allows(ds.spent, cost) {
+		return nil, &BudgetError{Total: b, Spent: ds.spent, Requested: cost}
+	}
+	ds.spent.Epsilon += cost.Epsilon
+	ds.spent.Delta += cost.Delta
+	return handleReservation{ds: ds, cost: cost}, nil
+}
+
+// handleReservation is the default admitter's hold. The charge already
+// landed at Reserve time; Release undoes it.
+type handleReservation struct {
+	ds   *Dataset
+	cost Budget
+}
+
+func (r handleReservation) Commit() error { return nil }
+
+func (r handleReservation) Release() error {
+	ds := r.ds
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.spent.Epsilon = math.Max(0, ds.spent.Epsilon-r.cost.Epsilon)
+	ds.spent.Delta = math.Max(0, ds.spent.Delta-r.cost.Delta)
+	return nil
+}
+
+// mirrorReservation wraps an external Admitter's hold so the handle's
+// own spent counter (Dataset.Spent — pure observability when an external
+// authority owns admission) tracks the same reserve/release motions.
+type mirrorReservation struct {
+	ds   *Dataset
+	r    Reservation
+	cost Budget
+}
+
+func (m mirrorReservation) Commit() error { return m.r.Commit() }
+
+func (m mirrorReservation) Release() error {
+	ds := m.ds
+	ds.mu.Lock()
+	ds.spent.Epsilon = math.Max(0, ds.spent.Epsilon-m.cost.Epsilon)
+	ds.spent.Delta = math.Max(0, ds.spent.Delta-m.cost.Delta)
+	ds.mu.Unlock()
+	return m.r.Release()
+}

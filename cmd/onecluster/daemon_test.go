@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"privcluster"
+	"privcluster/internal/daemon"
+)
+
+// TestRunDaemonMode spins up a real privclusterd server in-process and
+// drives it through the client's -daemon path: the printed release must
+// be bit-identical to the same seeded query on a local handle over the
+// same CSV, and once the principal's durable grant is exhausted the
+// client surfaces the typed refusal.
+func TestRunDaemonMode(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]privcluster.Point, 0, 800)
+	var csv strings.Builder
+	for i := 0; i < 500; i++ {
+		p := privcluster.Point{0.5 + 0.02*(rng.Float64()-0.5), 0.5 + 0.02*(rng.Float64()-0.5)}
+		pts = append(pts, p)
+		fmt.Fprintf(&csv, "%g,%g\n", p[0], p[1])
+	}
+	for i := 0; i < 300; i++ {
+		p := privcluster.Point{rng.Float64(), rng.Float64()}
+		pts = append(pts, p)
+		fmt.Fprintf(&csv, "%g,%g\n", p[0], p[1])
+	}
+	csvPath := filepath.Join(dir, "points.csv")
+	if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := daemon.New(daemon.Config{
+		Listen:    "127.0.0.1:0",
+		LedgerDir: filepath.Join(dir, "ledger"),
+		Datasets:  []daemon.DatasetConfig{{Name: "planted", CSV: csvPath, Grid: 1024}},
+		Principals: []daemon.PrincipalConfig{
+			{Name: "alice", APIKey: "k", Epsilon: 4, Delta: 0.05},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		srv.Close()
+	}()
+	base := "http://" + srv.Addr()
+
+	var out bytes.Buffer
+	if err := runDaemon(&out, base, "k", "planted", 400, 1, 4, 0.05, 0.1, 7); err != nil {
+		t.Fatalf("runDaemon: %v\noutput:\n%s", err, out.String())
+	}
+
+	// The same seeded query on a local handle over the same points: the
+	// daemon must have released exactly this cluster.
+	ds, err := privcluster.Open(pts, privcluster.DatasetOptions{GridSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ds.FindCluster(context.Background(), 400, privcluster.QueryOptions{Epsilon: 4, Delta: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := fmt.Sprintf("  center: %v\n  radius: %g (radius-stage estimate %g)\n",
+		formatPoint(want.Center), want.Radius, want.RawRadius)
+	if !strings.HasPrefix(out.String(), wantLines) {
+		t.Errorf("daemon release differs from the local seeded release:\ngot:\n%s\nwant prefix:\n%s", out.String(), wantLines)
+	}
+	if !strings.Contains(out.String(), "remaining (ε=0, δ=0)") {
+		t.Errorf("budget line missing or wrong:\n%s", out.String())
+	}
+
+	// The grant is spent; the next query must surface the typed refusal.
+	var out2 bytes.Buffer
+	err = runDaemon(&out2, base, "k", "planted", 400, 1, 4, 0.05, 0.1, 7)
+	if err == nil || !strings.Contains(err.Error(), "budget_exhausted") {
+		t.Fatalf("exhausted principal: err = %v, want budget_exhausted refusal", err)
+	}
+
+	// Missing credentials are caught client-side; a wrong key server-side.
+	if err := runDaemon(&bytes.Buffer{}, base, "", "planted", 400, 1, 4, 0.05, 0.1, 0); err == nil {
+		t.Error("runDaemon without -apikey succeeded")
+	}
+	if err := runDaemon(&bytes.Buffer{}, base, "wrong", "planted", 400, 1, 4, 0.05, 0.1, 0); err == nil || !strings.Contains(err.Error(), "unauthorized") {
+		t.Errorf("wrong key: err = %v, want unauthorized", err)
+	}
+}

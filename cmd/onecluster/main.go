@@ -26,15 +26,25 @@
 //
 //	onecluster -t 400 -remote host1:7601,host2:7601 points.csv
 //	onecluster -queries 300,400 -remote host1:7601,host2:7601 points.csv
+//
+// Daemon mode: -daemon queries a running privclusterd instead of local
+// data — the server holds the points and a durable per-principal budget
+// ledger; the client only sends the query and its API key. No CSV input
+// is read; -dataset names the served dataset and -apikey authenticates:
+//
+//	onecluster -daemon http://host:7610 -apikey KEY -dataset points -t 400 -epsilon 2
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -55,6 +65,9 @@ func main() {
 	shards := flag.Int("shards", 0, "scalable-index shards (0 = automatic: GOMAXPROCS shards at n ≥ 100000); results are identical at any value")
 	parallel := flag.Bool("parallel", false, "with -queries: run the queries concurrently through the batch executor")
 	remote := flag.String("remote", "", `comma-separated shard-server addresses ("host:port,host:port"); queries run with one shard per address over the wire protocol — releases are identical to local execution under the same seed`)
+	daemonURL := flag.String("daemon", "", `privclusterd base URL (e.g. "http://host:7610"): run the query against a served dataset instead of local data; requires -apikey and -dataset, reads no CSV`)
+	apiKey := flag.String("apikey", "", "API key authenticating to -daemon")
+	dataset := flag.String("dataset", "", "served dataset name to query in -daemon mode")
 	flag.Parse()
 
 	if *queries == "" && *t <= 0 {
@@ -64,6 +77,17 @@ func main() {
 	if *queries != "" && *k > 1 {
 		fmt.Fprintln(os.Stderr, "onecluster: -k cannot be combined with -queries (each query is a single-cluster release)")
 		os.Exit(2)
+	}
+	if *daemonURL != "" {
+		if *queries != "" {
+			fmt.Fprintln(os.Stderr, "onecluster: -queries is not supported in -daemon mode (issue the queries separately)")
+			os.Exit(2)
+		}
+		if err := runDaemon(os.Stdout, *daemonURL, *apiKey, *dataset, *t, *k, *epsilon, *delta, *beta, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "onecluster:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
@@ -120,6 +144,106 @@ func main() {
 		fmt.Printf("cluster %d:\n", i+1)
 		printCluster(os.Stdout, c, points)
 	}
+}
+
+// runDaemon issues the query against a running privclusterd and prints
+// the released cluster(s) plus the caller's durable budget state. The
+// client never sees the data, so no point counts are printed — only
+// what the server released.
+func runDaemon(out io.Writer, base, key, dataset string, t, k int, epsilon, delta, beta float64, seed int64) error {
+	if dataset == "" {
+		return fmt.Errorf("-daemon requires -dataset")
+	}
+	if key == "" {
+		return fmt.Errorf("-daemon requires -apikey")
+	}
+	base = strings.TrimRight(base, "/")
+	body := map[string]any{
+		"dataset": dataset, "t": t,
+		"epsilon": epsilon, "delta": delta, "beta": beta,
+	}
+	if seed != 0 {
+		body["seed"] = seed
+	}
+	path := "/v1/query/cluster"
+	if k > 1 {
+		path = "/v1/query/kcover"
+		body["k"] = k
+	}
+	var result struct {
+		// cluster response
+		Center    []float64 `json:"center"`
+		Radius    float64   `json:"radius"`
+		RawRadius float64   `json:"raw_radius"`
+		// kcover response
+		Clusters []struct {
+			Center []float64 `json:"center"`
+			Radius float64   `json:"radius"`
+		} `json:"clusters"`
+	}
+	if err := daemonCall(base+path, "POST", key, body, &result); err != nil {
+		return err
+	}
+	if k > 1 {
+		for i, c := range result.Clusters {
+			fmt.Fprintf(out, "cluster %d:\n", i+1)
+			fmt.Fprintf(out, "  center: %v\n", formatPoint(c.Center))
+			fmt.Fprintf(out, "  radius: %g\n", c.Radius)
+		}
+	} else {
+		fmt.Fprintf(out, "  center: %v\n", formatPoint(result.Center))
+		fmt.Fprintf(out, "  radius: %g (radius-stage estimate %g)\n", result.Radius, result.RawRadius)
+	}
+	var budget struct {
+		Spent     map[string]float64 `json:"spent"`
+		Remaining map[string]float64 `json:"remaining"`
+	}
+	if err := daemonCall(base+"/v1/budget", "GET", key, nil, &budget); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "budget: spent (ε=%g, δ=%g), remaining (ε=%g, δ=%g)\n",
+		budget.Spent["epsilon"], budget.Spent["delta"],
+		budget.Remaining["epsilon"], budget.Remaining["delta"])
+	return nil
+}
+
+// daemonCall is one authenticated JSON round trip to privclusterd; a
+// non-2xx response is surfaced as its typed error envelope.
+func daemonCall(url, method, key string, body, into any) error {
+	var reader io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reader = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer "+key)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var envelope struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
+			return fmt.Errorf("daemon returned HTTP %d", resp.StatusCode)
+		}
+		return fmt.Errorf("daemon refused (%s): %s", envelope.Error.Code, envelope.Error.Message)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
 }
 
 // splitRemote parses the -remote flag into its address list.

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe output sink run() writes into while
+// the test polls it for the bound address.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var addrRe = regexp.MustCompile(`on (\S+)\n`)
+
+// writeTestDeployment lays down a CSV and config in the module's
+// feasible regime; the grant admits exactly two (ε=4, δ=0.05) queries.
+func writeTestDeployment(t *testing.T, dir string) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var csv strings.Builder
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&csv, "%g,%g\n", 0.5+0.02*(rng.Float64()-0.5), 0.5+0.02*(rng.Float64()-0.5))
+	}
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&csv, "%g,%g\n", rng.Float64(), rng.Float64())
+	}
+	csvPath := filepath.Join(dir, "points.csv")
+	if err := os.WriteFile(csvPath, []byte(csv.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := map[string]any{
+		"listen":     "127.0.0.1:0",
+		"ledger_dir": filepath.Join(dir, "ledger"),
+		"datasets":   []map[string]any{{"name": "planted", "csv": csvPath, "grid": 1024}},
+		"principals": []map[string]any{{"name": "alice", "api_key": "k", "epsilon": 9, "delta": 0.11}},
+	}
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "config.json")
+	if err := os.WriteFile(cfgPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath
+}
+
+// TestRunServesAndDrainsGracefully is the binary-level end-to-end test:
+// run() comes up, serves an authenticated query, and on cancellation
+// (the SIGTERM path) lets an in-flight query finish before returning.
+func TestRunServesAndDrainsGracefully(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := writeTestDeployment(t, dir)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-config", cfgPath}, &out) }()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon did not come up; output:\n%s", out.String())
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	query := func() (int, string) {
+		body := `{"dataset":"planted","t":400,"epsilon":4,"delta":0.05,"seed":7}`
+		req, err := http.NewRequest("POST", "http://"+addr+"/v1/query/cluster", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", "k")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return resp.StatusCode, b.String()
+	}
+	if code, body := query(); code != http.StatusOK {
+		t.Fatalf("first query: status %d body %s", code, body)
+	}
+
+	// Fire the second query and cancel the daemon while it is in
+	// flight: graceful drain must let it finish with a real release.
+	inflight := make(chan int, 1)
+	go func() {
+		code, _ := query()
+		inflight <- code
+	}()
+	time.Sleep(20 * time.Millisecond) // let the query reach the handler
+	cancel()
+	select {
+	case code := <-inflight:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight query during drain: status %d", code)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight query never finished during drain")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after cancellation")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("no drain message in output:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsBadConfig: a missing -config and an unreadable config
+// fail up front with a useful error, not a panic or a hung daemon.
+func TestRunRejectsBadConfig(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), nil, &out); err == nil {
+		t.Fatal("run without -config succeeded")
+	}
+	if err := run(context.Background(), []string{"-config", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Fatal("run with a missing config file succeeded")
+	}
+}

@@ -105,8 +105,21 @@ type DatasetOptions struct {
 	// never refused — the semantics of the one-shot free functions. Budget
 	// accounting is per-handle: opening two handles over the same people's
 	// data gives each its own budget, and the real-world guarantee is their
-	// composition (the sum). That caveat is the caller's to manage.
+	// composition (the sum). When that caveat is not acceptable, hand the
+	// accounting to an external authority via Admitter instead.
 	Budget Budget
+	// Admitter, when non-nil, replaces the handle's own Budget admission:
+	// every query's (ε, δ) cost is reserved through it before any
+	// mechanism runs, committed once the mechanism has run, and released
+	// only if the query aborted before its mechanism (see Admitter). It is
+	// how one admission authority — e.g. cmd/privclusterd's durable
+	// per-principal ledger — spans many handles and processes; the
+	// per-query principal travels in the query context, not on the handle.
+	// Mutually exclusive with Budget (the handle would not know which gate
+	// is authoritative). Spent still tracks reserved-minus-released costs
+	// for observability; Remaining reports "no budget" since the admitter
+	// owns the answer.
+	Admitter Admitter
 }
 
 func (o DatasetOptions) withDefaults() DatasetOptions {
@@ -153,6 +166,9 @@ func (o DatasetOptions) validate() error {
 		if o.IndexPolicy == IndexExact {
 			return fmt.Errorf("privcluster: Mutable requires the scalable index (IndexExact has no incremental form)")
 		}
+	}
+	if o.Admitter != nil && !o.Budget.IsZero() {
+		return fmt.Errorf("privcluster: Budget and Admitter are mutually exclusive — the Admitter owns admission")
 	}
 	return o.Budget.validate()
 }
@@ -526,22 +542,31 @@ func (ds *Dataset) Spent() Budget {
 	return ds.spent
 }
 
-// charge atomically deducts cost from the budget, refusing (with a
-// *BudgetError wrapping ErrBudgetExhausted, and recording nothing) a query
-// that no longer fits. ctx is re-checked under the lock so a query
-// cancelled during index construction never charges.
-func (ds *Dataset) charge(ctx context.Context, cost Budget) error {
+// reserve admits cost through the handle's admission authority — the
+// in-handle Budget accountant by default, DatasetOptions.Admitter when
+// set — refusing (with a *BudgetError wrapping ErrBudgetExhausted by the
+// default authority, and recording nothing) a query that no longer fits.
+// Admission runs before the expensive per-query work; the caller settles
+// the returned hold exactly once — Commit after the mechanism has run
+// (success or failure: noise may have been drawn either way), Release
+// only if the query aborted before its mechanism could run. External
+// admissions are mirrored into ds.spent so Spent stays meaningful.
+func (ds *Dataset) reserve(ctx context.Context, cost Budget) (Reservation, error) {
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	ds.mu.Lock()
-	defer ds.mu.Unlock()
-	if b := ds.opts.Budget; !b.IsZero() && !b.allows(ds.spent, cost) {
-		return &BudgetError{Total: b, Spent: ds.spent, Requested: cost}
+	if a := ds.opts.Admitter; a != nil {
+		r, err := a.Reserve(ctx, cost)
+		if err != nil {
+			return nil, err
+		}
+		ds.mu.Lock()
+		ds.spent.Epsilon += cost.Epsilon
+		ds.spent.Delta += cost.Delta
+		ds.mu.Unlock()
+		return mirrorReservation{ds: ds, r: r, cost: cost}, nil
 	}
-	ds.spent.Epsilon += cost.Epsilon
-	ds.spent.Delta += cost.Delta
-	return nil
+	return handleAdmitter{ds: ds}.Reserve(ctx, cost)
 }
 
 // effectiveKey resolves the handle's configuration to what would actually
@@ -760,17 +785,26 @@ func (ds *Dataset) FindCluster(ctx context.Context, t int, q QueryOptions) (Clus
 	if err != nil {
 		return Cluster{}, err
 	}
+	// Admission before compute: the hold is placed before the (possibly
+	// expensive) index build, released if the build fails — the mechanism
+	// never ran — and committed once the mechanism has (even on error:
+	// noise may have been drawn).
+	rsv, err := ds.reserve(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta})
+	if err != nil {
+		return Cluster{}, err
+	}
 	if ix == nil {
 		if ix, err = ds.index(ds.effectiveKey()); err != nil {
+			_ = rsv.Release()
 			return Cluster{}, err
 		}
-	}
-	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
-		return Cluster{}, err
 	}
 	release := ds.acquireScratch(&prm)
 	defer release()
 	res, err := core.OneClusterIndexed(q.rng(), ix, prm)
+	if cerr := rsv.Commit(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return Cluster{}, err
 	}
@@ -807,17 +841,22 @@ func (ds *Dataset) FindClusters(ctx context.Context, k, t int, q QueryOptions) (
 	if err != nil {
 		return nil, err
 	}
+	rsv, err := ds.reserve(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta})
+	if err != nil {
+		return nil, err
+	}
 	if ix == nil {
 		if ix, err = ds.index(ds.effectiveKey()); err != nil {
+			_ = rsv.Release()
 			return nil, err
 		}
-	}
-	if err := ds.charge(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta}); err != nil {
-		return nil, err
 	}
 	release := ds.acquireScratch(&prm)
 	defer release()
 	balls, err := core.KCoverIndexed(q.rng(), ix, k, prm)
+	if cerr := rsv.Commit(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -883,7 +922,8 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 	if err := checkFeasible(plaus, cprm, 1, q, ds.opts.GridSize); err != nil {
 		return 0, err
 	}
-	if err := ds.charge(ctx, Budget{Epsilon: 2 * q.Epsilon, Delta: 2 * q.Delta}); err != nil {
+	rsv, err := ds.reserve(ctx, Budget{Epsilon: 2 * q.Epsilon, Delta: 2 * q.Delta})
+	if err != nil {
 		return 0, err
 	}
 	release := ds.acquireScratch(&cprm)
@@ -894,6 +934,9 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 		Privacy: dp.Params{Epsilon: q.Epsilon, Delta: q.Delta},
 		Beta:    q.Beta,
 	})
+	if cerr := rsv.Commit(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return 0, err
 	}

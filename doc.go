@@ -60,11 +60,36 @@
 // ErrBudgetExhausted (carrying total/spent/requested) before any mechanism
 // runs, and Dataset.Remaining/Spent expose the accounting. Under basic
 // composition (Theorem 2.1) the handle's releases jointly satisfy
-// (ε, δ)-DP at the budget. The composition caveat: accounting is
-// per-handle, not per-person across handles — two handles opened over the
-// same individuals' data each enforce only their own budget, and the
-// real-world guarantee is the sum. Budgeting across handles (or across
-// processes) is the caller's responsibility.
+// (ε, δ)-DP at the budget.
+//
+// # Serving and durable budgets
+//
+// The handle's own Budget is in-memory and per-handle: two handles opened
+// over the same individuals' data each enforce only their own budget (the
+// real-world guarantee is their composition, the sum), and a process
+// restart forgets everything spent. For a single analysis process that is
+// fine; for a server it is not — a privacy budget is only a guarantee if
+// it survives crashes and spans every process that can touch the data.
+//
+// DatasetOptions.Admitter is the seam that fixes this: a non-nil Admitter
+// replaces the in-handle gate, and every query's cost flows through a
+// two-phase Reserve → Commit/Release protocol — reserved before any
+// expensive work, committed once the mechanism has run (even on error:
+// noise may have been drawn), released only when the mechanism provably
+// never ran. One admission authority can gate many handles, with the
+// per-query principal carried in the query context rather than on the
+// handle.
+//
+// cmd/privclusterd packages the full stack: an HTTP/JSON daemon serving
+// named datasets to API-key principals, each principal's (ε, δ) account
+// kept in a durable, crash-safe ledger (an fsynced, checksummed
+// append-only journal with snapshot compaction — internal/ledger) that
+// the daemon holds under an exclusive process lock. A refusal therefore
+// survives restarts and crashes — recovery conservatively commits any
+// hold that was in flight, so a crash can lose a query's answer but never
+// un-spend its budget — and a second daemon pointed at the same ledger
+// directory refuses to start rather than jointly over-spend.
+// examples/daemon proves the restart property end to end in CI.
 //
 // Queries take a context.Context. Cancellation is threaded through the
 // long-running inner loops — the cell index's bulk-count worker pools, the
@@ -316,7 +341,8 @@
 // n = 200,000; examples/serving demonstrates the handle's amortization,
 // budget accounting and deadlines; examples/remote self-checks the shard
 // transport's equivalence; examples/ingest self-checks the streaming
-// epoch model against live shard servers) and DESIGN.md for the system
+// epoch model against live shard servers; examples/daemon proves the
+// serving daemon's budgets survive a restart) and DESIGN.md for the system
 // inventory, the
 // paper-vs-implementation substitutions, and the experiment index.
 // EXPERIMENTS.md reports paper-vs-measured results for every table and

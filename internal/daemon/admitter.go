@@ -1,0 +1,81 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"privcluster"
+	"privcluster/internal/ledger"
+)
+
+// principalKey carries the authenticated principal through a query's
+// context — the one piece of per-request identity the admission seam
+// needs. The auth middleware sets it; the ledger admitter reads it.
+type principalKey struct{}
+
+// WithPrincipal returns ctx carrying the authenticated principal name.
+func WithPrincipal(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, principalKey{}, name)
+}
+
+// PrincipalFrom extracts the authenticated principal from ctx.
+func PrincipalFrom(ctx context.Context) (string, bool) {
+	name, ok := ctx.Value(principalKey{}).(string)
+	return name, ok
+}
+
+// ledgerAdmitter adapts the durable ledger to privcluster.Admitter: one
+// admitter (and one Dataset handle) serves every principal, because the
+// principal arrives per query in the context, not per handle. A ledger
+// refusal is translated into the *privcluster.BudgetError clients of
+// the library already know how to match; reserved-but-unsettled holds
+// count as spent in the refusal's accounting, since they are committed
+// if the daemon dies.
+type ledgerAdmitter struct {
+	l *ledger.Ledger
+}
+
+func (a ledgerAdmitter) Reserve(ctx context.Context, cost privcluster.Budget) (privcluster.Reservation, error) {
+	principal, ok := PrincipalFrom(ctx)
+	if !ok {
+		return nil, fmt.Errorf("daemon: query context carries no principal (auth middleware bypassed?)")
+	}
+	r, err := a.l.Reserve(principal, ledger.Cost{Epsilon: cost.Epsilon, Delta: cost.Delta})
+	if err != nil {
+		var ie *ledger.InsufficientError
+		if errors.As(err, &ie) {
+			return nil, &privcluster.BudgetError{
+				Total: privcluster.Budget{Epsilon: ie.Balance.Granted.Epsilon, Delta: ie.Balance.Granted.Delta},
+				Spent: privcluster.Budget{
+					Epsilon: ie.Balance.Spent.Epsilon + ie.Balance.Reserved.Epsilon,
+					Delta:   ie.Balance.Spent.Delta + ie.Balance.Reserved.Delta,
+				},
+				Requested: cost,
+			}
+		}
+		return nil, err
+	}
+	// *ledger.Reservation's Commit/Release signatures already satisfy
+	// privcluster.Reservation.
+	return r, nil
+}
+
+// ensureGrants raises each configured principal's durable grant up to
+// its configured total. Grants are monotone: a restart re-running this
+// grants only the positive difference (usually nothing), never fresh
+// budget — the property examples/daemon proves by restarting into an
+// immediate refusal.
+func ensureGrants(l *ledger.Ledger, principals []PrincipalConfig) error {
+	for _, p := range principals {
+		bal, _ := l.Balance(p.Name)
+		diff := ledger.Cost{Epsilon: p.Epsilon, Delta: p.Delta}.Sub(bal.Granted)
+		if diff.IsZero() {
+			continue
+		}
+		if err := l.Grant(p.Name, diff); err != nil {
+			return fmt.Errorf("daemon: granting %v to %q: %w", diff, p.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package daemon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds. Queries
+// span microseconds (warm cached index) to seconds (cold sharded
+// build), so the buckets are log-spaced across that range.
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// endpointStats is one endpoint's counters: requests by status code and
+// a latency histogram. Guarded by metrics.mu.
+type endpointStats struct {
+	byCode map[int]int64
+	bucket []int64 // one per bound plus +Inf
+	sum    float64
+	count  int64
+}
+
+// metrics is the daemon's hand-rolled instrumentation, rendered in the
+// Prometheus text exposition format by render. No client library — the
+// module's zero-dependency rule extends to serving.
+type metrics struct {
+	inFlight atomic.Int64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{byCode: make(map[int]int64), bucket: make([]int64, len(latencyBuckets)+1)}
+		m.endpoints[endpoint] = st
+	}
+	st.byCode[code]++
+	i := 0
+	for i < len(latencyBuckets) && secs > latencyBuckets[i] {
+		i++
+	}
+	st.bucket[i]++
+	st.sum += secs
+	st.count++
+}
+
+// budgetRow is one principal's budget gauges, supplied by the server
+// from the ledger at scrape time.
+type budgetRow struct {
+	Principal string
+	Granted   [2]float64 // ε, δ
+	Spent     [2]float64
+	Reserved  [2]float64
+}
+
+// render writes the Prometheus text format. budgets come from the
+// caller (the server reads them from the ledger per scrape, so the
+// gauges are always the durable truth, not a cached copy).
+func (m *metrics) render(b *strings.Builder, budgets []budgetRow) {
+	fmt.Fprintf(b, "# HELP privclusterd_in_flight Requests currently being served.\n")
+	fmt.Fprintf(b, "# TYPE privclusterd_in_flight gauge\n")
+	fmt.Fprintf(b, "privclusterd_in_flight %d\n", m.inFlight.Load())
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(b, "# HELP privclusterd_requests_total Finished requests by endpoint and status code.\n")
+	fmt.Fprintf(b, "# TYPE privclusterd_requests_total counter\n")
+	for _, name := range names {
+		st := m.endpoints[name]
+		codes := make([]int, 0, len(st.byCode))
+		for c := range st.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(b, "privclusterd_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, st.byCode[c])
+		}
+	}
+	fmt.Fprintf(b, "# HELP privclusterd_request_seconds Request latency by endpoint.\n")
+	fmt.Fprintf(b, "# TYPE privclusterd_request_seconds histogram\n")
+	for _, name := range names {
+		st := m.endpoints[name]
+		cum := int64(0)
+		for i, bound := range latencyBuckets {
+			cum += st.bucket[i]
+			fmt.Fprintf(b, "privclusterd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, bound, cum)
+		}
+		cum += st.bucket[len(latencyBuckets)]
+		fmt.Fprintf(b, "privclusterd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(b, "privclusterd_request_seconds_sum{endpoint=%q} %g\n", name, st.sum)
+		fmt.Fprintf(b, "privclusterd_request_seconds_count{endpoint=%q} %d\n", name, st.count)
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(b, "# HELP privclusterd_budget Durable per-principal budget state (epsilon and delta coordinates).\n")
+	fmt.Fprintf(b, "# TYPE privclusterd_budget gauge\n")
+	for _, row := range budgets {
+		for i, coord := range [2]string{"epsilon", "delta"} {
+			fmt.Fprintf(b, "privclusterd_budget{principal=%q,coord=%q,kind=\"granted\"} %g\n", row.Principal, coord, row.Granted[i])
+			fmt.Fprintf(b, "privclusterd_budget{principal=%q,coord=%q,kind=\"spent\"} %g\n", row.Principal, coord, row.Spent[i])
+			fmt.Fprintf(b, "privclusterd_budget{principal=%q,coord=%q,kind=\"reserved\"} %g\n", row.Principal, coord, row.Reserved[i])
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"privcluster/internal/ledger"
+)
+
+// writeClusterCSV writes a 2-D planted-cluster dataset in the module's
+// feasible test regime (grid 1024, query ε=4, δ=0.05, t=400): 500
+// points within 0.02 of (0.5, 0.5) and 300 uniform.
+func writeClusterCSV(t *testing.T, path string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	var b strings.Builder
+	b.WriteString("# planted cluster test data\n")
+	for i := 0; i < 500; i++ {
+		b.WriteString(fmt.Sprintf("%g,%g\n", 0.5+0.02*(rng.Float64()-0.5), 0.5+0.02*(rng.Float64()-0.5)))
+	}
+	for i := 0; i < 300; i++ {
+		b.WriteString(fmt.Sprintf("%g,%g\n", rng.Float64(), rng.Float64()))
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeValuesCSV writes a 1-D dataset for InteriorPoint: 2400 values in
+// [0.4, 0.6] (innerN=1600 is feasible at ε=4, δ=0.05).
+func writeValuesCSV(t *testing.T, path string) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var b strings.Builder
+	for i := 0; i < 2400; i++ {
+		b.WriteString(fmt.Sprintf("%g\n", 0.4+0.2*rng.Float64()))
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// testConfig builds a config serving the planted-cluster dataset to one
+// principal ("alice", key "sekrit") whose grant admits exactly two
+// (ε=4, δ=0.05) queries.
+func testConfig(t *testing.T, dir string) Config {
+	t.Helper()
+	csv := filepath.Join(dir, "points.csv")
+	writeClusterCSV(t, csv)
+	return Config{
+		Listen:    "127.0.0.1:0",
+		LedgerDir: filepath.Join(dir, "ledger"),
+		Datasets:  []DatasetConfig{{Name: "planted", CSV: csv, Grid: 1024}},
+		Principals: []PrincipalConfig{
+			{Name: "alice", APIKey: "sekrit", Epsilon: 9, Delta: 0.11},
+		},
+	}
+}
+
+// startServer constructs and starts a Server, registering cleanup.
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+		s.Close()
+	})
+	return s
+}
+
+// post issues an authenticated JSON POST and decodes the response.
+func post(t *testing.T, addr, path, key string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", "http://"+addr+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+// get issues an authenticated GET.
+func get(t *testing.T, addr, path, key string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest("GET", "http://"+addr+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b bytes.Buffer
+	b.ReadFrom(resp.Body)
+	return resp.StatusCode, b.String()
+}
+
+// errorCode extracts the typed code from an error envelope.
+func errorCode(t *testing.T, body map[string]json.RawMessage) string {
+	t.Helper()
+	var env struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(body["error"], &env); err != nil {
+		t.Fatalf("no error envelope in %v: %v", body, err)
+	}
+	return env.Code
+}
+
+var clusterQuery = queryRequest{
+	Dataset: "planted", T: 400, Epsilon: 4, Delta: 0.05, Seed: 7,
+}
+
+func TestServerClusterQueryAndBudget(t *testing.T) {
+	s := startServer(t, testConfig(t, t.TempDir()))
+
+	code, body := post(t, s.Addr(), "/v1/query/cluster", "sekrit", clusterQuery)
+	if code != http.StatusOK {
+		t.Fatalf("query status %d: %v", code, body)
+	}
+	var radius float64
+	if err := json.Unmarshal(body["radius"], &radius); err != nil || radius <= 0 {
+		t.Fatalf("released radius %v (err %v)", radius, err)
+	}
+
+	// The durable budget moved by exactly the query's cost.
+	code, budget := get(t, s.Addr(), "/v1/budget", "sekrit")
+	if code != http.StatusOK {
+		t.Fatalf("budget status %d", code)
+	}
+	var spent struct{ Epsilon, Delta float64 }
+	if err := json.Unmarshal([]byte(gjson(t, budget, "spent")), &spent); err != nil {
+		t.Fatal(err)
+	}
+	if spent.Epsilon != 4 || spent.Delta != 0.05 {
+		t.Fatalf("spent = %+v, want (4, 0.05)", spent)
+	}
+
+	// Auth and routing failures are typed.
+	if code, body := post(t, s.Addr(), "/v1/query/cluster", "wrong", clusterQuery); code != http.StatusUnauthorized || errorCode(t, body) != "unauthorized" {
+		t.Fatalf("bad key: status %d body %v", code, body)
+	}
+	q := clusterQuery
+	q.Dataset = "nope"
+	if code, body := post(t, s.Addr(), "/v1/query/cluster", "sekrit", q); code != http.StatusNotFound || errorCode(t, body) != "unknown_dataset" {
+		t.Fatalf("unknown dataset: status %d body %v", code, body)
+	}
+	q = clusterQuery
+	q.T = 0
+	if code, body := post(t, s.Addr(), "/v1/query/cluster", "sekrit", q); code != http.StatusBadRequest || errorCode(t, body) != "bad_request" {
+		t.Fatalf("t=0: status %d body %v", code, body)
+	}
+}
+
+// gjson pulls one top-level field out of a JSON object string.
+func gjson(t *testing.T, body, field string) string {
+	t.Helper()
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	return string(m[field])
+}
+
+// TestServerRefusalPersistsAcrossRestart is the durability tentpole's
+// end-to-end proof at the HTTP layer: a principal granted exactly two
+// queries is refused the third with a typed 429, and after a full
+// daemon restart over the same ledger directory the refusal is
+// immediate — the restart minted no fresh budget.
+func TestServerRefusalPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, dir)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if code, body := post(t, s.Addr(), "/v1/query/cluster", "sekrit", clusterQuery); code != http.StatusOK {
+			t.Fatalf("query %d: status %d body %v", i, code, body)
+		}
+	}
+	code, body := post(t, s.Addr(), "/v1/query/cluster", "sekrit", clusterQuery)
+	if code != http.StatusTooManyRequests || errorCode(t, body) != "budget_exhausted" {
+		t.Fatalf("third query: status %d body %v", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	s.Shutdown(ctx)
+	cancel()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second daemon generation over the same ledger directory.
+	s2 := startServer(t, cfg)
+	code, body = post(t, s2.Addr(), "/v1/query/cluster", "sekrit", clusterQuery)
+	if code != http.StatusTooManyRequests || errorCode(t, body) != "budget_exhausted" {
+		t.Fatalf("restarted daemon re-admitted an exhausted principal: status %d body %v", code, body)
+	}
+}
+
+// TestServerSecondProcessRefused: the ledger's exclusive process lock
+// makes a second daemon over the same directory fail to start — the
+// mechanism that makes jointly over-spending across processes
+// impossible.
+func TestServerSecondProcessRefused(t *testing.T) {
+	cfg := testConfig(t, t.TempDir())
+	_ = startServer(t, cfg)
+	cfg2 := cfg
+	cfg2.Listen = "127.0.0.1:0"
+	if _, err := New(cfg2); !errors.Is(err, ledger.ErrLocked) {
+		t.Fatalf("second daemon on a held ledger: err = %v, want ErrLocked", err)
+	}
+}
+
+func TestServerInteriorPoint(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "values.csv")
+	writeValuesCSV(t, csv)
+	cfg := Config{
+		Listen:    "127.0.0.1:0",
+		LedgerDir: filepath.Join(dir, "ledger"),
+		Datasets:  []DatasetConfig{{Name: "values", CSV: csv}},
+		Principals: []PrincipalConfig{
+			{Name: "bob", APIKey: "k2", Epsilon: 8, Delta: 0.1},
+		},
+	}
+	s := startServer(t, cfg)
+	req := queryRequest{Dataset: "values", InnerN: 1600, Epsilon: 4, Delta: 0.05, Seed: 11}
+	code, body := post(t, s.Addr(), "/v1/query/interior", "k2", req)
+	if code != http.StatusOK {
+		t.Fatalf("interior status %d: %v", code, body)
+	}
+	var p float64
+	if err := json.Unmarshal(body["point"], &p); err != nil || p < 0.3 || p > 0.7 {
+		t.Fatalf("interior point %v (err %v), want within the data range", p, err)
+	}
+	// InteriorPoint costs the composed (2ε, 2δ) = the whole grant: a
+	// second one must be refused.
+	if code, body := post(t, s.Addr(), "/v1/query/interior", "k2", req); code != http.StatusTooManyRequests {
+		t.Fatalf("second interior query: status %d body %v", code, body)
+	}
+}
+
+func TestServerBatchAndMetrics(t *testing.T) {
+	s := startServer(t, testConfig(t, t.TempDir()))
+	// Three batch queries at (4, 0.05) against a grant of (9, 0.11):
+	// exactly two may be admitted.
+	batch := batchRequest{
+		Dataset: "planted",
+		Queries: []queryRequest{
+			{T: 400, Epsilon: 4, Delta: 0.05, Seed: 1},
+			{T: 400, Epsilon: 4, Delta: 0.05, Seed: 2},
+			{T: 400, Epsilon: 4, Delta: 0.05, Seed: 3},
+		},
+	}
+	code, body := post(t, s.Addr(), "/v1/query/batch", "sekrit", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch status %d: %v", code, body)
+	}
+	var results []struct {
+		Clusters []clusterJSON  `json:"clusters"`
+		Error    *errorEnvelope `json:"error"`
+	}
+	if err := json.Unmarshal(body["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	admitted, refused := 0, 0
+	for _, r := range results {
+		switch {
+		case r.Error == nil && len(r.Clusters) == 1:
+			admitted++
+		case r.Error != nil && r.Error.Code == "budget_exhausted":
+			refused++
+		default:
+			t.Fatalf("unexpected batch result: %+v", r)
+		}
+	}
+	if admitted != 2 || refused != 1 {
+		t.Fatalf("batch admitted %d, refused %d; want 2 and 1", admitted, refused)
+	}
+
+	code, metrics := get(t, s.Addr(), "/metrics", "")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		`privclusterd_requests_total{endpoint="batch",code="200"} 1`,
+		`privclusterd_budget{principal="alice",coord="epsilon",kind="spent"} 8`,
+		`privclusterd_budget{principal="alice",coord="epsilon",kind="granted"} 9`,
+		"privclusterd_request_seconds_bucket",
+		"privclusterd_in_flight 0",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	if code, _ := get(t, s.Addr(), "/healthz", ""); code != http.StatusOK {
+		t.Errorf("/healthz status %d", code)
+	}
+}
+
+func TestServerDeadline(t *testing.T) {
+	s := startServer(t, testConfig(t, t.TempDir()))
+	q := clusterQuery
+	q.DeadlineMS = 1
+	code, body := post(t, s.Addr(), "/v1/query/cluster", "sekrit", q)
+	if code != http.StatusGatewayTimeout || errorCode(t, body) != "deadline" {
+		t.Fatalf("1ms deadline: status %d body %v", code, body)
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, []byte(`{"listen": ":0", "legder_dir": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Fatal("typoed config field accepted")
+	}
+}

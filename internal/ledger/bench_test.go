@@ -1,0 +1,83 @@
+package ledger
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkLedgerCommit measures the steady-state serving cost of one
+// admitted query's accounting: Reserve + Commit, i.e. two journaled,
+// checksummed records, including the amortized automatic compaction.
+// The nosync variant isolates the CPU + page-cache cost (deterministic
+// — this is the variant the CI bench gate pins); sync adds the two
+// fsyncs a durable deployment pays, which is hardware-bound and
+// reported for human eyes only.
+func BenchmarkLedgerCommit(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noSync bool
+	}{{"nosync", true}, {"sync", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(dir, Options{NoSync: mode.noSync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			if err := l.Grant("bench", Cost{Epsilon: float64(b.N) + 1, Delta: 0}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := l.Reserve("bench", Cost{Epsilon: 1, Delta: 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLedgerReplay measures Open over a journal of committed
+// spends — the restart cost of a busy daemon between compactions.
+func BenchmarkLedgerReplay(b *testing.B) {
+	for _, records := range []int{1024} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(dir, Options{NoSync: true, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := l.Grant("bench", Cost{Epsilon: float64(records), Delta: 0}); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < records/2; i++ {
+				r, err := l.Reserve("bench", Cost{Epsilon: 1, Delta: 0})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := r.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rl, err := Open(dir, Options{NoSync: true, SnapshotEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rl.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,38 @@
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// acquireLock opens (creating if necessary) path and takes an exclusive,
+// non-blocking flock on it. flock — not an O_EXCL sentinel file — because
+// the kernel releases it when the holding process dies for any reason, so
+// a crashed daemon can never wedge the ledger directory behind a stale
+// lock.
+func acquireLock(path string) (*os.File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if errors.Is(err, syscall.EWOULDBLOCK) {
+			return nil, fmt.Errorf("%w (%s)", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("ledger: flock %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// releaseLock drops the flock and closes the file. Closing alone would
+// release the lock too; the explicit unlock keeps the intent readable.
+func releaseLock(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_UN); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
