@@ -20,12 +20,20 @@
 // value under the same seed.
 //
 // Remote mode: -remote routes the ball-index queries through shard
-// servers (cmd/shardserver), one shard per address, over the wire
-// protocol. Releases are bit-identical to local execution under the same
-// seed; combine with -queries/-parallel freely:
+// servers (cmd/shardserver) over the wire protocol. Partitions are
+// comma-separated; replicas of one partition are |-separated, so
+// "a|b,c|d" is two partitions with two interchangeable replicas each
+// (failover is automatic; see privcluster.Placement). Releases are
+// bit-identical to local execution under the same seed regardless of
+// which replica answers; combine with -queries/-parallel freely:
 //
 //	onecluster -t 400 -remote host1:7601,host2:7601 points.csv
-//	onecluster -queries 300,400 -remote host1:7601,host2:7601 points.csv
+//	onecluster -t 400 -remote 'host1:7601|host2:7601,host3:7601|host4:7601' points.csv
+//	onecluster -queries 300,400 -placement placement.json points.csv
+//
+// -placement loads the same topology from a JSON placement file (the
+// format cmd/shardctl generates), including the failover knobs that have
+// no flag syntax.
 //
 // Daemon mode: -daemon queries a running privclusterd instead of local
 // data — the server holds the points and a durable per-principal budget
@@ -64,7 +72,8 @@ func main() {
 	budget := flag.String("budget", "", `total privacy budget "ε,δ" the handle may spend across -queries (empty = unlimited)`)
 	shards := flag.Int("shards", 0, "scalable-index shards (0 = automatic: GOMAXPROCS shards at n ≥ 100000); results are identical at any value")
 	parallel := flag.Bool("parallel", false, "with -queries: run the queries concurrently through the batch executor")
-	remote := flag.String("remote", "", `comma-separated shard-server addresses ("host:port,host:port"); queries run with one shard per address over the wire protocol — releases are identical to local execution under the same seed`)
+	remote := flag.String("remote", "", `shard-server placement: comma-separated partitions, |-separated replicas ("a:7601|b:7601,c:7601"); queries run over the wire protocol with automatic replica failover — releases are identical to local execution under the same seed`)
+	placementFile := flag.String("placement", "", `JSON placement file (the cmd/shardctl format) describing the shard servers; mutually exclusive with -remote`)
 	daemonURL := flag.String("daemon", "", `privclusterd base URL (e.g. "http://host:7610"): run the query against a served dataset instead of local data; requires -apikey and -dataset, reads no CSV`)
 	apiKey := flag.String("apikey", "", "API key authenticating to -daemon")
 	dataset := flag.String("dataset", "", "served dataset name to query in -daemon mode")
@@ -104,18 +113,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "onecluster:", err)
 		os.Exit(1)
 	}
-	remoteAddrs := splitRemote(*remote)
+	place, err := resolvePlacement(*remote, *placementFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onecluster:", err)
+		os.Exit(2)
+	}
 
 	if *queries != "" {
-		if err := runQueries(os.Stdout, points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed, *shards, *parallel, remoteAddrs); err != nil {
+		if err := runQueries(os.Stdout, points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed, *shards, *parallel, place); err != nil {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if len(remoteAddrs) > 0 {
-		if err := runRemote(os.Stdout, points, *t, *k, *epsilon, *delta, *beta, *gridSize, *seed, remoteAddrs); err != nil {
+	if place != nil {
+		if err := runRemote(os.Stdout, points, *t, *k, *epsilon, *delta, *beta, *gridSize, *seed, place); err != nil {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
@@ -246,24 +259,47 @@ func daemonCall(url, method, key string, body, into any) error {
 	return json.NewDecoder(resp.Body).Decode(into)
 }
 
-// splitRemote parses the -remote flag into its address list.
-func splitRemote(s string) []string {
+// resolvePlacement turns the -remote / -placement flags into the handle's
+// Placement: nil when neither is set, the parsed file when -placement is,
+// and the "a|b,c|d" partition syntax otherwise.
+func resolvePlacement(remote, file string) (*privcluster.Placement, error) {
+	if file != "" {
+		if strings.TrimSpace(remote) != "" {
+			return nil, fmt.Errorf("-remote and -placement are mutually exclusive")
+		}
+		return privcluster.LoadPlacement(file)
+	}
+	return parseRemote(remote)
+}
+
+// parseRemote parses the -remote flag: comma-separated partitions, each a
+// |-separated replica set. nil for an empty flag.
+func parseRemote(s string) (*privcluster.Placement, error) {
 	if strings.TrimSpace(s) == "" {
-		return nil
+		return nil, nil
 	}
 	parts := strings.Split(s, ",")
-	addrs := make([]string, len(parts))
+	partitions := make([][]string, len(parts))
 	for i, p := range parts {
-		addrs[i] = strings.TrimSpace(p)
+		reps := strings.Split(p, "|")
+		addrs := make([]string, len(reps))
+		for j, r := range reps {
+			addrs[j] = strings.TrimSpace(r)
+			if addrs[j] == "" {
+				return nil, fmt.Errorf("bad -remote %q: partition %d has an empty address", s, i+1)
+			}
+		}
+		partitions[i] = addrs
 	}
-	return addrs
+	return &privcluster.Placement{Partitions: partitions}, nil
 }
 
 // runRemote runs the single-shot query (-t, optionally -k) through a
-// Dataset handle whose ball index is served by the remote shards — the
-// RemoteShards path needs a handle, which the free functions do not carry.
-func runRemote(out io.Writer, points []privcluster.Point, t, k int, epsilon, delta, beta float64, gridSize, seed int64, addrs []string) error {
-	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, RemoteShards: addrs})
+// Dataset handle whose ball index is served by the placement's shard
+// servers — the Placement path needs a handle, which the free functions do
+// not carry.
+func runRemote(out io.Writer, points []privcluster.Point, t, k int, epsilon, delta, beta float64, gridSize, seed int64, place *privcluster.Placement) error {
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, Placement: place})
 	if err != nil {
 		return err
 	}
@@ -296,10 +332,10 @@ func runRemote(out io.Writer, points []privcluster.Point, t, k int, epsilon, del
 // set, the queries run concurrently through the batch executor instead —
 // same releases under the same seeds, but when the budget cannot cover
 // them all, which queries are refused depends on scheduling, so refusals
-// are reported per query rather than stopping the run. A non-empty remote
-// list serves the ball index from those shard servers instead of local
-// cores; releases are unchanged.
-func runQueries(out io.Writer, points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64, shards int, parallel bool, remote []string) error {
+// are reported per query rather than stopping the run. A non-nil
+// placement serves the ball index from those shard servers instead of
+// local cores; releases are unchanged.
+func runQueries(out io.Writer, points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64, shards int, parallel bool, place *privcluster.Placement) error {
 	ts, err := parseQueries(queries)
 	if err != nil {
 		return err
@@ -309,7 +345,7 @@ func runQueries(out io.Writer, points []privcluster.Point, queries, budget strin
 		return err
 	}
 	ds, err := privcluster.Open(points, privcluster.DatasetOptions{
-		GridSize: gridSize, Budget: b, Shards: shards, RemoteShards: remote,
+		GridSize: gridSize, Budget: b, Shards: shards, Placement: place,
 	})
 	if err != nil {
 		return err

@@ -52,16 +52,36 @@ func TestRemoteEndToEnd(t *testing.T) {
 	}
 	addrs := startShardServers(t, 2)
 
+	place, err := parseRemote(strings.Join(addrs, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	// -queries mode: remote output must equal the local handle's output.
 	var local, remote bytes.Buffer
 	if err := runQueries(&local, pts, "3000,3200", "", 4, 0.05, 0.1, 1024, 7, 0, false, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := runQueries(&remote, pts, "3000,3200", "", 4, 0.05, 0.1, 1024, 7, 0, false, addrs); err != nil {
+	if err := runQueries(&remote, pts, "3000,3200", "", 4, 0.05, 0.1, 1024, 7, 0, false, place); err != nil {
 		t.Fatal(err)
 	}
 	if local.String() != remote.String() {
 		t.Errorf("-queries releases differ:\nlocal:\n%s\nremote:\n%s", local.String(), remote.String())
+	}
+
+	// The "a|b" replica syntax: two replicas per partition must print the
+	// exact same releases — the replication layer is invisible to output.
+	extra := startShardServers(t, 2)
+	replicated, err := parseRemote(addrs[0] + "|" + extra[0] + "," + addrs[1] + "|" + extra[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repl bytes.Buffer
+	if err := runQueries(&repl, pts, "3000,3200", "", 4, 0.05, 0.1, 1024, 7, 0, false, replicated); err != nil {
+		t.Fatal(err)
+	}
+	if local.String() != repl.String() {
+		t.Errorf("replicated -queries releases differ:\nlocal:\n%s\nreplicated:\n%s", local.String(), repl.String())
 	}
 
 	// Single-shot and k-cover -remote paths: byte-identical to the same
@@ -95,14 +115,14 @@ func TestRemoteEndToEnd(t *testing.T) {
 		return buf.String()
 	}
 	var buf bytes.Buffer
-	if err := runRemote(&buf, pts, 3000, 1, 4, 0.05, 0.1, 1024, 11, addrs); err != nil {
+	if err := runRemote(&buf, pts, 3000, 1, 4, 0.05, 0.1, 1024, 11, place); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := buf.String(), runLocal(3000, 1); got != want {
 		t.Errorf("-remote single query differs:\nremote:\n%s\nlocal:\n%s", got, want)
 	}
 	buf.Reset()
-	if err := runRemote(&buf, pts, 2500, 2, 4, 0.05, 0.1, 1024, 11, addrs); err != nil {
+	if err := runRemote(&buf, pts, 2500, 2, 4, 0.05, 0.1, 1024, 11, place); err != nil {
 		t.Fatal(err)
 	}
 	if got, want := buf.String(), runLocal(2500, 2); got != want {
@@ -110,19 +130,37 @@ func TestRemoteEndToEnd(t *testing.T) {
 	}
 
 	// A dead address list fails with a useful error instead of hanging.
-	if err := runRemote(&buf, pts, 3000, 1, 4, 0.05, 0.1, 1024, 11, []string{"127.0.0.1:1"}); err == nil {
+	dead := &privcluster.Placement{Partitions: [][]string{{"127.0.0.1:1"}}}
+	if err := runRemote(&buf, pts, 3000, 1, 4, 0.05, 0.1, 1024, 11, dead); err == nil {
 		t.Error("query against a dead shard address succeeded")
 	}
 }
 
-func TestSplitRemote(t *testing.T) {
-	if got := splitRemote(""); got != nil {
-		t.Errorf("splitRemote(\"\") = %v", got)
+func TestParseRemote(t *testing.T) {
+	if got, err := parseRemote(""); got != nil || err != nil {
+		t.Errorf("parseRemote(\"\") = %v, %v", got, err)
 	}
-	if got := splitRemote(" a:1 , b:2 "); len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
-		t.Errorf("splitRemote = %v", got)
+	got, err := parseRemote(" a:1 , b:2 ")
+	if err != nil || len(got.Partitions) != 2 ||
+		got.Partitions[0][0] != "a:1" || got.Partitions[1][0] != "b:2" {
+		t.Errorf("parseRemote flat = %v, %v", got, err)
 	}
-	if !strings.Contains(strings.Join(splitRemote("x:1"), ","), "x:1") {
-		t.Error("single address lost")
+	got, err = parseRemote("a:1|b:2, c:3 | d:4")
+	if err != nil || len(got.Partitions) != 2 ||
+		strings.Join(got.Partitions[0], " ") != "a:1 b:2" ||
+		strings.Join(got.Partitions[1], " ") != "c:3 d:4" {
+		t.Errorf("parseRemote replicas = %v, %v", got, err)
+	}
+	if _, err := parseRemote("a:1|,b:2"); err == nil {
+		t.Error("empty replica accepted")
+	}
+}
+
+func TestResolvePlacement(t *testing.T) {
+	if _, err := resolvePlacement("a:1", "file.json"); err == nil {
+		t.Error("-remote with -placement accepted")
+	}
+	if p, err := resolvePlacement("", ""); p != nil || err != nil {
+		t.Errorf("no flags: %v, %v", p, err)
 	}
 }

@@ -1,0 +1,138 @@
+// Command shardctl generates and validates the JSON placement files that
+// describe a replicated shard-server deployment (privcluster.Placement:
+// one replica address set per partition, plus failover knobs). The files
+// it writes are what cmd/onecluster's -placement flag and the
+// privclusterd "placement" dataset block consume.
+//
+// Generate a placement — addresses are grouped left to right into
+// partitions of -replicas each, so start shardservers in that order:
+//
+//	shardctl gen -replicas 2 a:7601 b:7601 c:7601 d:7601 > placement.json
+//	shardctl gen -replicas 2 -hedge-ms 20 -probe-ms 2000 a:7601 b:7601
+//
+// Validate a file (exit status 0 iff it parses and describes a servable
+// deployment; a summary is printed):
+//
+//	shardctl validate placement.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"privcluster"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Stdout, os.Args[2:])
+	case "validate":
+		err = runValidate(os.Stdout, os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shardctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  shardctl gen [-replicas R] [-retries N] [-hedge-ms M] [-probe-ms M] [-dial-timeout-ms M] [-o FILE] ADDR...
+  shardctl validate FILE`)
+}
+
+// runGen builds a placement from the address list and writes its JSON to
+// -o (stdout by default).
+func runGen(out *os.File, args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	replicas := fs.Int("replicas", 1, "replicas per partition; the addresses are grouped left to right and their count must divide evenly")
+	retries := fs.Int("retries", 0, "per-connection transport retry budget (0 = default)")
+	hedgeMS := fs.Int64("hedge-ms", 0, "hedged-read delay in milliseconds (0 = hedging off)")
+	probeMS := fs.Int64("probe-ms", 0, "down-replica re-probe interval in milliseconds (0 = default, negative = off)")
+	dialMS := fs.Int64("dial-timeout-ms", 0, "dial+handshake timeout in milliseconds (0 = default)")
+	output := fs.String("o", "", "output file (empty = stdout)")
+	fs.Parse(args)
+
+	addrs := fs.Args()
+	if len(addrs) == 0 {
+		return fmt.Errorf("gen needs at least one shard-server address")
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1")
+	}
+	if len(addrs)%*replicas != 0 {
+		return fmt.Errorf("%d addresses do not divide into partitions of %d replicas", len(addrs), *replicas)
+	}
+	p := &privcluster.Placement{
+		Retries:       *retries,
+		HedgeDelay:    time.Duration(*hedgeMS) * time.Millisecond,
+		ProbeInterval: time.Duration(*probeMS) * time.Millisecond,
+		DialTimeout:   time.Duration(*dialMS) * time.Millisecond,
+	}
+	for i := 0; i < len(addrs); i += *replicas {
+		p.Partitions = append(p.Partitions, addrs[i:i+*replicas])
+	}
+	data, err := p.EncodeJSON()
+	if err != nil {
+		return err
+	}
+	if *output != "" {
+		return os.WriteFile(*output, data, 0o644)
+	}
+	_, err = out.Write(data)
+	return err
+}
+
+// runValidate loads the file through the same parser every consumer uses
+// and prints what it describes.
+func runValidate(out *os.File, args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("validate takes exactly one placement file")
+	}
+	p, err := privcluster.LoadPlacement(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, summarize(p))
+	return nil
+}
+
+// summarize renders the human-readable validation report.
+func summarize(p *privcluster.Placement) string {
+	var b strings.Builder
+	total := 0
+	for _, reps := range p.Partitions {
+		total += len(reps)
+	}
+	fmt.Fprintf(&b, "valid: %d partitions, %d replicas\n", len(p.Partitions), total)
+	for i, reps := range p.Partitions {
+		fmt.Fprintf(&b, "  partition %d: %s\n", i, strings.Join(reps, ", "))
+	}
+	if p.Retries != 0 {
+		fmt.Fprintf(&b, "  retries: %d\n", p.Retries)
+	}
+	if p.HedgeDelay > 0 {
+		fmt.Fprintf(&b, "  hedge delay: %v\n", p.HedgeDelay)
+	}
+	if p.ProbeInterval != 0 {
+		fmt.Fprintf(&b, "  probe interval: %v\n", p.ProbeInterval)
+	}
+	if p.DialTimeout != 0 {
+		fmt.Fprintf(&b, "  dial timeout: %v\n", p.DialTimeout)
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"privcluster"
+)
+
+// TestGenValidateRoundTrip: gen writes a file validate accepts, and the
+// parsed placement has the requested shape and knobs.
+func TestGenValidateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "placement.json")
+	err := runGen(nil, []string{
+		"-replicas", "2", "-hedge-ms", "20", "-probe-ms", "2000", "-o", path,
+		"a:7601", "b:7601", "c:7601", "d:7601",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := privcluster.LoadPlacement(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Partitions) != 2 || len(p.Partitions[0]) != 2 ||
+		p.Partitions[0][0] != "a:7601" || p.Partitions[1][1] != "d:7601" {
+		t.Fatalf("gen produced %+v", p.Partitions)
+	}
+	if p.HedgeDelay.Milliseconds() != 20 || p.ProbeInterval.Milliseconds() != 2000 {
+		t.Fatalf("gen lost knobs: %+v", p)
+	}
+	report := summarize(p)
+	if !strings.Contains(report, "2 partitions, 4 replicas") ||
+		!strings.Contains(report, "a:7601, b:7601") {
+		t.Fatalf("summary: %q", report)
+	}
+	if err := runValidate(os.Stdout, []string{path}); err != nil {
+		t.Fatalf("validate rejected gen's output: %v", err)
+	}
+}
+
+// TestGenRejections: malformed invocations fail instead of writing
+// half-valid files.
+func TestGenRejections(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no addresses":    {"-replicas", "1"},
+		"uneven grouping": {"-replicas", "2", "a", "b", "c"},
+		"zero replicas":   {"-replicas", "0", "a"},
+	} {
+		if err := runGen(nil, args); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestValidateRejections: a broken file exits nonzero through the error
+// path, with the parse failure surfaced.
+func TestValidateRejections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"partitions": [[]], "typo": 1}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := runValidate(os.Stdout, []string{path}); err == nil {
+		t.Error("validate accepted a file with an empty partition and unknown field")
+	}
+	if err := runValidate(os.Stdout, []string{filepath.Join(t.TempDir(), "missing.json")}); err == nil {
+		t.Error("validate accepted a missing file")
+	}
+	if err := runValidate(os.Stdout, nil); err == nil {
+		t.Error("validate accepted no arguments")
+	}
+}

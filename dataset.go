@@ -7,13 +7,13 @@ import (
 	"math/rand"
 	"net"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 
 	"privcluster/internal/core"
 	"privcluster/internal/dp"
 	"privcluster/internal/geometry"
+	"privcluster/internal/transport"
 	"privcluster/internal/vec"
 )
 
@@ -70,20 +70,36 @@ type DatasetOptions struct {
 	Precision Precision
 	// Paper switches every internal constant to the paper's proof values.
 	Paper bool
-	// RemoteShards lists shard-server addresses: when non-empty, the ball
-	// index is built with one shard per address, each served over the
-	// wire protocol (cmd/shardserver hosts them). Remote execution
-	// presumes the scalable backend, so IndexPolicy and Shards are
-	// ignored; releases stay bit-identical to local execution under the
-	// same seed — see the "Remote shards" section of the package
-	// documentation for the cost model and the trust boundary. The
-	// address list identifies the cached index, so it must be stable for
-	// the handle's lifetime; Close releases the connections.
+	// Placement maps shard partitions onto shard servers — one replica
+	// address set per partition, with failover, optional hedged reads,
+	// and background health probing on multi-replica partitions (see
+	// Placement). When set, the ball index is built with one shard per
+	// partition, each served over the wire protocol (cmd/shardserver
+	// hosts the replicas; cmd/shardctl generates and validates placement
+	// files). Remote execution presumes the scalable backend, so
+	// IndexPolicy and Shards are ignored; releases stay bit-identical to
+	// local execution under the same seed regardless of which replica
+	// answers — see the "Remote shards" and "Replication and failover"
+	// sections of the package documentation. The partition structure
+	// identifies the cached index, so it must be stable for the handle's
+	// lifetime; Close releases the connections. Mutually exclusive with
+	// the deprecated RemoteShards.
+	Placement *Placement
+	// RemoteShards lists shard-server addresses: one single-replica
+	// partition per address.
+	//
+	// Deprecated: RemoteShards is the pre-replication flat form; it is
+	// exactly equivalent to a Placement whose every partition holds one
+	// replica, which is how it is implemented (releases and cache
+	// identity included). New code should set Placement.
 	RemoteShards []string
 	// RemoteDial overrides how shard-server connections are established
-	// (nil = TCP). It exists for in-process loopback transports in tests
-	// and demos; the dial function itself is transport mechanics and is
-	// not part of the index cache identity — RemoteShards is.
+	// (nil = TCP) for the deprecated RemoteShards path. It exists for
+	// in-process loopback transports in tests and demos; the dial
+	// function itself is transport mechanics and is not part of the
+	// index cache identity.
+	//
+	// Deprecated: set Placement.Dial instead.
 	RemoteDial func(ctx context.Context, addr string) (net.Conn, error)
 	// IndexCacheSize bounds how many built ball indexes the handle keeps
 	// (FIFO-evicted; 0 means the default of 4). The effective key is
@@ -155,6 +171,17 @@ func (o DatasetOptions) validate() error {
 			return fmt.Errorf("privcluster: remote shard address %d is empty", i)
 		}
 	}
+	if o.Placement != nil {
+		if len(o.RemoteShards) > 0 {
+			return fmt.Errorf("privcluster: Placement and RemoteShards are mutually exclusive (RemoteShards is the deprecated single-replica form)")
+		}
+		if o.RemoteDial != nil {
+			return fmt.Errorf("privcluster: Placement and RemoteDial are mutually exclusive (set Placement.Dial)")
+		}
+		if err := o.Placement.validate(); err != nil {
+			return err
+		}
+	}
 	if o.IndexCacheSize < 0 {
 		return fmt.Errorf("privcluster: index cache size must be ≥ 0 (0 = default %d), got %d",
 			defaultIndexCacheSize, o.IndexCacheSize)
@@ -166,11 +193,37 @@ func (o DatasetOptions) validate() error {
 		if o.IndexPolicy == IndexExact {
 			return fmt.Errorf("privcluster: Mutable requires the scalable index (IndexExact has no incremental form)")
 		}
+		if p := o.placement(); p != nil && !p.singleReplica() {
+			// A mutable session is connection-scoped and non-idempotent:
+			// replaying an append on a sibling could apply it twice, and a
+			// sibling dialed later would miss every earlier epoch. Refuse
+			// up front rather than fail on the first mutation.
+			return fmt.Errorf("privcluster: Mutable requires single-replica partitions (epoch sessions are connection-scoped and cannot fail over)")
+		}
 	}
 	if o.Admitter != nil && !o.Budget.IsZero() {
 		return fmt.Errorf("privcluster: Budget and Admitter are mutually exclusive — the Admitter owns admission")
 	}
 	return o.Budget.validate()
+}
+
+// placement normalizes the two remote-configuration forms into one: the
+// structured Placement when set, the deprecated RemoteShards/RemoteDial
+// pair as a trivial single-replica Placement (the equivalence that makes
+// the deprecated path a thin wrapper — same dialing code, same cache
+// identity, bit-identical releases), nil for local execution.
+func (o DatasetOptions) placement() *Placement {
+	if o.Placement != nil {
+		return o.Placement
+	}
+	if len(o.RemoteShards) == 0 {
+		return nil
+	}
+	parts := make([][]string, len(o.RemoteShards))
+	for i, a := range o.RemoteShards {
+		parts[i] = []string{a}
+	}
+	return &Placement{Partitions: parts, Dial: o.RemoteDial}
 }
 
 // span returns the domain width Max−Min, defaulting to the unit interval.
@@ -276,10 +329,13 @@ type indexKey struct {
 	pol     core.IndexPolicy
 	shards  int
 	workers int
-	// remote is the comma-joined RemoteShards list ("" = local). The
-	// address strings are the identity of the remote backend set; the
-	// dial function is deliberately not part of the key (it is transport
-	// mechanics — see DatasetOptions.RemoteDial).
+	// remote is the placement's structural cache key ("" = local): the
+	// partition/replica address structure with every address
+	// length-prefixed, so no two distinct placements — including
+	// addresses containing separator characters, or ["a,b"] vs
+	// ["a","b"] — can ever share a cached index (see Placement.cacheKey).
+	// The dial function and the failover knobs are deliberately not part
+	// of the key (they are transport mechanics — see Placement).
 	remote string
 }
 
@@ -361,8 +417,12 @@ func (c *cachedIndex) BuildLStep(ctx context.Context, t int) (*geometry.LStep, e
 // drawn).
 type Dataset struct {
 	opts DatasetOptions
-	grid geometry.Grid
-	dim  int
+	// place is the normalized remote configuration (nil = local): the
+	// structured Placement, or the trivial one the deprecated
+	// RemoteShards wrapper constructs (see DatasetOptions.placement).
+	place *Placement
+	grid  geometry.Grid
+	dim   int
 	// frame holds the unit-domain, grid-quantized points in one flat
 	// allocation (float64, or float32 under DatasetOptions.Precision); every
 	// index build and feasibility check sweeps it in place.
@@ -460,6 +520,7 @@ func Open(points []Point, o DatasetOptions) (*Dataset, error) {
 	}
 	ds := &Dataset{
 		opts:    o,
+		place:   o.placement(),
 		grid:    grid,
 		dim:     d,
 		frame:   frame,
@@ -479,9 +540,12 @@ func Open(points []Point, o DatasetOptions) (*Dataset, error) {
 		}
 		var mut geometry.MutableBallIndex
 		var err error
-		if len(o.RemoteShards) > 0 {
+		if ds.place != nil {
+			// validate() already pinned the placement to single-replica
+			// partitions (epoch sessions cannot fail over), so the flat
+			// per-partition address list feeds the plain mutable path.
 			mut, err = core.NewRemoteMutableBallIndexFrame(context.Background(), frame, grid,
-				o.Workers, o.RemoteShards, o.RemoteDial)
+				o.Workers, ds.place.flatten(), ds.place.Dial)
 		} else {
 			mut, err = core.NewMutableBallIndexFrame(context.Background(), frame, grid, o.Workers, o.Shards)
 		}
@@ -576,11 +640,11 @@ func (ds *Dataset) reserve(ctx context.Context, cost Budget) (Reservation, error
 // resolution drift can never serve a stale index.
 func (ds *Dataset) effectiveKey() indexKey {
 	n := ds.frame.N()
-	if len(ds.opts.RemoteShards) > 0 {
+	if ds.place != nil {
 		// Remote execution presumes the scalable sharded backend: one
-		// shard per address (geometry clamps to at most n, mirrored here
-		// so the key matches what is built).
-		shards := len(ds.opts.RemoteShards)
+		// shard per partition (geometry clamps to at most n, mirrored
+		// here so the key matches what is built).
+		shards := len(ds.place.Partitions)
 		if shards > n {
 			shards = n
 		}
@@ -588,7 +652,7 @@ func (ds *Dataset) effectiveKey() indexKey {
 			pol:     core.IndexScalable,
 			shards:  shards,
 			workers: core.ResolveWorkers(ds.opts.Workers),
-			remote:  strings.Join(ds.opts.RemoteShards, ","),
+			remote:  ds.place.cacheKey(),
 		}
 	}
 	pol := core.ResolveIndexPolicy(ds.pol, n)
@@ -631,8 +695,17 @@ func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 		var ix geometry.BallIndex
 		var err error
 		if key.remote != "" {
-			ix, err = core.NewRemoteBallIndexFrame(context.Background(), ds.frame, ds.grid,
-				key.workers, ds.opts.RemoteShards, ds.opts.RemoteDial)
+			p := ds.place
+			ix, err = core.NewReplicatedBallIndexFrame(context.Background(), ds.frame, ds.grid,
+				key.workers, p.Partitions, transport.ReplicaOptions{
+					Options: transport.Options{
+						Dial:        p.Dial,
+						DialTimeout: p.DialTimeout,
+						Retries:     p.Retries,
+					},
+					HedgeDelay:    p.HedgeDelay,
+					ProbeInterval: p.ProbeInterval,
+				})
 		} else {
 			ix, err = core.NewBallIndexFrame(context.Background(), ds.frame, ds.grid, key.pol, key.workers, key.shards)
 		}

@@ -171,8 +171,10 @@
 // # Remote shards
 //
 // The sum-decomposition above is location-transparent, and
-// DatasetOptions.RemoteShards exercises that: with shard-server addresses
-// configured, the handle's ball index is built with one shard per address,
+// DatasetOptions.Placement exercises that: with shard-server addresses
+// configured (one partition per replica set; the deprecated
+// DatasetOptions.RemoteShards spells the single-replica case), the
+// handle's ball index is built with one shard per partition,
 // each served by a cmd/shardserver daemon over a versioned,
 // length-prefixed binary wire protocol (internal/transport). The handshake
 // ships the prepared global point set (or, for servers preloaded with
@@ -218,6 +220,38 @@
 // transport security (TLS/mTLS tunnels or a private network); the wire
 // protocol itself is deliberately plain TCP and does not pretend to add
 // privacy.
+//
+// # Replication and failover
+//
+// A Placement partition may list several replica addresses, and then shard
+// server death stops being fatal: the partition's calls go to the first
+// healthy replica, a failed call is retried on a sibling (the caller sees
+// an error only after every replica of the partition has refused), and
+// replicas marked down are re-probed in the background and rejoin the
+// preference order when they recover. What makes this replication scheme
+// almost embarrassingly simple is the query model: every bulk call a shard
+// answers ("count your points within r of these centers") is a pure,
+// deterministic read of an immutable point set, so any replica holding the
+// partition's points returns the byte-identical answer and failover needs
+// no consensus, no write-ahead state, and no reconciliation — switching
+// replicas mid-sweep cannot be observed in the release, which
+// examples/replicated re-proves in CI by hard-killing a replica mid-query.
+// For the same reason hedged reads are safe: with Placement.HedgeDelay
+// set, a straggling call is re-issued to a sibling after the delay and the
+// first answer wins — the loser's answer is discarded, never summed, so
+// hedging trades duplicated shard compute for tail latency and nothing
+// else (BenchmarkReplicatedLoopback quantifies both the idle-standby cost,
+// which is near zero since standby replicas are dialed lazily, and the
+// hedging duplication). Health marks are a preference order, not a
+// correctness input: a stale mark costs a wasted connection attempt or a
+// failover hop, never a wrong count. Two boundaries follow from the model.
+// Mutable handles require single-replica partitions — epoch sessions are
+// connection-scoped, mutations are not idempotent, and silently failing
+// over a stream would fork the epoch history. And replication does not
+// shrink the trust boundary: every replica holds the partition's raw
+// points, so each replica server must sit in the data owner's trust
+// domain, and adding replicas widens the deployment surface that must be
+// protected (the guarantee on released outputs is unaffected either way).
 //
 // # Streaming ingestion
 //

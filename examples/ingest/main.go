@@ -98,9 +98,15 @@ func main() {
 		fmt.Printf("%-22s center %.4v  radius %.4g  == fresh open (bit-identical)\n", tag, got.Center, got.Radius)
 	}
 
+	// Mutable handles require single-replica partitions: epoch sessions
+	// are connection-scoped and cannot fail over mid-stream.
+	parts := make([][]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = []string{a}
+	}
 	ds, err := privcluster.Open(points[:n0], privcluster.DatasetOptions{
-		Mutable:      true,
-		RemoteShards: addrs,
+		Mutable:   true,
+		Placement: &privcluster.Placement{Partitions: parts},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -79,8 +79,15 @@ func main() {
 		return c, time.Since(start)
 	}
 
+	// One single-replica partition per server — the structured spelling of
+	// the old flat RemoteShards list (see examples/replicated for replica
+	// sets and failover).
+	parts := make([][]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = []string{a}
+	}
 	local, dLocal := run(privcluster.DatasetOptions{Shards: *shards})
-	remote, dRemote := run(privcluster.DatasetOptions{RemoteShards: addrs})
+	remote, dRemote := run(privcluster.DatasetOptions{Placement: &privcluster.Placement{Partitions: parts}})
 
 	fmt.Printf("local  (%d in-process shards): center %.4v  radius %.4g  [%v]\n",
 		*shards, local.Center, local.Radius, dLocal)

@@ -1,0 +1,138 @@
+// Replicated: shard failover under fire — the same seeded query answered
+// by local cores, by a replicated placement, and by the same placement
+// with one replica hard-killed midway through the query, all checked
+// bit-identical.
+//
+// Every replica of a shard partition serves the same points, and the ball
+// index's bulk counts are pure reads — so which replica answers is
+// invisible to releases, and a replica death costs a failover hop, never
+// correctness. This program makes that concrete: it starts shard servers
+// on loopback TCP (the same code cmd/shardserver runs) in two partitions
+// of two replicas, runs a seeded query, then re-opens the handle and runs
+// the query again while a goroutine hard-kills a primary replica
+// mid-sweep. All three releases must agree bit for bit — the program
+// exits nonzero if they do not, so CI running it is an equivalence proof
+// of the failover path, not a demo that merely prints.
+//
+// Run it with:
+//
+//	go run ./examples/replicated
+//	go run ./examples/replicated -n 6000   # small, CI-sized
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"privcluster"
+	"privcluster/internal/transport"
+)
+
+func main() {
+	n := flag.Int("n", 50000, "number of points")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(1))
+	points := make([]privcluster.Point, 0, *n)
+	for i := 0; i < 3**n/5; i++ {
+		points = append(points, privcluster.Point{
+			0.4 + 0.03*(rng.Float64()*2-1),
+			0.6 + 0.03*(rng.Float64()*2-1),
+		})
+	}
+	for len(points) < *n {
+		points = append(points, privcluster.Point{rng.Float64(), rng.Float64()})
+	}
+	t := *n / 2
+	ctx := context.Background()
+	q := privcluster.QueryOptions{Epsilon: 2, Delta: 1e-5, Seed: 7}
+
+	// Four shard servers on loopback TCP: two partitions, two replicas
+	// each. In production these are cmd/shardserver daemons on other
+	// machines and the placement comes from a cmd/shardctl file.
+	const replicas, partitions = 2, 2
+	addrs := make([]string, partitions*replicas)
+	servers := make([]*transport.Server, len(addrs))
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		servers[i] = transport.NewServer(transport.ServerOptions{})
+		go servers[i].Serve(l)
+	}
+	place := &privcluster.Placement{Partitions: [][]string{
+		{addrs[0], addrs[1]},
+		{addrs[2], addrs[3]},
+	}}
+	fmt.Printf("started %d shard servers: partition 0 = %v, partition 1 = %v\n",
+		len(addrs), place.Partitions[0], place.Partitions[1])
+
+	run := func(o privcluster.DatasetOptions, during func()) (privcluster.Cluster, time.Duration) {
+		ds, err := privcluster.Open(points, o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ds.Close()
+		if during != nil {
+			go during()
+		}
+		start := time.Now()
+		c, err := ds.FindCluster(ctx, t, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c, time.Since(start)
+	}
+
+	local, dLocal := run(privcluster.DatasetOptions{Shards: partitions}, nil)
+	healthy, dHealthy := run(privcluster.DatasetOptions{Placement: place}, nil)
+
+	// Run the query again with partition 0's primary replica hard-killed
+	// shortly after the sweep starts: connections drop mid-response and
+	// later dials are refused, so the index must fail over to the sibling.
+	victim := servers[0]
+	killed, dKilled := run(privcluster.DatasetOptions{Placement: place}, func() {
+		time.Sleep(dHealthy / 4)
+		victim.Close()
+		fmt.Printf("killed replica %s mid-query\n", addrs[0])
+	})
+
+	fmt.Printf("local    (%d in-process shards):      center %.4v  radius %.4g  [%v]\n",
+		partitions, local.Center, local.Radius, dLocal)
+	fmt.Printf("replicated (%d×%d shard servers):      center %.4v  radius %.4g  [%v]\n",
+		partitions, replicas, healthy.Center, healthy.Radius, dHealthy)
+	fmt.Printf("replica killed mid-query (failover): center %.4v  radius %.4g  [%v]\n",
+		killed.Center, killed.Radius, dKilled)
+
+	for _, c := range []struct {
+		name string
+		got  privcluster.Cluster
+	}{{"replicated", healthy}, {"failover", killed}} {
+		if c.got.Radius != local.Radius || c.got.RawRadius != local.RawRadius ||
+			c.got.Center[0] != local.Center[0] || c.got.Center[1] != local.Center[1] {
+			log.Fatalf("MISMATCH: %s release differs from local:\nlocal: %+v\n%s: %+v",
+				c.name, local, c.name, c.got)
+		}
+	}
+	fmt.Println("all three releases are bit-identical: replica failover moved connections, not the privacy analysis")
+
+	for i, srv := range servers {
+		if srv == victim {
+			continue // already hard-killed
+		}
+		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		if err := srv.Shutdown(sctx); err != nil {
+			cancel()
+			log.Fatalf("server %d shutdown: %v", i, err)
+		}
+		cancel()
+	}
+	fmt.Println("surviving shard servers drained and stopped")
+}

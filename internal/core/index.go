@@ -237,3 +237,36 @@ func NewRemoteBallIndexFrame(ctx context.Context, points *vec.Frame, grid geomet
 		Cell:   cell,
 	}, transport.ShardDialer(addrs, transport.Options{Dial: dial}))
 }
+
+// NewReplicatedBallIndexFrame is NewRemoteBallIndexFrame over a placement:
+// shard partition s is served by the replica set parts[s], with failover,
+// optional hedging and background health probing per ropts
+// (transport.ReplicatedShardDialer). Single-replica partitions degrade to
+// exactly the plain remote path, and releases are bit-identical to
+// NewBallIndex's regardless of which replica answers each call — every
+// replica of a partition serves the same pure-read shard config.
+func NewReplicatedBallIndexFrame(ctx context.Context, points *vec.Frame, grid geometry.Grid, workers int, parts [][]string, ropts transport.ReplicaOptions) (geometry.BallIndex, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("core: replicated ball index needs at least one shard partition")
+	}
+	for p, addrs := range parts {
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("core: shard partition %d has no replicas", p)
+		}
+		for i, a := range addrs {
+			if a == "" {
+				return nil, fmt.Errorf("core: partition %d replica address %d is empty", p, i)
+			}
+		}
+	}
+	cell := geometry.CellIndexOptions{
+		MinRadius: grid.RadiusUnit(),
+		MaxRadius: grid.MaxDistance(),
+		Workers:   workers,
+	}
+	return geometry.NewShardedIndexBackends(ctx, points, geometry.ShardedIndexOptions{
+		Shards: len(parts),
+		Policy: geometry.ShardMorton,
+		Cell:   cell,
+	}, transport.ReplicatedShardDialer(parts, ropts))
+}

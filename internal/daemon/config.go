@@ -19,6 +19,8 @@ import (
 	"os"
 	"strings"
 	"time"
+
+	"privcluster"
 )
 
 // Config is the daemon configuration, normally loaded from a JSON file
@@ -61,8 +63,19 @@ type DatasetConfig struct {
 	// Shards and Workers mirror DatasetOptions.
 	Shards  int `json:"shards,omitempty"`
 	Workers int `json:"workers,omitempty"`
-	// RemoteShards lists shard-server addresses (see DatasetOptions).
+	// RemoteShards lists shard-server addresses, one single-replica shard
+	// per address.
+	//
+	// Deprecated: use Placement, which adds replica sets and failover
+	// knobs. A remote_shards list behaves exactly like a placement whose
+	// partitions each hold that one address.
 	RemoteShards []string `json:"remote_shards,omitempty"`
+	// Placement is the replicated shard-server topology in the
+	// privcluster placement schema (the format cmd/shardctl generates:
+	// "partitions" plus optional "retries", "hedge_delay_ms",
+	// "probe_interval_ms", "dial_timeout_ms"), inlined as an object.
+	// Mutually exclusive with RemoteShards.
+	Placement json.RawMessage `json:"placement,omitempty"`
 	// Mutable opens a streaming handle so queries may pin at_epoch.
 	Mutable bool `json:"mutable,omitempty"`
 }
@@ -77,6 +90,15 @@ type PrincipalConfig struct {
 	APIKey  string  `json:"api_key"`
 	Epsilon float64 `json:"epsilon"`
 	Delta   float64 `json:"delta"`
+}
+
+// placement decodes the inlined placement block through the same parser
+// cmd/shardctl and LoadPlacement use (nil when the block is absent).
+func (d DatasetConfig) placement() (*privcluster.Placement, error) {
+	if len(d.Placement) == 0 {
+		return nil, nil
+	}
+	return privcluster.ParsePlacement(d.Placement)
 }
 
 // maxDeadline resolves the configured deadline cap.
@@ -109,6 +131,14 @@ func (c Config) Validate() error {
 		seen[d.Name] = true
 		if d.CSV == "" {
 			return fmt.Errorf("daemon: dataset %q has no csv path", d.Name)
+		}
+		if len(d.Placement) > 0 {
+			if len(d.RemoteShards) > 0 {
+				return fmt.Errorf("daemon: dataset %q sets both placement and remote_shards", d.Name)
+			}
+			if _, err := d.placement(); err != nil {
+				return fmt.Errorf("daemon: dataset %q: %w", d.Name, err)
+			}
 		}
 	}
 	if len(c.Principals) == 0 {

@@ -86,6 +86,10 @@ func openDataset(dc DatasetConfig, adm privcluster.Admitter) (*privcluster.Datas
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", dc.CSV, err)
 	}
+	place, err := dc.placement()
+	if err != nil {
+		return nil, err
+	}
 	return privcluster.Open(pts, privcluster.DatasetOptions{
 		GridSize:     dc.Grid,
 		Min:          dc.Min,
@@ -93,6 +97,7 @@ func openDataset(dc DatasetConfig, adm privcluster.Admitter) (*privcluster.Datas
 		Shards:       dc.Shards,
 		Workers:      dc.Workers,
 		RemoteShards: dc.RemoteShards,
+		Placement:    place,
 		Mutable:      dc.Mutable,
 		Admitter:     adm,
 	})

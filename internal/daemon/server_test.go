@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"privcluster/internal/ledger"
+	"privcluster/internal/transport"
 )
 
 // writeClusterCSV writes a 2-D planted-cluster dataset in the module's
@@ -360,5 +362,92 @@ func TestLoadConfigRejectsUnknownFields(t *testing.T) {
 	}
 	if _, err := LoadConfig(path); err == nil {
 		t.Fatal("typoed config field accepted")
+	}
+}
+
+// startTCPShardServers brings up wire-protocol shard servers on real TCP
+// for the placement config block (file-borne placements cannot carry a
+// Dial override, so the daemon dials TCP).
+func startTCPShardServers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		srv := transport.NewServer(transport.ServerOptions{})
+		go srv.Serve(l)
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+		})
+	}
+	return addrs
+}
+
+// TestServerPlacementDataset: a dataset served through the config's
+// placement block (two shard partitions × two replicas over real TCP)
+// releases the same seeded cluster as the deprecated remote_shards list
+// over the same two partitions — the daemon layer of the placement
+// equivalence chain, old API vs new.
+func TestServerPlacementDataset(t *testing.T) {
+	addrs := startTCPShardServers(t, 4)
+
+	old := testConfig(t, t.TempDir())
+	old.Datasets[0].RemoteShards = []string{addrs[0], addrs[2]}
+	oldSrv := startServer(t, old)
+	code, want := post(t, oldSrv.Addr(), "/v1/query/cluster", "sekrit", clusterQuery)
+	if code != http.StatusOK {
+		t.Fatalf("remote_shards query status %d: %v", code, want)
+	}
+
+	cfg := testConfig(t, t.TempDir())
+	placement, err := json.Marshal(map[string]any{
+		"partitions": [][]string{{addrs[0], addrs[1]}, {addrs[2], addrs[3]}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Datasets[0].Placement = placement
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("placement config rejected: %v", err)
+	}
+	s := startServer(t, cfg)
+	code, got := post(t, s.Addr(), "/v1/query/cluster", "sekrit", clusterQuery)
+	if code != http.StatusOK {
+		t.Fatalf("placement query status %d: %v", code, got)
+	}
+	for _, field := range []string{"center", "radius", "raw_radius"} {
+		if !bytes.Equal(got[field], want[field]) {
+			t.Errorf("placement release %s = %s, remote_shards %s", field, got[field], want[field])
+		}
+	}
+}
+
+// TestConfigPlacementValidation: the placement block is validated at
+// config load, and conflicts with the deprecated remote_shards list.
+func TestConfigPlacementValidation(t *testing.T) {
+	base := testConfig(t, t.TempDir())
+	both := base
+	both.Datasets = []DatasetConfig{base.Datasets[0]}
+	both.Datasets[0].Placement = json.RawMessage(`{"partitions": [["a:1"]]}`)
+	both.Datasets[0].RemoteShards = []string{"b:2"}
+	if err := both.Validate(); err == nil {
+		t.Error("placement plus remote_shards accepted")
+	}
+	bad := base
+	bad.Datasets = []DatasetConfig{base.Datasets[0]}
+	bad.Datasets[0].Placement = json.RawMessage(`{"partitions": [[]]}`)
+	if err := bad.Validate(); err == nil {
+		t.Error("empty partition accepted")
+	}
+	typo := base
+	typo.Datasets = []DatasetConfig{base.Datasets[0]}
+	typo.Datasets[0].Placement = json.RawMessage(`{"partitions": [["a:1"]], "hedge_ms": 5}`)
+	if err := typo.Validate(); err == nil {
+		t.Error("unknown placement field accepted")
 	}
 }
