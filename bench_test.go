@@ -444,6 +444,51 @@ func BenchmarkDatasetReuse(b *testing.B) {
 	})
 }
 
+// BenchmarkDatasetReuseTraced is the warm-query benchmark with tracing: the
+// "off" variant is the tracing-disabled fast path (what BenchmarkDatasetReuse
+// warm gates — coarse stage timers only, no span bookkeeping, so its
+// allocs/op must not move), the "on" variant runs every query under
+// WithTrace and prices the full span tree. Recorded in the CI artifact for
+// comparison, not gated: the traced path is opt-in per query.
+func BenchmarkDatasetReuseTraced(b *testing.B) {
+	grid, err := geometry.NewGrid(1<<16, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts, tt, err := bench.IndexWorkload(1, 100000, 2, grid)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub := make([]Point, len(pts))
+	for i, p := range pts {
+		pub[i] = Point(p)
+	}
+	ds, err := Open(pub, DatasetOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ds.FindCluster(context.Background(), tt, QueryOptions{Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ds.FindCluster(context.Background(), tt, QueryOptions{Seed: int64(i) + 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := WithTrace(context.Background())
+			if _, err := ds.FindCluster(ctx, tt, QueryOptions{Seed: int64(i) + 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkFrameSweep pins the flat-frame distance kernels everything above
 // rests on: one strided pass over a 100k-row frame with caller-owned output
 // buffers. Zero allocs/op and B/op are the contract — a regression here

@@ -63,7 +63,7 @@ func TestRunDaemonMode(t *testing.T) {
 	base := "http://" + srv.Addr()
 
 	var out bytes.Buffer
-	if err := runDaemon(&out, base, "k", "planted", 400, 1, 4, 0.05, 0.1, 7); err != nil {
+	if err := runDaemon(&out, base, "k", "planted", 400, 1, 4, 0.05, 0.1, 7, false); err != nil {
 		t.Fatalf("runDaemon: %v\noutput:\n%s", err, out.String())
 	}
 
@@ -88,16 +88,16 @@ func TestRunDaemonMode(t *testing.T) {
 
 	// The grant is spent; the next query must surface the typed refusal.
 	var out2 bytes.Buffer
-	err = runDaemon(&out2, base, "k", "planted", 400, 1, 4, 0.05, 0.1, 7)
+	err = runDaemon(&out2, base, "k", "planted", 400, 1, 4, 0.05, 0.1, 7, false)
 	if err == nil || !strings.Contains(err.Error(), "budget_exhausted") {
 		t.Fatalf("exhausted principal: err = %v, want budget_exhausted refusal", err)
 	}
 
 	// Missing credentials are caught client-side; a wrong key server-side.
-	if err := runDaemon(&bytes.Buffer{}, base, "", "planted", 400, 1, 4, 0.05, 0.1, 0); err == nil {
+	if err := runDaemon(&bytes.Buffer{}, base, "", "planted", 400, 1, 4, 0.05, 0.1, 0, false); err == nil {
 		t.Error("runDaemon without -apikey succeeded")
 	}
-	if err := runDaemon(&bytes.Buffer{}, base, "wrong", "planted", 400, 1, 4, 0.05, 0.1, 0); err == nil || !strings.Contains(err.Error(), "unauthorized") {
+	if err := runDaemon(&bytes.Buffer{}, base, "wrong", "planted", 400, 1, 4, 0.05, 0.1, 0, false); err == nil || !strings.Contains(err.Error(), "unauthorized") {
 		t.Errorf("wrong key: err = %v, want unauthorized", err)
 	}
 }

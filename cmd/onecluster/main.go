@@ -41,6 +41,18 @@
 // is read; -dataset names the served dataset and -apikey authenticates:
 //
 //	onecluster -daemon http://host:7610 -apikey KEY -dataset points -t 400 -epsilon 2
+//
+// -trace runs the query under a trace and prints its span tree (stage
+// names, durations, operation counts — never data values) after the
+// release. Locally and with -remote the tree is collected client-side;
+// the 128-bit trace ID also travels to every shard server, which
+// announces it on its log, so one query can be followed across
+// machines. In -daemon mode the server traces the query, returns the
+// ID in the X-Trace-Id response header, and the tree is fetched back
+// from GET /v1/trace/{id}:
+//
+//	onecluster -t 400 -trace points.csv
+//	onecluster -daemon http://host:7610 -apikey KEY -dataset points -t 400 -trace
 package main
 
 import (
@@ -54,8 +66,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"privcluster"
 )
@@ -77,6 +91,7 @@ func main() {
 	daemonURL := flag.String("daemon", "", `privclusterd base URL (e.g. "http://host:7610"): run the query against a served dataset instead of local data; requires -apikey and -dataset, reads no CSV`)
 	apiKey := flag.String("apikey", "", "API key authenticating to -daemon")
 	dataset := flag.String("dataset", "", "served dataset name to query in -daemon mode")
+	trace := flag.Bool("trace", false, "trace the query and print its span tree (timings and operation counts only, never data values)")
 	flag.Parse()
 
 	if *queries == "" && *t <= 0 {
@@ -87,12 +102,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "onecluster: -k cannot be combined with -queries (each query is a single-cluster release)")
 		os.Exit(2)
 	}
+	if *trace && *parallel {
+		fmt.Fprintln(os.Stderr, "onecluster: -trace cannot be combined with -parallel (concurrent queries would interleave one span tree)")
+		os.Exit(2)
+	}
 	if *daemonURL != "" {
 		if *queries != "" {
 			fmt.Fprintln(os.Stderr, "onecluster: -queries is not supported in -daemon mode (issue the queries separately)")
 			os.Exit(2)
 		}
-		if err := runDaemon(os.Stdout, *daemonURL, *apiKey, *dataset, *t, *k, *epsilon, *delta, *beta, *seed); err != nil {
+		if err := runDaemon(os.Stdout, *daemonURL, *apiKey, *dataset, *t, *k, *epsilon, *delta, *beta, *seed, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
@@ -120,15 +139,15 @@ func main() {
 	}
 
 	if *queries != "" {
-		if err := runQueries(os.Stdout, points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed, *shards, *parallel, place); err != nil {
+		if err := runQueries(os.Stdout, points, *queries, *budget, *epsilon, *delta, *beta, *gridSize, *seed, *shards, *parallel, place, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	if place != nil {
-		if err := runRemote(os.Stdout, points, *t, *k, *epsilon, *delta, *beta, *gridSize, *seed, place); err != nil {
+	if place != nil || *trace {
+		if err := runHandle(os.Stdout, points, *t, *k, *epsilon, *delta, *beta, *gridSize, *seed, *shards, place, *trace); err != nil {
 			fmt.Fprintln(os.Stderr, "onecluster:", err)
 			os.Exit(1)
 		}
@@ -162,8 +181,10 @@ func main() {
 // runDaemon issues the query against a running privclusterd and prints
 // the released cluster(s) plus the caller's durable budget state. The
 // client never sees the data, so no point counts are printed — only
-// what the server released.
-func runDaemon(out io.Writer, base, key, dataset string, t, k int, epsilon, delta, beta float64, seed int64) error {
+// what the server released. With trace, the server-side span tree is
+// fetched back from /v1/trace/{id} using the X-Trace-Id the query
+// response carried.
+func runDaemon(out io.Writer, base, key, dataset string, t, k int, epsilon, delta, beta float64, seed int64, trace bool) error {
 	if dataset == "" {
 		return fmt.Errorf("-daemon requires -dataset")
 	}
@@ -194,7 +215,8 @@ func runDaemon(out io.Writer, base, key, dataset string, t, k int, epsilon, delt
 			Radius float64   `json:"radius"`
 		} `json:"clusters"`
 	}
-	if err := daemonCall(base+path, "POST", key, body, &result); err != nil {
+	traceID, err := daemonCall(base+path, "POST", key, body, &result)
+	if err != nil {
 		return err
 	}
 	if k > 1 {
@@ -207,11 +229,16 @@ func runDaemon(out io.Writer, base, key, dataset string, t, k int, epsilon, delt
 		fmt.Fprintf(out, "  center: %v\n", formatPoint(result.Center))
 		fmt.Fprintf(out, "  radius: %g (radius-stage estimate %g)\n", result.Radius, result.RawRadius)
 	}
+	if trace {
+		if err := printServerTrace(out, base, traceID); err != nil {
+			return err
+		}
+	}
 	var budget struct {
 		Spent     map[string]float64 `json:"spent"`
 		Remaining map[string]float64 `json:"remaining"`
 	}
-	if err := daemonCall(base+"/v1/budget", "GET", key, nil, &budget); err != nil {
+	if _, err := daemonCall(base+"/v1/budget", "GET", key, nil, &budget); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "budget: spent (ε=%g, δ=%g), remaining (ε=%g, δ=%g)\n",
@@ -220,30 +247,69 @@ func runDaemon(out io.Writer, base, key, dataset string, t, k int, epsilon, delt
 	return nil
 }
 
-// daemonCall is one authenticated JSON round trip to privclusterd; a
-// non-2xx response is surfaced as its typed error envelope.
-func daemonCall(url, method, key string, body, into any) error {
+// printServerTrace fetches a retained span tree from /v1/trace/{id} and
+// prints it in the same indented form QueryStats.Tree uses.
+func printServerTrace(out io.Writer, base, id string) error {
+	if id == "" {
+		return fmt.Errorf("daemon response carried no X-Trace-Id header (server predates tracing?)")
+	}
+	var tr struct {
+		TraceID string `json:"trace_id"`
+		Spans   []struct {
+			Name       string           `json:"name"`
+			Depth      int              `json:"depth"`
+			DurationUS int64            `json:"duration_us"`
+			Counters   map[string]int64 `json:"counters"`
+		} `json:"spans"`
+	}
+	if _, err := daemonCall(base+"/v1/trace/"+id, "GET", "", nil, &tr); err != nil {
+		return fmt.Errorf("fetching trace %s: %w", id, err)
+	}
+	fmt.Fprintf(out, "trace %s (server-side)\n", tr.TraceID)
+	for _, s := range tr.Spans {
+		fmt.Fprintf(out, "%s%-24s %12v", strings.Repeat("  ", s.Depth+1), s.Name,
+			time.Duration(s.DurationUS)*time.Microsecond)
+		keys := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(out, "  %s=%d", k, s.Counters[k])
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// daemonCall is one authenticated JSON round trip to privclusterd,
+// returning the response's X-Trace-Id header (if any); a non-2xx
+// response is surfaced as its typed error envelope.
+func daemonCall(url, method, key string, body, into any) (string, error) {
 	var reader io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
 		if err != nil {
-			return err
+			return "", err
 		}
 		reader = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequest(method, url, reader)
 	if err != nil {
-		return err
+		return "", err
 	}
-	req.Header.Set("Authorization", "Bearer "+key)
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return "", err
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-Id")
 	if resp.StatusCode != http.StatusOK {
 		var envelope struct {
 			Error struct {
@@ -252,11 +318,11 @@ func daemonCall(url, method, key string, body, into any) error {
 			} `json:"error"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil || envelope.Error.Code == "" {
-			return fmt.Errorf("daemon returned HTTP %d", resp.StatusCode)
+			return traceID, fmt.Errorf("daemon returned HTTP %d", resp.StatusCode)
 		}
-		return fmt.Errorf("daemon refused (%s): %s", envelope.Error.Code, envelope.Error.Message)
+		return traceID, fmt.Errorf("daemon refused (%s): %s", envelope.Error.Code, envelope.Error.Message)
 	}
-	return json.NewDecoder(resp.Body).Decode(into)
+	return traceID, json.NewDecoder(resp.Body).Decode(into)
 }
 
 // resolvePlacement turns the -remote / -placement flags into the handle's
@@ -294,32 +360,41 @@ func parseRemote(s string) (*privcluster.Placement, error) {
 	return &privcluster.Placement{Partitions: partitions}, nil
 }
 
-// runRemote runs the single-shot query (-t, optionally -k) through a
-// Dataset handle whose ball index is served by the placement's shard
-// servers — the Placement path needs a handle, which the free functions do
-// not carry.
-func runRemote(out io.Writer, points []privcluster.Point, t, k int, epsilon, delta, beta float64, gridSize, seed int64, place *privcluster.Placement) error {
-	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, Placement: place})
+// runHandle runs the single-shot query (-t, optionally -k) through a
+// Dataset handle — the path taken with a shard-server placement (the
+// free functions do not carry one) or with -trace (the span tree hangs
+// off the handle's query context).
+func runHandle(out io.Writer, points []privcluster.Point, t, k int, epsilon, delta, beta float64, gridSize, seed int64, shards int, place *privcluster.Placement, trace bool) error {
+	ds, err := privcluster.Open(points, privcluster.DatasetOptions{GridSize: gridSize, Shards: shards, Placement: place})
 	if err != nil {
 		return err
 	}
 	defer ds.Close()
+	ctx := context.Background()
 	q := privcluster.QueryOptions{Epsilon: epsilon, Delta: delta, Beta: beta, Seed: seed}
+	var stats privcluster.QueryStats
+	if trace {
+		ctx = privcluster.WithTrace(ctx)
+		q.Stats = &stats
+	}
 	if k <= 1 {
-		c, err := ds.FindCluster(context.Background(), t, q)
+		c, err := ds.FindCluster(ctx, t, q)
 		if err != nil {
 			return err
 		}
 		printCluster(out, c, points)
-		return nil
+	} else {
+		cs, err := ds.FindClusters(ctx, k, t, q)
+		if err != nil {
+			return err
+		}
+		for i, c := range cs {
+			fmt.Fprintf(out, "cluster %d:\n", i+1)
+			printCluster(out, c, points)
+		}
 	}
-	cs, err := ds.FindClusters(context.Background(), k, t, q)
-	if err != nil {
-		return err
-	}
-	for i, c := range cs {
-		fmt.Fprintf(out, "cluster %d:\n", i+1)
-		printCluster(out, c, points)
+	if trace {
+		io.WriteString(out, stats.Tree())
 	}
 	return nil
 }
@@ -335,7 +410,7 @@ func runRemote(out io.Writer, points []privcluster.Point, t, k int, epsilon, del
 // are reported per query rather than stopping the run. A non-nil
 // placement serves the ball index from those shard servers instead of
 // local cores; releases are unchanged.
-func runQueries(out io.Writer, points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64, shards int, parallel bool, place *privcluster.Placement) error {
+func runQueries(out io.Writer, points []privcluster.Point, queries, budget string, epsilon, delta, beta float64, gridSize, seed int64, shards int, parallel bool, place *privcluster.Placement, trace bool) error {
 	ts, err := parseQueries(queries)
 	if err != nil {
 		return err
@@ -378,7 +453,15 @@ func runQueries(out io.Writer, points []privcluster.Point, queries, budget strin
 		}
 	} else {
 		for i, t := range ts {
-			c, err := ds.FindCluster(ctx, t, qopts[i])
+			qctx := ctx
+			var stats privcluster.QueryStats
+			if trace {
+				// Each sequential query gets its own trace so the printed
+				// trees do not share an ID (or a span budget).
+				qctx = privcluster.WithTrace(ctx)
+				qopts[i].Stats = &stats
+			}
+			c, err := ds.FindCluster(qctx, t, qopts[i])
 			fmt.Fprintf(out, "query %d (t=%d, ε=%g, δ=%g):\n", i+1, t, epsilon, delta)
 			if err != nil {
 				if errors.Is(err, privcluster.ErrBudgetExhausted) {
@@ -388,6 +471,9 @@ func runQueries(out io.Writer, points []privcluster.Point, queries, budget strin
 				continue
 			}
 			printCluster(out, c, points)
+			if trace {
+				io.WriteString(out, stats.Tree())
+			}
 		}
 	}
 	spent := ds.Spent()

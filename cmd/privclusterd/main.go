@@ -32,7 +32,14 @@
 //	POST /v1/query/batch     {"dataset","queries":[...]}            → per-query results
 //	GET  /v1/budget                                                 → caller's durable balance
 //	GET  /metrics                                                   → Prometheus text metrics
+//	GET  /v1/trace/{id}                                             → retained span tree of a recent query
 //	GET  /healthz                                                   → liveness
+//
+// Every query runs under a trace whose ID is returned in the
+// X-Trace-Id response header; GET /v1/trace/<that id> returns the
+// query's span tree (stage names, durations, operation counts — never
+// data values). With "admin_listen" set in the config, a second
+// listener serves net/http/pprof under /debug/pprof/.
 //
 // Query errors are typed: {"error":{"code":"budget_exhausted",...}}
 // with HTTP 429 for refusals (the body carries the full accounting),
@@ -103,6 +110,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "privclusterd: serving %d datasets to %d principals on %s\n",
 		len(cfg.Datasets), len(cfg.Principals), srv.Addr())
+	if a := srv.AdminAddr(); a != "" {
+		fmt.Fprintf(out, "privclusterd: admin (pprof) on %s\n", a)
+	}
 
 	<-ctx.Done()
 	fmt.Fprintf(out, "privclusterd: shutting down (grace %s)\n", *grace)

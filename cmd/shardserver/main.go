@@ -6,6 +6,15 @@
 //
 //	shardserver -addr :7601
 //	shardserver -addr :7601 -csv points.csv -grid 65536
+//	shardserver -addr :7601 -admin 127.0.0.1:7699
+//
+// With -admin a second listener serves the process metrics
+// (Prometheus text on /metrics: fan-out latency, cache and replica
+// counters) and net/http/pprof under /debug/pprof/. Bind it to a
+// loopback or otherwise access-controlled address. Traced client
+// sessions (wire protocol v3) are announced on the log with their
+// 128-bit trace ID, so one query can be followed from the client's
+// span tree into every shard server it touched.
 //
 // Without -csv the server is stateless: each client connection ships the
 // prepared global point set in its handshake and the server builds the
@@ -35,7 +44,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +56,7 @@ import (
 	"time"
 
 	"privcluster/internal/geometry"
+	"privcluster/internal/obs"
 	"privcluster/internal/transport"
 	"privcluster/internal/vec"
 )
@@ -68,6 +81,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	domainMin := fs.Float64("min", 0, "domain lower bound of the preloaded points (must match the client)")
 	domainMax := fs.Float64("max", 0, "domain upper bound (0,0 = unit cube; must match the client)")
 	workers := fs.Int("workers", 0, "worker-pool bound for the hosted shards' count passes (0 = GOMAXPROCS)")
+	admin := fs.String("admin", "", "admin TCP address serving /metrics and /debug/pprof/ (empty = disabled; bind to loopback)")
 	grace := fs.Duration("grace", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,9 +118,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(out, format+"\n", args...)
 		},
+		// Traced sessions (wire protocol v3 clients propagating a trace
+		// ID) are announced through the structured logger so an operator
+		// can grep the client's trace ID across machines.
+		Log: obs.NewLogger(out, slog.LevelInfo, 0),
 	})
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()
+
+	if *admin != "" {
+		amux := http.NewServeMux()
+		amux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			obs.Default.WriteText(w)
+		})
+		amux.HandleFunc("/debug/pprof/", pprof.Index)
+		amux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		amux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			l.Close()
+			return fmt.Errorf("admin listen %s: %w", *admin, err)
+		}
+		defer aln.Close()
+		fmt.Fprintf(out, "shardserver: admin (metrics, pprof) on %s\n", aln.Addr())
+		go http.Serve(aln, amux)
+	}
 
 	select {
 	case err := <-serveErr:

@@ -271,6 +271,11 @@ type QueryOptions struct {
 	// ErrEpochRetired unless its snapshot is still cached. On an immutable
 	// handle any nonzero value is an error.
 	AtEpoch uint64
+	// Stats, when non-nil, receives the query's stage breakdown (see
+	// QueryStats) once the query finishes — the race-free alternative to
+	// Dataset.LastStats. Purely observational: it never changes releases,
+	// budget accounting, or errors.
+	Stats *QueryStats
 }
 
 func (q QueryOptions) withDefaults() QueryOptions {
@@ -377,8 +382,10 @@ func (c *cachedIndex) BuildLStep(ctx context.Context, t int) (*geometry.LStep, e
 	ls, ok := c.lsteps[t]
 	c.mu.Unlock()
 	if ok {
+		statLStepCacheHit.Inc()
 		return ls, nil
 	}
+	statLStepCacheMiss.Inc()
 	// Build outside the lock: concurrent first queries at the same t may
 	// both sweep, but the results are identical and the second recording is
 	// a no-op — queries never serialize behind a multi-second sweep.
@@ -469,6 +476,9 @@ type Dataset struct {
 	// builds counts index constructions (diagnostics; the concurrency test
 	// pins it at one).
 	builds atomic.Int32
+	// lastStats is the stage breakdown of the most recently finished query
+	// (see LastStats / QueryStats). Guarded by mu.
+	lastStats QueryStats
 	// scratch pools per-query working buffers (rotation matrices, histogram
 	// maps, member lists) so warm queries re-lend instead of reallocating.
 	// Scratch reuse never changes releases — only where intermediates live.
@@ -664,13 +674,14 @@ func (ds *Dataset) effectiveKey() indexKey {
 }
 
 // index returns the cached ball index for the key, building it exactly
-// once per key even under concurrent first queries. Index construction
-// draws no randomness, so a cached index releases bit-identical seeded
-// results to a per-call build. The build gets no query context: the index
-// is shared by every later query on the handle, so one caller's deadline
-// must not poison it (cancellation still aborts the per-query BuildLStep
-// sweep, the dominant cost).
-func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
+// once per key even under concurrent first queries; cold reports whether
+// this call ran the build (rather than reusing a cached index). Index
+// construction draws no randomness, so a cached index releases
+// bit-identical seeded results to a per-call build. The build gets no
+// query context: the index is shared by every later query on the handle,
+// so one caller's deadline must not poison it (cancellation still aborts
+// the per-query BuildLStep sweep, the dominant cost).
+func (ds *Dataset) index(key indexKey) (ix geometry.BallIndex, cold bool, err error) {
 	ds.mu.Lock()
 	e, ok := ds.indexes[key]
 	if !ok {
@@ -687,7 +698,13 @@ func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 		}
 	}
 	ds.mu.Unlock()
+	if ok {
+		statIndexCacheHit.Inc()
+	} else {
+		statIndexCacheMiss.Inc()
+	}
 	e.once.Do(func() {
+		cold = true
 		ds.builds.Add(1)
 		// key.shards is already resolved, so the build matches the key even
 		// if GOMAXPROCS changed since effectiveKey ran (ResolveShards is
@@ -715,7 +732,7 @@ func (ds *Dataset) index(key indexKey) (geometry.BallIndex, error) {
 		}
 		e.ix = newCachedIndex(ix)
 	})
-	return e.ix, e.err
+	return e.ix, cold, e.err
 }
 
 // indexCacheSize resolves the configured cache bound (0 = default).
@@ -850,6 +867,7 @@ func (ds *Dataset) FindCluster(ctx context.Context, t int, q QueryOptions) (Clus
 	if err := ds.checkOpen(); err != nil {
 		return Cluster{}, err
 	}
+	ctx, qt := beginQuery(ctx, "cluster")
 	ix, f, err := ds.queryIndex(q)
 	if err != nil {
 		return Cluster{}, err
@@ -862,22 +880,35 @@ func (ds *Dataset) FindCluster(ctx context.Context, t int, q QueryOptions) (Clus
 	// expensive) index build, released if the build fails — the mechanism
 	// never ran — and committed once the mechanism has (even on error:
 	// noise may have been drawn).
-	rsv, err := ds.reserve(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta})
+	rctx := qt.stage("reserve")
+	rsv, err := ds.reserve(rctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta})
+	qt.endStage(statStageReserve, &qt.stats.Reserve)
 	if err != nil {
 		return Cluster{}, err
 	}
+	qt.stage("build")
 	if ix == nil {
-		if ix, err = ds.index(ds.effectiveKey()); err != nil {
+		var cold bool
+		if ix, cold, err = ds.index(ds.effectiveKey()); err != nil {
 			_ = rsv.Release()
+			qt.finish(ds, q.Stats)
 			return Cluster{}, err
 		}
+		qt.stats.ColdIndex = cold
 	}
+	qt.endStage(statStageBuild, &qt.stats.Build)
 	release := ds.acquireScratch(&prm)
 	defer release()
+	prm.Ctx = qt.stage("mechanism")
 	res, err := core.OneClusterIndexed(q.rng(), ix, prm)
-	if cerr := rsv.Commit(); err == nil {
+	qt.endStage(statStageMechanism, &qt.stats.Mechanism)
+	qt.stage("commit")
+	cerr := rsv.Commit()
+	qt.endStage(statStageCommit, &qt.stats.Commit)
+	if err == nil {
 		err = cerr
 	}
+	qt.finish(ds, q.Stats)
 	if err != nil {
 		return Cluster{}, err
 	}
@@ -906,6 +937,7 @@ func (ds *Dataset) FindClusters(ctx context.Context, k, t int, q QueryOptions) (
 	if err := ds.checkOpen(); err != nil {
 		return nil, err
 	}
+	ctx, qt := beginQuery(ctx, "kcover")
 	ix, f, err := ds.queryIndex(q)
 	if err != nil {
 		return nil, err
@@ -914,22 +946,35 @@ func (ds *Dataset) FindClusters(ctx context.Context, k, t int, q QueryOptions) (
 	if err != nil {
 		return nil, err
 	}
-	rsv, err := ds.reserve(ctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta})
+	rctx := qt.stage("reserve")
+	rsv, err := ds.reserve(rctx, Budget{Epsilon: q.Epsilon, Delta: q.Delta})
+	qt.endStage(statStageReserve, &qt.stats.Reserve)
 	if err != nil {
 		return nil, err
 	}
+	qt.stage("build")
 	if ix == nil {
-		if ix, err = ds.index(ds.effectiveKey()); err != nil {
+		var cold bool
+		if ix, cold, err = ds.index(ds.effectiveKey()); err != nil {
 			_ = rsv.Release()
+			qt.finish(ds, q.Stats)
 			return nil, err
 		}
+		qt.stats.ColdIndex = cold
 	}
+	qt.endStage(statStageBuild, &qt.stats.Build)
 	release := ds.acquireScratch(&prm)
 	defer release()
+	prm.Ctx = qt.stage("mechanism")
 	balls, err := core.KCoverIndexed(q.rng(), ix, k, prm)
-	if cerr := rsv.Commit(); err == nil {
+	qt.endStage(statStageMechanism, &qt.stats.Mechanism)
+	qt.stage("commit")
+	cerr := rsv.Commit()
+	qt.endStage(statStageCommit, &qt.stats.Commit)
+	if err == nil {
 		err = cerr
 	}
+	qt.finish(ds, q.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -995,21 +1040,30 @@ func (ds *Dataset) InteriorPoint(ctx context.Context, innerN int, q QueryOptions
 	if err := checkFeasible(plaus, cprm, 1, q, ds.opts.GridSize); err != nil {
 		return 0, err
 	}
-	rsv, err := ds.reserve(ctx, Budget{Epsilon: 2 * q.Epsilon, Delta: 2 * q.Delta})
+	ctx, qt := beginQuery(ctx, "interior")
+	rctx := qt.stage("reserve")
+	rsv, err := ds.reserve(rctx, Budget{Epsilon: 2 * q.Epsilon, Delta: 2 * q.Delta})
+	qt.endStage(statStageReserve, &qt.stats.Reserve)
 	if err != nil {
 		return 0, err
 	}
 	release := ds.acquireScratch(&cprm)
 	defer release()
+	cprm.Ctx = qt.stage("mechanism")
 	res, err := core.IntPoint(q.rng(), values, core.IntPointParams{
 		InnerN:  innerN,
 		Cluster: cprm,
 		Privacy: dp.Params{Epsilon: q.Epsilon, Delta: q.Delta},
 		Beta:    q.Beta,
 	})
-	if cerr := rsv.Commit(); err == nil {
+	qt.endStage(statStageMechanism, &qt.stats.Mechanism)
+	qt.stage("commit")
+	cerr := rsv.Commit()
+	qt.endStage(statStageCommit, &qt.stats.Commit)
+	if err == nil {
 		err = cerr
 	}
+	qt.finish(ds, q.Stats)
 	if err != nil {
 		return 0, err
 	}

@@ -382,6 +382,39 @@
 // EXPERIMENTS.md reports paper-vs-measured results for every table and
 // figure.
 //
+// # Observability
+//
+// Every query can be traced and measured end to end without changing
+// what it releases. Run a query under WithTrace and the dataset opens a
+// hierarchical span tree — reserve, index build, the mechanism stages
+// (LStep sweep, RecConcave, SVT repetitions, the noisy average), commit
+// — with per-stage durations and operation counters; retrieve it via
+// QueryOptions.Stats or Dataset.LastStats and render it with
+// QueryStats.Tree. The trace's 128-bit ID travels with the query: over
+// the wire protocol to every shard server (which announces it on its
+// structured log, so one query is greppable across machines), and in
+// privclusterd as the X-Trace-Id response header, with the span tree
+// fetchable back from GET /v1/trace/{id}. cmd/onecluster -trace prints
+// the tree for any execution mode.
+//
+// Aggregate metrics are always on and allocation-free: process-wide
+// Prometheus-text families (privcluster_query_stage_seconds,
+// privcluster_shard_fanout_seconds, index/LStep cache and replica
+// failover/hedge counters) exposed on privclusterd's /metrics alongside
+// its own privclusterd_* request, budget and ledger-fsync families, and
+// on cmd/shardserver's -admin listener. Both daemons also serve
+// net/http/pprof on an opt-in admin address ("admin_listen" in the
+// daemon config, -admin on shardserver).
+//
+// Two invariants bound the machinery. Instrumentation never carries
+// data: spans, metrics, logs and trace JSON hold stage names, durations,
+// counts, sizes and addresses — never point coordinates, dataset values
+// or noise magnitudes (tested by scraping every surface and grepping for
+// planted coordinates). And instrumentation never touches the privacy
+// analysis: tracing reads no randomness and perturbs no release — the
+// same seed yields bit-identical results traced or untraced, local or
+// remote (a v3 wire session interops bit-identically with v2 peers).
+//
 // # Privacy disclaimer
 //
 // This is a research reproduction. Noise is generated with math/rand

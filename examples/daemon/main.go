@@ -15,7 +15,9 @@
 //     mints no fresh budget.
 //
 // The program self-checks every step and exits non-zero on any
-// violation.
+// violation. Progress goes through the module's structured logger
+// (internal/obs), the same key=value lines the daemons emit, so the
+// output greps like production logs.
 //
 // Run it with:
 //
@@ -29,7 +31,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net/http"
 	"os"
@@ -37,7 +38,17 @@ import (
 	"time"
 
 	"privcluster/internal/daemon"
+	"privcluster/internal/obs"
 )
+
+var logger = obs.NewLogger(os.Stderr, 0, 0)
+
+// fatal logs the failure at Error and exits non-zero — the program is a
+// self-checking example, so any violated expectation must fail CI.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	nFlag := flag.Int("n", 100000, "number of points (cluster and target scale with it)")
@@ -47,7 +58,7 @@ func main() {
 
 	dir, err := os.MkdirTemp("", "privclusterd-example")
 	if err != nil {
-		log.Fatal(err)
+		fatal("mkdir", "err", err)
 	}
 	defer os.RemoveAll(dir)
 
@@ -63,7 +74,7 @@ func main() {
 		fmt.Fprintf(&csv, "%g,%g\n", rng.Float64(), rng.Float64())
 	}
 	if err := os.WriteFile(csvPath, csv.Bytes(), 0o644); err != nil {
-		log.Fatal(err)
+		fatal("write csv", "err", err)
 	}
 
 	cfg := daemon.Config{
@@ -75,34 +86,35 @@ func main() {
 		},
 	}
 
-	fmt.Printf("generation 1: serving %d points, alice granted (ε=9, δ=0.11)\n", n)
+	logger.Info("generation 1 serving", "points", n, "principal", "alice", "grant_epsilon", 9.0, "grant_delta", 0.11)
 	addr := startGeneration(cfg)
 	for i := 1; i <= 2; i++ {
-		status, body := query(addr, t)
+		status, body, traceID := query(addr, t)
 		if status != http.StatusOK {
-			log.Fatalf("query %d: HTTP %d: %s", i, status, body)
+			fatal("query not admitted", "query", i, "status", status, "body", string(body))
 		}
-		fmt.Printf("query %d: admitted — %s\n", i, releaseSummary(body))
+		center, radius := release(body)
+		logger.Info("query admitted", "query", i, "center", center, "radius", radius, "trace_id", traceID)
 	}
-	status, body := query(addr, t)
+	status, body, _ := query(addr, t)
 	if status != http.StatusTooManyRequests {
-		log.Fatalf("query 3: HTTP %d, want 429: %s", status, body)
+		fatal("third query not refused", "status", status, "body", string(body))
 	}
-	fmt.Printf("query 3: refused — %s\n", refusalSummary(body))
+	logRefusal("query refused", body)
 	stopGeneration()
 
-	fmt.Println("\ngeneration 2: restarted over the same ledger directory")
+	logger.Info("generation 2 restarting over the same ledger directory")
 	addr = startGeneration(cfg)
 	start := time.Now()
-	status, body = query(addr, t)
+	status, body, _ = query(addr, t)
 	if status != http.StatusTooManyRequests {
-		log.Fatalf("restarted daemon re-admitted an exhausted principal: HTTP %d: %s", status, body)
+		fatal("restarted daemon re-admitted an exhausted principal", "status", status, "body", string(body))
 	}
-	fmt.Printf("first query: refused immediately (%v) — the restart minted no budget\n",
-		time.Since(start).Round(time.Millisecond))
-	fmt.Printf("refusal: %s\n", refusalSummary(body))
+	logger.Info("first query refused immediately — the restart minted no budget",
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	logRefusal("refusal accounting", body)
 	stopGeneration()
-	fmt.Println("\ndurable-budget check passed")
+	logger.Info("durable-budget check passed")
 }
 
 // The current server generation; startGeneration/stopGeneration cycle it
@@ -112,10 +124,10 @@ var current *daemon.Server
 func startGeneration(cfg daemon.Config) (addr string) {
 	srv, err := daemon.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fatal("daemon.New", "err", err)
 	}
 	if err := srv.Start(); err != nil {
-		log.Fatal(err)
+		fatal("daemon.Start", "err", err)
 	}
 	current = srv
 	return srv.Addr()
@@ -126,40 +138,44 @@ func stopGeneration() {
 	defer cancel()
 	current.Shutdown(ctx)
 	if err := current.Close(); err != nil {
-		log.Fatal(err)
+		fatal("daemon.Close", "err", err)
 	}
 }
 
-// query issues alice's standard (ε=4, δ=0.05) 1-cluster query.
-func query(addr string, t int) (int, []byte) {
+// query issues alice's standard (ε=4, δ=0.05) 1-cluster query and
+// reports the trace ID the server assigned it.
+func query(addr string, t int) (int, []byte, string) {
 	body := fmt.Sprintf(`{"dataset":"points","t":%d,"epsilon":4,"delta":0.05,"seed":7}`, t)
 	req, err := http.NewRequest("POST", "http://"+addr+"/v1/query/cluster", bytes.NewReader([]byte(body)))
 	if err != nil {
-		log.Fatal(err)
+		fatal("build request", "err", err)
 	}
 	req.Header.Set("X-API-Key", "alice-key")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		log.Fatal(err)
+		fatal("query round trip", "err", err)
 	}
 	defer resp.Body.Close()
 	var b bytes.Buffer
 	b.ReadFrom(resp.Body)
-	return resp.StatusCode, b.Bytes()
+	return resp.StatusCode, b.Bytes(), resp.Header.Get("X-Trace-Id")
 }
 
-func releaseSummary(body []byte) string {
+// release parses an admitted query's released ball for logging.
+func release(body []byte) (center string, radius float64) {
 	var c struct {
 		Center []float64 `json:"center"`
 		Radius float64   `json:"radius"`
 	}
 	if err := json.Unmarshal(body, &c); err != nil || len(c.Center) != 2 {
-		log.Fatalf("malformed release %s: %v", body, err)
+		fatal("malformed release", "body", string(body), "err", err)
 	}
-	return fmt.Sprintf("center (%.3f, %.3f), radius %.4f", c.Center[0], c.Center[1], c.Radius)
+	return fmt.Sprintf("(%.3f, %.3f)", c.Center[0], c.Center[1]), c.Radius
 }
 
-func refusalSummary(body []byte) string {
+// logRefusal checks the refusal is a typed budget_exhausted envelope and
+// logs its accounting.
+func logRefusal(msg string, body []byte) {
 	var env struct {
 		Error struct {
 			Code   string `json:"code"`
@@ -170,9 +186,9 @@ func refusalSummary(body []byte) string {
 		} `json:"error"`
 	}
 	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "budget_exhausted" {
-		log.Fatalf("refusal is not typed budget_exhausted: %s", body)
+		fatal("refusal is not typed budget_exhausted", "body", string(body))
 	}
-	return fmt.Sprintf("code %s, spent (ε=%g, δ=%g), remaining (ε=%g, δ=%g)",
-		env.Error.Code, env.Error.Budget.Spent[0], env.Error.Budget.Spent[1],
-		env.Error.Budget.Remaining[0], env.Error.Budget.Remaining[1])
+	logger.Info(msg, "code", env.Error.Code,
+		"spent_epsilon", env.Error.Budget.Spent[0], "spent_delta", env.Error.Budget.Spent[1],
+		"remaining_epsilon", env.Error.Budget.Remaining[0], "remaining_delta", env.Error.Budget.Remaining[1])
 }

@@ -14,6 +14,11 @@
 // exits nonzero if they do not, so CI running it is an equivalence proof
 // of the failover path, not a demo that merely prints.
 //
+// The failover run is traced (privcluster.WithTrace): the released ball is
+// identical, and the span tree's failover counters show the recovery the
+// release hides. Progress goes through the module's structured logger
+// (internal/obs), the same key=value lines the daemons emit.
+//
 // Run it with:
 //
 //	go run ./examples/replicated
@@ -24,14 +29,24 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net"
+	"os"
 	"time"
 
 	"privcluster"
+	"privcluster/internal/obs"
 	"privcluster/internal/transport"
 )
+
+var logger = obs.NewLogger(os.Stderr, 0, 0)
+
+// fatal logs the failure at Error and exits non-zero — the program is a
+// self-checking example, so any violated expectation must fail CI.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 func main() {
 	n := flag.Int("n", 50000, "number of points")
@@ -61,55 +76,70 @@ func main() {
 	for i := range addrs {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			fatal("listen", "err", err)
 		}
 		addrs[i] = l.Addr().String()
-		servers[i] = transport.NewServer(transport.ServerOptions{})
+		servers[i] = transport.NewServer(transport.ServerOptions{Log: logger})
 		go servers[i].Serve(l)
 	}
 	place := &privcluster.Placement{Partitions: [][]string{
 		{addrs[0], addrs[1]},
 		{addrs[2], addrs[3]},
 	}}
-	fmt.Printf("started %d shard servers: partition 0 = %v, partition 1 = %v\n",
-		len(addrs), place.Partitions[0], place.Partitions[1])
+	logger.Info("shard servers started",
+		"count", len(addrs), "partition0", place.Partitions[0], "partition1", place.Partitions[1])
 
-	run := func(o privcluster.DatasetOptions, during func()) (privcluster.Cluster, time.Duration) {
+	run := func(qctx context.Context, o privcluster.DatasetOptions, qo privcluster.QueryOptions, during func()) (privcluster.Cluster, time.Duration) {
 		ds, err := privcluster.Open(points, o)
 		if err != nil {
-			log.Fatal(err)
+			fatal("open dataset", "err", err)
 		}
 		defer ds.Close()
 		if during != nil {
 			go during()
 		}
 		start := time.Now()
-		c, err := ds.FindCluster(ctx, t, q)
+		c, err := ds.FindCluster(qctx, t, qo)
 		if err != nil {
-			log.Fatal(err)
+			fatal("query", "err", err)
 		}
 		return c, time.Since(start)
 	}
 
-	local, dLocal := run(privcluster.DatasetOptions{Shards: partitions}, nil)
-	healthy, dHealthy := run(privcluster.DatasetOptions{Placement: place}, nil)
+	local, dLocal := run(ctx, privcluster.DatasetOptions{Shards: partitions}, q, nil)
+	healthy, dHealthy := run(ctx, privcluster.DatasetOptions{Placement: place}, q, nil)
 
 	// Run the query again with partition 0's primary replica hard-killed
 	// shortly after the sweep starts: connections drop mid-response and
 	// later dials are refused, so the index must fail over to the sibling.
+	// This run is traced — the span counters record the failover the
+	// bit-identical release hides.
 	victim := servers[0]
-	killed, dKilled := run(privcluster.DatasetOptions{Placement: place}, func() {
+	var stats privcluster.QueryStats
+	tq := q
+	tq.Stats = &stats
+	killed, dKilled := run(privcluster.WithTrace(ctx), privcluster.DatasetOptions{Placement: place}, tq, func() {
 		time.Sleep(dHealthy / 4)
 		victim.Close()
-		fmt.Printf("killed replica %s mid-query\n", addrs[0])
+		logger.Info("killed replica mid-query", "addr", addrs[0])
 	})
 
-	fmt.Printf("local    (%d in-process shards):      center %.4v  radius %.4g  [%v]\n",
-		partitions, local.Center, local.Radius, dLocal)
-	fmt.Printf("replicated (%d×%d shard servers):      center %.4v  radius %.4g  [%v]\n",
-		partitions, replicas, healthy.Center, healthy.Radius, dHealthy)
-	fmt.Printf("replica killed mid-query (failover): center %.4v  radius %.4g  [%v]\n",
-		killed.Center, killed.Radius, dKilled)
+	report := func(name string, c privcluster.Cluster, d time.Duration) {
+		logger.Info("release", "mode", name,
+			"center", fmt.Sprintf("%.4v", c.Center), "radius", fmt.Sprintf("%.4g", c.Radius),
+			"elapsed", d.Round(time.Millisecond).String())
+	}
+	report("local", local, dLocal)
+	report("replicated", healthy, dHealthy)
+	report("failover", killed, dKilled)
+
+	var failovers, hedges int64
+	for _, st := range stats.Stages {
+		failovers += st.Counters["failovers"]
+		hedges += st.Counters["hedges_fired"]
+	}
+	logger.Info("failover run traced", "trace_id", stats.TraceID,
+		"spans", len(stats.Stages), "failovers", failovers, "hedges_fired", hedges)
 
 	for _, c := range []struct {
 		name string
@@ -117,11 +147,11 @@ func main() {
 	}{{"replicated", healthy}, {"failover", killed}} {
 		if c.got.Radius != local.Radius || c.got.RawRadius != local.RawRadius ||
 			c.got.Center[0] != local.Center[0] || c.got.Center[1] != local.Center[1] {
-			log.Fatalf("MISMATCH: %s release differs from local:\nlocal: %+v\n%s: %+v",
-				c.name, local, c.name, c.got)
+			fatal("release differs from local", "mode", c.name,
+				"local", fmt.Sprintf("%+v", local), "got", fmt.Sprintf("%+v", c.got))
 		}
 	}
-	fmt.Println("all three releases are bit-identical: replica failover moved connections, not the privacy analysis")
+	logger.Info("all three releases are bit-identical: replica failover moved connections, not the privacy analysis")
 
 	for i, srv := range servers {
 		if srv == victim {
@@ -130,9 +160,9 @@ func main() {
 		sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
 		if err := srv.Shutdown(sctx); err != nil {
 			cancel()
-			log.Fatalf("server %d shutdown: %v", i, err)
+			fatal("server shutdown", "server", i, "err", err)
 		}
 		cancel()
 	}
-	fmt.Println("surviving shard servers drained and stopped")
+	logger.Info("surviving shard servers drained and stopped")
 }

@@ -10,6 +10,7 @@ import (
 	"privcluster/internal/dp"
 	"privcluster/internal/jl"
 	"privcluster/internal/noise"
+	"privcluster/internal/obs"
 	"privcluster/internal/stability"
 	"privcluster/internal/svt"
 	"privcluster/internal/vec"
@@ -138,10 +139,12 @@ func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (
 	fired := false
 	reps := 0
 	offsets := make([]float64, kOut)
+	_, svtSpan := obs.StartSpan(prm.Ctx, "svt")
 	for rep := 0; rep < maxReps && !fired; rep++ {
 		// Each repetition is a full O(n·k) count pass, so a per-repetition
 		// context check keeps cancellation latency at one pass.
 		if err := prm.interrupted(); err != nil {
+			svtSpan.End()
 			return CenterResult{}, err
 		}
 		reps++
@@ -151,9 +154,14 @@ func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (
 		q := part.partition(offsets)
 		fired, err = at.Query(float64(q))
 		if err != nil {
+			svtSpan.End()
 			return CenterResult{}, err
 		}
 	}
+	// AboveThreshold draws one threshold perturbation plus one per query.
+	svtSpan.Count("repetitions", int64(reps))
+	svtSpan.Count("noise_draws", int64(reps)+1)
+	svtSpan.End()
 	if !fired {
 		return CenterResult{}, fmt.Errorf("%w after %d repetitions", ErrNoCluster, reps)
 	}
@@ -202,6 +210,7 @@ func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (
 	deltaAxis := delta / (8 * float64(d))
 
 	fallbacks := 0
+	_, axesSpan := obs.StartSpan(prm.Ctx, "axes")
 	boxCenterRot := make(vec.Vector, d)
 	// The d per-axis interval histograms get the same packed-key treatment
 	// as the box loop: one int64-keyed map reused (cleared, not
@@ -217,6 +226,7 @@ func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (
 	}
 	for axis := 0; axis < d; axis++ {
 		if err := prm.interrupted(); err != nil {
+			axesSpan.End()
 			return CenterResult{}, err
 		}
 		clear(axisHist)
@@ -225,6 +235,7 @@ func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (
 		}
 		res, err := stability.Choose(rng, axisHist, stability.Params{Epsilon: epsAxis, Delta: deltaAxis})
 		if err != nil {
+			axesSpan.End()
 			return CenterResult{}, err
 		}
 		var j int64
@@ -242,16 +253,21 @@ func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (
 			// surely.
 			j, err = axisNoisyMax(rng, axisHist, epsAxis)
 			if err != nil {
+				axesSpan.End()
 				return CenterResult{}, err
 			}
 			fallbacks++
 		default:
+			axesSpan.End()
 			return CenterResult{}, fmt.Errorf("%w: axis %d interval", ErrSelectionFailed, axis)
 		}
 		// Î = the chosen interval extended by p on each side; its center is
 		// the chosen interval's midpoint.
 		boxCenterRot[axis] = (float64(j) + 0.5) * pLen
 	}
+	axesSpan.Count("axes", int64(d))
+	axesSpan.Count("fallback_axes", int64(fallbacks))
+	axesSpan.End()
 
 	// Step 10: C = bounding sphere of the box with side 3p around the
 	// chosen center (data-independent radius).
@@ -259,8 +275,12 @@ func GoodCenterFrame(rng *rand.Rand, points *vec.Frame, r float64, prm Params) (
 	rc := 1.5 * pLen * math.Sqrt(float64(d))
 
 	// Step 11: noisy average of the points captured by C — straight off the
-	// frame's rows, no gathered slice.
+	// frame's rows, no gathered slice. One noisy denominator draw plus one
+	// noise draw per coordinate.
+	_, avgSpan := obs.StartSpan(prm.Ctx, "noisy_average")
 	avg, err := dp.NoisyAverageRows(rng, points, sel.Members, center, rc, quarter)
+	avgSpan.Count("noise_draws", int64(d)+1)
+	avgSpan.End()
 	if err != nil {
 		return CenterResult{}, err
 	}

@@ -10,6 +10,7 @@ import (
 	"privcluster/internal/dp"
 	"privcluster/internal/geometry"
 	"privcluster/internal/noise"
+	"privcluster/internal/obs"
 	"privcluster/internal/recconcave"
 	"privcluster/internal/vec"
 )
@@ -49,14 +50,18 @@ func GoodRadius(rng *rand.Rand, ix geometry.BallIndex, prm Params) (RadiusResult
 	if err := prm.interrupted(); err != nil {
 		return RadiusResult{}, err
 	}
-	ls, err := ix.BuildLStep(prm.Ctx, t)
+	lctx, lspan := obs.StartSpan(prm.Ctx, "lstep")
+	ls, err := ix.BuildLStep(lctx, t)
+	lspan.End()
 	if err != nil {
 		return RadiusResult{}, err
 	}
+	lspan.Count("breaks", int64(len(ls.Breaks)))
 
 	// Step 2: radius-zero test. L(0,·) has sensitivity 2, so Lap(4/ε) is
 	// (ε/2, 0)-DP.
 	l0 := ls.Eval(0) + noise.Laplace(rng, 4/eps)
+	obs.CurrentSpan(prm.Ctx).Count("noise_draws", 1)
 	if l0 > float64(t)-2*gamma-(4/eps)*math.Log(2/prm.Beta) {
 		return RadiusResult{Radius: 0, ZeroCluster: true, Gamma: gamma}, nil
 	}
@@ -67,12 +72,14 @@ func GoodRadius(rng *rand.Rand, ix geometry.BallIndex, prm Params) (RadiusResult
 	if err != nil {
 		return RadiusResult{}, err
 	}
+	rcctx, rcspan := obs.StartSpan(prm.Ctx, "recconcave")
 	idx, err := recconcave.Solve(rng, q, gamma, recconcave.Options{
 		Alpha:   0.5,
 		Beta:    prm.Beta / 2,
 		Privacy: dp.Params{Epsilon: eps / 2, Delta: prm.Privacy.Delta},
-		Ctx:     prm.Ctx,
+		Ctx:     rcctx,
 	})
+	rcspan.End()
 	if err != nil {
 		// Enrich a promise failure with the concrete regime so callers can
 		// tell "no cluster exists" from "t is too close to Γ for this ε/β":

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"privcluster/internal/geometry"
+	"privcluster/internal/obs"
 	"privcluster/internal/vec"
 )
 
@@ -60,19 +61,31 @@ func OneClusterIndexed(rng *rand.Rand, ix geometry.BallIndex, prm Params) (Clust
 	return oneClusterIndexed(rng, ix, prm)
 }
 
-// oneClusterIndexed is OneCluster on a prebuilt ball index.
+// oneClusterIndexed is OneCluster on a prebuilt ball index. The radius and
+// center stages each run under their own trace span when prm.Ctx carries a
+// trace (spans record only timings and operation counts — never the data —
+// and never touch rng, so traced and untraced runs release identically).
 func oneClusterIndexed(rng *rand.Rand, ix geometry.BallIndex, prm Params) (ClusterResult, error) {
 	half := prm
 	half.Privacy = prm.Privacy.Scale(0.5)
 
-	rad, err := GoodRadius(rng, ix, half)
+	rctx, rspan := obs.StartSpan(prm.Ctx, "radius")
+	halfStage := half
+	halfStage.Ctx = rctx
+	rad, err := GoodRadius(rng, ix, halfStage)
+	rspan.End()
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("core: radius stage: %w", err)
 	}
 	if err := prm.interrupted(); err != nil {
 		return ClusterResult{}, err
 	}
-	cen, err := GoodCenterFrame(rng, ix.Frame(), rad.Radius, half)
+	cctx, cspan := obs.StartSpan(prm.Ctx, "center")
+	halfStage.Ctx = cctx
+	cen, err := GoodCenterFrame(rng, ix.Frame(), rad.Radius, halfStage)
+	cspan.Count("svt_repetitions", int64(cen.Repetitions))
+	cspan.Count("fallback_axes", int64(cen.FallbackAxes))
+	cspan.End()
 	if err != nil {
 		return ClusterResult{}, fmt.Errorf("core: center stage: %w", err)
 	}
@@ -127,13 +140,17 @@ func kCover(rng *rand.Rand, points []vec.Vector, full geometry.BallIndex, k int,
 		if len(remaining) < round.T {
 			break
 		}
+		rdctx, rdspan := obs.StartSpan(prm.Ctx, "kcover/round")
+		roundStage := round
+		roundStage.Ctx = rdctx
 		var res ClusterResult
 		var err error
 		if i == 0 && full != nil {
-			res, err = OneClusterIndexed(rng, full, round)
+			res, err = OneClusterIndexed(rng, full, roundStage)
 		} else {
-			res, err = OneCluster(rng, remaining, round)
+			res, err = OneCluster(rng, remaining, roundStage)
 		}
+		rdspan.End()
 		if err != nil {
 			if ctxErr := prm.interrupted(); ctxErr != nil {
 				// Cancellation must not be mistaken for a failed round: it

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"privcluster"
 	"privcluster/internal/ledger"
+	"privcluster/internal/obs"
 )
 
 // principalKey carries the authenticated principal through a query's
@@ -33,7 +35,8 @@ func PrincipalFrom(ctx context.Context) (string, bool) {
 // count as spent in the refusal's accounting, since they are committed
 // if the daemon dies.
 type ledgerAdmitter struct {
-	l *ledger.Ledger
+	l   *ledger.Ledger
+	met *metrics // nil-safe: nil skips the fsync histograms
 }
 
 func (a ledgerAdmitter) Reserve(ctx context.Context, cost privcluster.Budget) (privcluster.Reservation, error) {
@@ -41,7 +44,11 @@ func (a ledgerAdmitter) Reserve(ctx context.Context, cost privcluster.Budget) (p
 	if !ok {
 		return nil, fmt.Errorf("daemon: query context carries no principal (auth middleware bypassed?)")
 	}
+	start := time.Now()
 	r, err := a.l.Reserve(principal, ledger.Cost{Epsilon: cost.Epsilon, Delta: cost.Delta})
+	if a.met != nil {
+		a.met.ledgerReserve.Observe(time.Since(start).Seconds())
+	}
 	if err != nil {
 		var ie *ledger.InsufficientError
 		if errors.As(err, &ie) {
@@ -57,9 +64,28 @@ func (a ledgerAdmitter) Reserve(ctx context.Context, cost privcluster.Budget) (p
 		return nil, err
 	}
 	// *ledger.Reservation's Commit/Release signatures already satisfy
-	// privcluster.Reservation.
-	return r, nil
+	// privcluster.Reservation; the wrapper only times the settlement fsync.
+	if a.met == nil {
+		return r, nil
+	}
+	return timedReservation{r: r, h: a.met.ledgerCommit}, nil
 }
+
+// timedReservation records the settlement's fsync latency; spans and
+// metrics upstream see Commit's full durable cost, not just the call.
+type timedReservation struct {
+	r privcluster.Reservation
+	h *obs.Histogram
+}
+
+func (t timedReservation) Commit() error {
+	start := time.Now()
+	err := t.r.Commit()
+	t.h.Observe(time.Since(start).Seconds())
+	return err
+}
+
+func (t timedReservation) Release() error { return t.r.Release() }
 
 // ensureGrants raises each configured principal's durable grant up to
 // its configured total. Grants are monotone: a restart re-running this

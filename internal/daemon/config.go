@@ -35,10 +35,21 @@ type Config struct {
 	// second daemon pointed at the same directory refuses to start, which
 	// is exactly what makes over-spending across processes impossible.
 	LedgerDir string `json:"ledger_dir"`
+	// AdminListen, when set, binds a second TCP address serving the
+	// operational endpoints that do not belong on the query port:
+	// net/http/pprof profiling under /debug/pprof/. Bind it to a
+	// loopback or otherwise access-controlled address — profiles expose
+	// process internals (never dataset values, but plenty of structure).
+	// Empty (the default) disables the admin listener entirely.
+	AdminListen string `json:"admin_listen,omitempty"`
 	// MaxDeadlineMS caps the per-request deadline_ms a client may ask
 	// for (default 60000). Requests without deadline_ms run under the
 	// connection's lifetime only.
 	MaxDeadlineMS int `json:"max_deadline_ms,omitempty"`
+	// SlowQueryMS is the duration at or above which a finished query is
+	// logged at Warn with slow=true instead of Info (default 1000; negative
+	// disables the escalation).
+	SlowQueryMS int `json:"slow_query_ms,omitempty"`
 	// Datasets are the named datasets the daemon serves.
 	Datasets []DatasetConfig `json:"datasets"`
 	// Principals are the API-key identities allowed to query, each with
@@ -107,6 +118,18 @@ func (c Config) maxDeadline() time.Duration {
 		return time.Duration(c.MaxDeadlineMS) * time.Millisecond
 	}
 	return 60 * time.Second
+}
+
+// slowQuery resolves the slow-query log threshold.
+func (c Config) slowQuery() time.Duration {
+	switch {
+	case c.SlowQueryMS > 0:
+		return time.Duration(c.SlowQueryMS) * time.Millisecond
+	case c.SlowQueryMS < 0:
+		return 0
+	default:
+		return time.Second
+	}
 }
 
 // Validate rejects a configuration the daemon could not serve.

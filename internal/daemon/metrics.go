@@ -2,11 +2,11 @@ package daemon
 
 import (
 	"fmt"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
+	"io"
+	"strconv"
 	"time"
+
+	"privcluster/internal/obs"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds. Queries
@@ -14,47 +14,44 @@ import (
 // build), so the buckets are log-spaced across that range.
 var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
 
-// endpointStats is one endpoint's counters: requests by status code and
-// a latency histogram. Guarded by metrics.mu.
-type endpointStats struct {
-	byCode map[int]int64
-	bucket []int64 // one per bound plus +Inf
-	sum    float64
-	count  int64
-}
+// fsyncBuckets bound the ledger's per-operation fsync latency: a local
+// SSD syncs in fractions of a millisecond, network filesystems in tens.
+var fsyncBuckets = []float64{0.0005, 0.002, 0.01, 0.05, 0.25, 1}
 
-// metrics is the daemon's hand-rolled instrumentation, rendered in the
-// Prometheus text exposition format by render. No client library — the
-// module's zero-dependency rule extends to serving.
+// metrics is the daemon's server-scoped instrumentation, held in an
+// obs.Registry and rendered in the Prometheus text exposition format. The
+// family names and label sets predate the registry (they were hand-rolled
+// here first), so they are load-bearing: dashboards and the CI smoke test
+// grep for them.
 type metrics struct {
-	inFlight atomic.Int64
+	reg      *obs.Registry
+	inFlight *obs.Gauge
 
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
+	// ledgerReserve and ledgerCommit time the durable ledger's two
+	// fsync-bearing operations per query (the budget hold and its
+	// settlement) — the daemon-side floor under every query's latency.
+	ledgerReserve *obs.Histogram
+	ledgerCommit  *obs.Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{endpoints: make(map[string]*endpointStats)}
+	reg := obs.NewRegistry()
+	return &metrics{
+		reg:      reg,
+		inFlight: reg.Gauge("privclusterd_in_flight", "Requests currently being served."),
+		ledgerReserve: reg.Histogram("privclusterd_ledger_fsync_seconds",
+			"Durable ledger operation latency (one fsync each).", fsyncBuckets, "op", "reserve"),
+		ledgerCommit: reg.Histogram("privclusterd_ledger_fsync_seconds",
+			"Durable ledger operation latency (one fsync each).", fsyncBuckets, "op", "commit"),
+	}
 }
 
 // observe records one finished request.
 func (m *metrics) observe(endpoint string, code int, d time.Duration) {
-	secs := d.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.endpoints[endpoint]
-	if st == nil {
-		st = &endpointStats{byCode: make(map[int]int64), bucket: make([]int64, len(latencyBuckets)+1)}
-		m.endpoints[endpoint] = st
-	}
-	st.byCode[code]++
-	i := 0
-	for i < len(latencyBuckets) && secs > latencyBuckets[i] {
-		i++
-	}
-	st.bucket[i]++
-	st.sum += secs
-	st.count++
+	m.reg.Counter("privclusterd_requests_total", "Finished requests by endpoint and status code.",
+		"endpoint", endpoint, "code", strconv.Itoa(code)).Inc()
+	m.reg.Histogram("privclusterd_request_seconds", "Request latency by endpoint.",
+		latencyBuckets, "endpoint", endpoint).Observe(d.Seconds())
 }
 
 // budgetRow is one principal's budget gauges, supplied by the server
@@ -66,56 +63,17 @@ type budgetRow struct {
 	Reserved  [2]float64
 }
 
-// render writes the Prometheus text format. budgets come from the
-// caller (the server reads them from the ledger per scrape, so the
-// gauges are always the durable truth, not a cached copy).
-func (m *metrics) render(b *strings.Builder, budgets []budgetRow) {
-	fmt.Fprintf(b, "# HELP privclusterd_in_flight Requests currently being served.\n")
-	fmt.Fprintf(b, "# TYPE privclusterd_in_flight gauge\n")
-	fmt.Fprintf(b, "privclusterd_in_flight %d\n", m.inFlight.Load())
-
-	m.mu.Lock()
-	names := make([]string, 0, len(m.endpoints))
-	for name := range m.endpoints {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fmt.Fprintf(b, "# HELP privclusterd_requests_total Finished requests by endpoint and status code.\n")
-	fmt.Fprintf(b, "# TYPE privclusterd_requests_total counter\n")
-	for _, name := range names {
-		st := m.endpoints[name]
-		codes := make([]int, 0, len(st.byCode))
-		for c := range st.byCode {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(b, "privclusterd_requests_total{endpoint=%q,code=\"%d\"} %d\n", name, c, st.byCode[c])
-		}
-	}
-	fmt.Fprintf(b, "# HELP privclusterd_request_seconds Request latency by endpoint.\n")
-	fmt.Fprintf(b, "# TYPE privclusterd_request_seconds histogram\n")
-	for _, name := range names {
-		st := m.endpoints[name]
-		cum := int64(0)
-		for i, bound := range latencyBuckets {
-			cum += st.bucket[i]
-			fmt.Fprintf(b, "privclusterd_request_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", name, bound, cum)
-		}
-		cum += st.bucket[len(latencyBuckets)]
-		fmt.Fprintf(b, "privclusterd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(b, "privclusterd_request_seconds_sum{endpoint=%q} %g\n", name, st.sum)
-		fmt.Fprintf(b, "privclusterd_request_seconds_count{endpoint=%q} %d\n", name, st.count)
-	}
-	m.mu.Unlock()
-
-	fmt.Fprintf(b, "# HELP privclusterd_budget Durable per-principal budget state (epsilon and delta coordinates).\n")
-	fmt.Fprintf(b, "# TYPE privclusterd_budget gauge\n")
+// writeBudgets renders the per-principal budget gauges. It runs as a
+// registry scrape func so the values are always the durable truth read
+// from the ledger at scrape time, never a cached copy.
+func writeBudgets(w io.Writer, budgets []budgetRow) {
+	fmt.Fprintf(w, "# HELP privclusterd_budget Durable per-principal budget state (epsilon and delta coordinates).\n")
+	fmt.Fprintf(w, "# TYPE privclusterd_budget gauge\n")
 	for _, row := range budgets {
 		for i, coord := range [2]string{"epsilon", "delta"} {
-			fmt.Fprintf(b, "privclusterd_budget{principal=%q,coord=%q,kind=\"granted\"} %g\n", row.Principal, coord, row.Granted[i])
-			fmt.Fprintf(b, "privclusterd_budget{principal=%q,coord=%q,kind=\"spent\"} %g\n", row.Principal, coord, row.Spent[i])
-			fmt.Fprintf(b, "privclusterd_budget{principal=%q,coord=%q,kind=\"reserved\"} %g\n", row.Principal, coord, row.Reserved[i])
+			fmt.Fprintf(w, "privclusterd_budget{principal=%q,coord=%q,kind=\"granted\"} %g\n", row.Principal, coord, row.Granted[i])
+			fmt.Fprintf(w, "privclusterd_budget{principal=%q,coord=%q,kind=\"spent\"} %g\n", row.Principal, coord, row.Spent[i])
+			fmt.Fprintf(w, "privclusterd_budget{principal=%q,coord=%q,kind=\"reserved\"} %g\n", row.Principal, coord, row.Reserved[i])
 		}
 	}
 }

@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -16,6 +18,7 @@ import (
 
 	"privcluster"
 	"privcluster/internal/ledger"
+	"privcluster/internal/obs"
 )
 
 // Server is one privclusterd instance: the opened datasets, the durable
@@ -28,9 +31,17 @@ type Server struct {
 	datasets map[string]*privcluster.Dataset
 	byKey    map[string]string // api_key → principal name
 	met      *metrics
+	log      *obs.Logger
+	traces   *obs.TraceRing
 
 	http *http.Server
 	ln   net.Listener
+
+	// admin serves the profiling endpoints on cfg.AdminListen (nil when
+	// unset) — a separate listener so pprof never shares an ACL with the
+	// query port.
+	admin   *http.Server
+	adminLn net.Listener
 }
 
 // New opens the ledger (refusing to start if another process holds it —
@@ -52,7 +63,12 @@ func New(cfg Config) (*Server, error) {
 		datasets: make(map[string]*privcluster.Dataset, len(cfg.Datasets)),
 		byKey:    make(map[string]string, len(cfg.Principals)),
 		met:      newMetrics(),
+		log:      obs.NewLogger(os.Stderr, slog.LevelInfo, cfg.slowQuery()),
+		traces:   obs.NewTraceRing(256),
 	}
+	// Budget gauges are read from the ledger at scrape time, so /metrics
+	// always reports the durable truth.
+	s.met.reg.AddScrapeFunc(func(w io.Writer) { writeBudgets(w, s.budgetRows()) })
 	fail := func(err error) (*Server, error) {
 		s.Close()
 		return nil, err
@@ -64,13 +80,22 @@ func New(cfg Config) (*Server, error) {
 		s.byKey[p.APIKey] = p.Name
 	}
 	for _, dc := range cfg.Datasets {
-		ds, err := openDataset(dc, ledgerAdmitter{l: led})
+		ds, err := openDataset(dc, ledgerAdmitter{l: led, met: s.met})
 		if err != nil {
 			return fail(fmt.Errorf("daemon: dataset %q: %w", dc.Name, err))
 		}
 		s.datasets[dc.Name] = ds
 	}
 	s.http = &http.Server{Handler: s.mux()}
+	if cfg.AdminListen != "" {
+		amux := http.NewServeMux()
+		amux.HandleFunc("/debug/pprof/", pprof.Index)
+		amux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		amux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		amux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		amux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		s.admin = &http.Server{Handler: amux}
+	}
 	return s, nil
 }
 
@@ -136,8 +161,9 @@ func readPoints(r io.Reader) ([]privcluster.Point, error) {
 	return points, nil
 }
 
-// Start binds the configured listen address and serves in the
-// background. Use Addr for the bound address (essential with ":0").
+// Start binds the configured listen address (and the admin address, when
+// configured) and serves in the background. Use Addr for the bound
+// address (essential with ":0").
 func (s *Server) Start() error {
 	ln, err := net.Listen("tcp", s.cfg.Listen)
 	if err != nil {
@@ -145,6 +171,16 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 	go s.http.Serve(ln)
+	if s.admin != nil {
+		aln, err := net.Listen("tcp", s.cfg.AdminListen)
+		if err != nil {
+			ln.Close()
+			s.ln = nil
+			return fmt.Errorf("daemon: admin listen %s: %w", s.cfg.AdminListen, err)
+		}
+		s.adminLn = aln
+		go s.admin.Serve(aln)
+	}
 	return nil
 }
 
@@ -156,9 +192,23 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
+// AdminAddr returns the bound admin (pprof) address, or "" when the admin
+// listener is not configured or not started.
+func (s *Server) AdminAddr() string {
+	if s.adminLn == nil {
+		return ""
+	}
+	return s.adminLn.Addr().String()
+}
+
 // Shutdown gracefully drains the HTTP server: the listener closes
 // immediately, in-flight requests run to completion until ctx expires.
+// The admin listener (profiling only, nothing in flight worth draining)
+// closes immediately.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.admin != nil {
+		s.admin.Close()
+	}
 	return s.http.Shutdown(ctx)
 }
 
@@ -167,6 +217,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // partial New.
 func (s *Server) Close() error {
 	var first error
+	if s.admin != nil {
+		s.admin.Close()
+	}
 	for _, ds := range s.datasets {
 		if err := ds.Close(); err != nil && first == nil {
 			first = err
@@ -193,6 +246,11 @@ func (s *Server) mux() http.Handler {
 	// The scrape itself is not instrumented — it would count itself as
 	// an in-flight request on every reading of the gauge.
 	mux.Handle("GET /metrics", http.HandlerFunc(s.handleMetrics))
+	// Trace retrieval is uninstrumented for the same reason: fetching a
+	// trace must not mint one. Span trees carry stage names, durations and
+	// operation counts only, and IDs are unguessable 128-bit values, so the
+	// endpoint is open like /metrics.
+	mux.Handle("GET /v1/trace/{id}", http.HandlerFunc(s.handleTrace))
 	mux.Handle("GET /healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -212,16 +270,27 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument is the metrics middleware: in-flight gauge, per-endpoint
-// request counter and latency histogram.
+// instrument is the observability middleware: in-flight gauge,
+// per-endpoint request counter and latency histogram, plus a trace per
+// request — every daemon query runs traced, the trace ID is returned in
+// the X-Trace-Id response header, the span tree is retained for
+// GET /v1/trace/{id}, and the finished query is logged (Warn with
+// slow=true past the slow-query threshold). Traces never touch the query
+// rng, so traced daemon releases are bit-identical to library ones.
 func (s *Server) instrument(endpoint string, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.met.inFlight.Add(1)
 		start := time.Now()
+		tr := obs.NewTrace()
+		r = r.WithContext(obs.ContextWith(r.Context(), tr))
+		w.Header().Set("X-Trace-Id", tr.ID().String())
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
 		s.met.inFlight.Add(-1)
-		s.met.observe(endpoint, rec.code, time.Since(start))
+		d := time.Since(start)
+		s.met.observe(endpoint, rec.code, d)
+		s.traces.Add(tr)
+		s.log.Query(tr.ID(), endpoint, d, "code", rec.code)
 	})
 }
 
@@ -444,7 +513,9 @@ func (s *Server) handleBudget(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// budgetRows reads every principal's durable balance for the budget
+// gauges; it runs per scrape via the registry scrape func.
+func (s *Server) budgetRows() []budgetRow {
 	var rows []budgetRow
 	for _, name := range s.led.Principals() {
 		bal, ok := s.led.Balance(name)
@@ -458,10 +529,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			Reserved:  [2]float64{bal.Reserved.Epsilon, bal.Reserved.Delta},
 		})
 	}
-	var b strings.Builder
-	s.met.render(&b, rows)
+	return rows
+}
+
+// handleMetrics renders the daemon's own registry (privclusterd_*
+// families plus the budget scrape func) followed by the process-wide
+// library registry (privcluster_* stage histograms, cache and replica
+// counters). The name prefixes are disjoint so the concatenation is a
+// valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	io.WriteString(w, b.String())
+	s.met.reg.WriteText(w)
+	obs.Default.WriteText(w)
+}
+
+// handleTrace returns a retained query's span tree by trace ID (the
+// X-Trace-Id response header of the query, or the span's own ID from a
+// client-side trace). The ring keeps the last 256 queries; older or
+// unknown IDs are a 404, indistinguishable from never-existed.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := obs.ParseTraceID(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error(), nil)
+		return
+	}
+	tr := s.traces.Get(id)
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "unknown_trace", fmt.Sprintf("no retained trace %s", id), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"trace_id": id.String(),
+		"spans":    tr.Spans(),
+	})
 }
 
 // errorEnvelope is the typed JSON error body: a stable machine-readable

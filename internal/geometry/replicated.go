@@ -8,7 +8,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"privcluster/internal/obs"
 	"privcluster/internal/vec"
+)
+
+// Replica routing event counters: how often calls failed over to a
+// sibling, how the hedged-read race resolved, and how many down replicas
+// the background prober brought back. Cheap atomics, resolved once.
+var (
+	statReplicaFailover = obs.Default.Counter("privcluster_replica_events_total",
+		"Replica routing events (failover retries, hedge outcomes, probe recoveries).", "event", "failover")
+	statReplicaHedgeFired = obs.Default.Counter("privcluster_replica_events_total",
+		"Replica routing events (failover retries, hedge outcomes, probe recoveries).", "event", "hedge_fired")
+	statReplicaHedgeWon = obs.Default.Counter("privcluster_replica_events_total",
+		"Replica routing events (failover retries, hedge outcomes, probe recoveries).", "event", "hedge_won")
+	statReplicaHedgeLost = obs.Default.Counter("privcluster_replica_events_total",
+		"Replica routing events (failover retries, hedge outcomes, probe recoveries).", "event", "hedge_lost")
+	statReplicaProbeRecovered = obs.Default.Counter("privcluster_replica_events_total",
+		"Replica routing events (failover retries, hedge outcomes, probe recoveries).", "event", "probe_recovered")
 )
 
 // ReplicaDialer establishes the connection to one replica of a shard
@@ -185,6 +202,7 @@ func (r *ReplicatedShard) probeLoop(interval time.Duration) {
 			cancel()
 			if err == nil && r.base.Err() == nil {
 				rep.down.Store(false)
+				statReplicaProbeRecovered.Inc()
 			}
 		}
 	}
@@ -257,9 +275,12 @@ func (r *ReplicatedShard) attempt(ctx context.Context, ri int, call func(context
 }
 
 // result is one attempt's outcome on its way back to do's select loop.
+// hedged marks the attempt the hedge timer launched, so the race outcome
+// (won/lost) can be attributed in the metrics.
 type replicaResult struct {
 	counts []int32
 	err    error
+	hedged bool
 }
 
 // do routes one bulk call through the replica set: preferred replica
@@ -287,18 +308,19 @@ func (r *ReplicatedShard) do(ctx context.Context, call func(context.Context, Sha
 	defer stopAfter()
 
 	results := make(chan replicaResult, len(order))
+	span := obs.CurrentSpan(ctx)
 	next := 0
 	inflight := 0
-	launch := func() {
+	launch := func(hedged bool) {
 		ri := order[next]
 		next++
 		inflight++
 		go func() {
 			counts, err := r.attempt(cctx, ri, call)
-			results <- replicaResult{counts, err}
+			results <- replicaResult{counts, err, hedged}
 		}()
 	}
-	launch()
+	launch(false)
 
 	var hedgeC <-chan time.Time
 	if r.opts.HedgeDelay > 0 && next < len(order) {
@@ -307,6 +329,9 @@ func (r *ReplicatedShard) do(ctx context.Context, call func(context.Context, Sha
 		hedgeC = timer.C
 	}
 
+	// hedgeLive tracks an in-flight hedge whose race is still unresolved;
+	// every fired hedge is eventually accounted won or lost.
+	hedgeLive := false
 	var firstErr error
 	for {
 		select {
@@ -315,12 +340,29 @@ func (r *ReplicatedShard) do(ctx context.Context, call func(context.Context, Sha
 			// straggler against a single sibling, not a broadcast storm.
 			hedgeC = nil
 			if next < len(order) {
-				launch()
+				hedgeLive = true
+				statReplicaHedgeFired.Inc()
+				span.Count("hedges_fired", 1)
+				launch(true)
 			}
 		case res := <-results:
 			inflight--
 			if res.err == nil {
+				if hedgeLive {
+					if res.hedged {
+						statReplicaHedgeWon.Inc()
+						span.Count("hedges_won", 1)
+					} else {
+						statReplicaHedgeLost.Inc()
+					}
+				}
 				return res.counts, nil
+			}
+			if res.hedged {
+				// The hedge attempt itself failed: the race is decided
+				// against it no matter what answers later.
+				hedgeLive = false
+				statReplicaHedgeLost.Inc()
 			}
 			if err := ctx.Err(); err != nil {
 				return nil, err // the caller gave up; its error wins
@@ -332,7 +374,9 @@ func (r *ReplicatedShard) do(ctx context.Context, call func(context.Context, Sha
 				firstErr = res.err
 			}
 			if next < len(order) {
-				launch()
+				statReplicaFailover.Inc()
+				span.Count("failovers", 1)
+				launch(false)
 			} else if inflight == 0 {
 				return nil, firstErr
 			}

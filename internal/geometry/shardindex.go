@@ -8,9 +8,22 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
+	"privcluster/internal/obs"
 	"privcluster/internal/vec"
 )
+
+// fanoutBuckets span the per-shard bulk-call latency range: in-process
+// loopback backends answer in fractions of a millisecond, remote shard
+// servers in milliseconds, and a straggling replica in the hundreds.
+var fanoutBuckets = []float64{0.0002, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// statShardFanout records each backend's latency in a bulk-count fan-out
+// round — the distribution hedged reads exist to tighten. Resolved once so
+// the per-call cost is one atomic walk of the bucket bounds.
+var statShardFanout = obs.Default.Histogram("privcluster_shard_fanout_seconds",
+	"Per-backend latency of one bulk-count fan-out call.", fanoutBuckets)
 
 // ShardPolicy selects how NewShardedIndex assigns points to shards. The
 // assignment never affects query results — every answer is an exact sum of
@@ -526,12 +539,23 @@ func (ix *ShardedIndex) countAllBackends(ctx context.Context, j int, r float64, 
 	defer cancel()
 	parts := make([][]int32, len(ix.backends))
 	errs := make([]error, len(ix.backends))
+	// Per-backend spans would exhaust the trace's span cap over an LStep
+	// sweep's many rounds; the enclosing stage span accumulates counters
+	// instead, and the latency distribution goes to the process histogram.
+	span := obs.CurrentSpan(ctx)
 	var wg sync.WaitGroup
 	for si, be := range ix.backends {
 		wg.Add(1)
 		go func(si int, be ShardBackend) {
 			defer wg.Done()
+			start := time.Now()
 			parts[si], errs[si] = be.PartialCounts(cctx, ix.epoch, j, r, limit, exactBoundary)
+			el := time.Since(start)
+			statShardFanout.Observe(el.Seconds())
+			if span != nil {
+				span.Count("shard_calls", 1)
+				span.Count(fmt.Sprintf("shard%d_us", si), el.Microseconds())
+			}
 			if errs[si] != nil {
 				cancel() // tear down the sibling calls
 			}
@@ -722,11 +746,13 @@ func (ix *ShardedIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
 	prev := ix.dupLValue(t)
 	l.Breaks = append(l.Breaks, 0)
 	l.Vals = append(l.Vals, prev)
+	levels := 0
 	for j := 0; j <= ix.lad.top && prev < float64(t); j++ {
 		counts, err := ix.countAll(ctx, j, ix.lad.radius(j), int32(t), false)
 		if err != nil {
 			return nil, err
 		}
+		levels++
 		v := topTAvg(counts, t)
 		if v > prev {
 			l.Breaks = append(l.Breaks, ix.lad.radius(j))
@@ -734,5 +760,6 @@ func (ix *ShardedIndex) BuildLStep(ctx context.Context, t int) (*LStep, error) {
 			prev = v
 		}
 	}
+	obs.CurrentSpan(ctx).Count("sweep_levels", int64(levels))
 	return l, nil
 }

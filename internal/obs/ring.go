@@ -1,0 +1,45 @@
+package obs
+
+import "sync"
+
+// TraceRing keeps the last N completed traces, indexed by ID, so a daemon
+// can serve span retrieval (GET /v1/trace/{id}) for recent queries without
+// unbounded memory. Overwritten slots drop out of the index.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	byID map[TraceID]*Trace
+}
+
+// NewTraceRing returns a ring holding up to n traces (n < 1 is clamped
+// to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{buf: make([]*Trace, n), byID: make(map[TraceID]*Trace, n)}
+}
+
+// Add records a completed trace, evicting the oldest when full.
+func (r *TraceRing) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil {
+		delete(r.byID, old.ID())
+	}
+	r.buf[r.next] = t
+	r.byID[t.ID()] = t
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Get returns the trace with the given ID, or nil when it has been evicted
+// or never recorded.
+func (r *TraceRing) Get(id TraceID) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}

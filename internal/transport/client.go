@@ -11,8 +11,14 @@ import (
 	"time"
 
 	"privcluster/internal/geometry"
+	"privcluster/internal/obs"
 	"privcluster/internal/vec"
 )
+
+// helloVersion is the version the client offers in its HELLO — normally
+// the package's ProtocolVersion; tests pin it lower to exercise the
+// negotiated-down grammar against a newer server.
+var helloVersion = ProtocolVersion
 
 // DialFunc opens a raw connection to a shard server. The default is TCP
 // via net.Dialer; tests and single-process deployments substitute
@@ -97,7 +103,8 @@ type RemoteShard struct {
 	br         *bufio.Reader
 	bw         *bufio.Writer
 	closed     bool
-	handshaken bool // a session was established at least once
+	handshaken bool   // a session was established at least once
+	version    uint16 // the session's negotiated protocol version
 }
 
 // DialShard connects to addr and performs the handshake, returning a
@@ -371,7 +378,21 @@ func (c *RemoteShard) call(ctx context.Context, op string, reqType byte, req []b
 			last = err
 			continue
 		}
-		payload, err := c.roundTripLocked(ctx, op, reqType, req, wantResp)
+		// Version-3 sessions prefix every request with the trace field; the
+		// prefix is rebuilt per attempt because a reconnect can renegotiate
+		// the session version.
+		sendReq := req
+		if c.version >= 3 {
+			var pfx [17]byte
+			n := 1
+			if id := obs.FromContext(ctx).ID(); !id.IsZero() {
+				pfx[0] = 1
+				copy(pfx[1:], id[:])
+				n = 17
+			}
+			sendReq = append(pfx[:n:n], req...)
+		}
+		payload, err := c.roundTripLocked(ctx, op, reqType, sendReq, wantResp)
 		if err == nil {
 			return payload, nil
 		}
@@ -504,7 +525,7 @@ func (c *RemoteShard) handshakeLocked(ctx context.Context) error {
 
 	hello := &wbuf{}
 	hello.b = append(hello.b, wireMagic[:]...)
-	hello.u16(ProtocolVersion)
+	hello.u16(helloVersion)
 	if err := writeFrame(c.bw, msgHello, hello.b); err != nil {
 		return c.handshakeError(ctx, err)
 	}
@@ -520,10 +541,14 @@ func (c *RemoteShard) handshakeLocked(ctx context.Context) error {
 			Err: fmt.Errorf("unexpected message type %d", typ)}
 	}
 	r := &rbuf{b: payload}
-	if v := r.u16(); r.err != nil || v != ProtocolVersion {
+	// The server answers min(offered, its own); anything above our offer or
+	// below the floor is a peer we cannot talk to.
+	v := r.u16()
+	if r.err != nil || v < minProtocolVersion || v > helloVersion {
 		return &Error{Op: "handshake", Addr: c.addr, Kind: KindVersion,
-			Err: fmt.Errorf("%w: server answered version %d, want %d", ErrVersionMismatch, v, ProtocolVersion)}
+			Err: fmt.Errorf("%w: server answered version %d, want %d–%d", ErrVersionMismatch, v, minProtocolVersion, helloVersion)}
 	}
+	c.version = v
 
 	open := &wbuf{b: make([]byte, 0, 64+8*c.cfg.Points.N()*c.dim+4*len(c.cfg.Members))}
 	open.f64(c.cfg.Cell.MinRadius)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"privcluster/internal/geometry"
+	"privcluster/internal/obs"
 	"privcluster/internal/vec"
 )
 
@@ -28,6 +29,11 @@ type ServerOptions struct {
 	// Logf, when set, receives connection-level diagnostics. The server
 	// is silent without it.
 	Logf func(format string, args ...any)
+	// Log, when set, receives structured trace-correlation lines: one per
+	// new client trace ID seen on a connection (version-3 sessions), so an
+	// operator can grep a shard server's output for the trace ID a client
+	// printed. Lines carry IDs, addresses and counts — never data.
+	Log *obs.Logger
 }
 
 // Server hosts shards behind the wire protocol. Each connection carries
@@ -55,6 +61,10 @@ type Server struct {
 
 	sumOnce sync.Once
 	sum     uint64 // checksum of the preloaded points (see PointsChecksum)
+
+	// traces retains the server-side span trees of recently traced sessions
+	// (keyed by the client's propagated trace ID) for diagnostics.
+	traces *obs.TraceRing
 }
 
 // pointsChecksum memoizes the preloaded data's checksum — O(n·d) once,
@@ -73,8 +83,13 @@ func NewServer(opts ServerOptions) *Server {
 		stop:      cancel,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*serverConn]struct{}),
+		traces:    obs.NewTraceRing(64),
 	}
 }
+
+// Trace returns the retained server-side trace for a propagated client
+// trace ID, or nil when it has aged out of the ring (or never arrived).
+func (s *Server) Trace(id obs.TraceID) *obs.Trace { return s.traces.Get(id) }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.opts.Logf != nil {
@@ -187,9 +202,15 @@ type serverConn struct {
 	conn net.Conn
 	busy atomic.Bool // a request is being served (graceful-shutdown hint)
 
-	shard  *geometry.LocalShard
-	mshard *geometry.MutableLocalShard
-	n      int // global point count of the session (at open, for mutable)
+	shard   *geometry.LocalShard
+	mshard  *geometry.MutableLocalShard
+	n       int    // global point count of the session (at open, for mutable)
+	version uint16 // negotiated protocol version (0 until HELLO)
+
+	// trace mirrors the client's current query trace (version-3 sessions):
+	// one server-side span tree per propagated trace ID, announced in the
+	// structured log on first sight and retained in the server's ring.
+	trace *obs.Trace
 }
 
 func (sc *serverConn) serve() {
@@ -246,27 +267,88 @@ func encodeError(e *wireError) []byte {
 	return w.b
 }
 
-// handle dispatches one request frame.
+// msgName names a request type for span and log labels.
+func msgName(typ byte) string {
+	switch typ {
+	case msgPartials:
+		return "partials"
+	case msgCountBatch:
+		return "countbatch"
+	case msgDupCounts:
+		return "dupcounts"
+	case msgAppend:
+		return "append"
+	case msgDelete:
+		return "delete"
+	case msgEpochGet:
+		return "epoch"
+	case msgMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("msg%d", typ)
+	}
+}
+
+// handle dispatches one request frame. On version-3 sessions the post-OPEN
+// payload opens with the trace field; a propagated trace ID opens (or
+// continues) the connection's server-side trace and the request runs under
+// a span named for its type, so the server's view of a traced query lands
+// in its log and trace ring under the client's ID. The trace never reaches
+// the shard computation's results — only the context it runs under.
 func (sc *serverConn) handle(typ byte, payload []byte) (byte, []byte, *wireError) {
+	ctx := sc.srv.ctx
+	var span *obs.Span
+	if sc.version >= 3 && typ != msgHello && typ != msgOpen {
+		if len(payload) < 1 {
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "missing trace field"}
+		}
+		switch payload[0] {
+		case 0:
+			payload = payload[1:]
+		case 1:
+			if len(payload) < 17 {
+				return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "truncated trace field"}
+			}
+			var id obs.TraceID
+			copy(id[:], payload[1:17])
+			payload = payload[17:]
+			if sc.trace.ID() != id {
+				sc.trace = obs.NewTraceWith(id)
+				sc.srv.traces.Add(sc.trace)
+				sc.srv.opts.Log.Info("traced session",
+					"trace", id.String(), "remote", sc.conn.RemoteAddr().String())
+			}
+			ctx = obs.ContextWith(ctx, sc.trace)
+			ctx, span = obs.StartSpan(ctx, "rpc/"+msgName(typ))
+		default:
+			return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed trace field"}
+		}
+	}
+	respType, resp, herr := sc.dispatch(ctx, typ, payload)
+	span.End()
+	return respType, resp, herr
+}
+
+func (sc *serverConn) dispatch(ctx context.Context, typ byte, payload []byte) (byte, []byte, *wireError) {
 	switch typ {
 	case msgHello:
 		return sc.handleHello(payload)
 	case msgOpen:
 		return sc.handleOpen(payload)
 	case msgPartials:
-		return sc.handlePartials(payload)
+		return sc.handlePartials(ctx, payload)
 	case msgCountBatch:
-		return sc.handleCountBatch(payload)
+		return sc.handleCountBatch(ctx, payload)
 	case msgDupCounts:
-		return sc.handleDupCounts(payload)
+		return sc.handleDupCounts(ctx, payload)
 	case msgAppend:
-		return sc.handleAppend(payload)
+		return sc.handleAppend(ctx, payload)
 	case msgDelete:
-		return sc.handleDelete(payload)
+		return sc.handleDelete(ctx, payload)
 	case msgEpochGet:
-		return sc.handleEpochGet(payload)
+		return sc.handleEpochGet(ctx, payload)
 	case msgMerge:
-		return sc.handleMerge(payload)
+		return sc.handleMerge(ctx, payload)
 	default:
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true,
 			msg: fmt.Sprintf("unknown message type %d", typ)}
@@ -280,12 +362,19 @@ func (sc *serverConn) handleHello(payload []byte) (byte, []byte, *wireError) {
 	if r.err != nil || [4]byte(magic) != wireMagic {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "not a shard-protocol hello"}
 	}
-	if version != ProtocolVersion {
+	if version < minProtocolVersion {
 		return 0, nil, &wireError{code: codeVersion, fatal: true,
-			msg: fmt.Sprintf("server speaks protocol version %d, client sent %d", ProtocolVersion, version)}
+			msg: fmt.Sprintf("server speaks protocol versions %d–%d, client sent %d", minProtocolVersion, ProtocolVersion, version)}
 	}
+	// Answer the highest version both sides speak: an old v2 client gets a
+	// v2 session (no trace fields anywhere), a v3 client gets v3.
+	v := version
+	if v > ProtocolVersion {
+		v = ProtocolVersion
+	}
+	sc.version = v
 	w := &wbuf{}
-	w.u16(ProtocolVersion)
+	w.u16(v)
 	return msgHelloOK, w.b, nil
 }
 
@@ -375,7 +464,7 @@ func (sc *serverConn) backend() geometry.ShardBackend {
 	return nil
 }
 
-func (sc *serverConn) handlePartials(payload []byte) (byte, []byte, *wireError) {
+func (sc *serverConn) handlePartials(ctx context.Context, payload []byte) (byte, []byte, *wireError) {
 	be := sc.backend()
 	if be == nil {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
@@ -389,14 +478,14 @@ func (sc *serverConn) handlePartials(payload []byte) (byte, []byte, *wireError) 
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed partials frame"}
 	}
-	counts, err := be.PartialCounts(sc.srv.ctx, epoch, j, radius, limit, exact)
+	counts, err := be.PartialCounts(ctx, epoch, j, radius, limit, exact)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
 	return msgCounts, encodeCounts(counts), nil
 }
 
-func (sc *serverConn) handleCountBatch(payload []byte) (byte, []byte, *wireError) {
+func (sc *serverConn) handleCountBatch(ctx context.Context, payload []byte) (byte, []byte, *wireError) {
 	be := sc.backend()
 	if be == nil {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
@@ -420,14 +509,14 @@ func (sc *serverConn) handleCountBatch(payload []byte) (byte, []byte, *wireError
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed countbatch frame"}
 	}
-	counts, err := be.CountBatch(sc.srv.ctx, epoch, centers, radius)
+	counts, err := be.CountBatch(ctx, epoch, centers, radius)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
 	return msgCounts, encodeCounts(counts), nil
 }
 
-func (sc *serverConn) handleDupCounts(payload []byte) (byte, []byte, *wireError) {
+func (sc *serverConn) handleDupCounts(ctx context.Context, payload []byte) (byte, []byte, *wireError) {
 	be := sc.backend()
 	if be == nil {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "request before open"}
@@ -437,7 +526,7 @@ func (sc *serverConn) handleDupCounts(payload []byte) (byte, []byte, *wireError)
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed dupcounts frame"}
 	}
-	counts, err := be.DupCounts(sc.srv.ctx, epoch)
+	counts, err := be.DupCounts(ctx, epoch)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
@@ -456,7 +545,7 @@ func (sc *serverConn) mutableSession() *wireError {
 	return nil
 }
 
-func (sc *serverConn) handleAppend(payload []byte) (byte, []byte, *wireError) {
+func (sc *serverConn) handleAppend(ctx context.Context, payload []byte) (byte, []byte, *wireError) {
 	if werr := sc.mutableSession(); werr != nil {
 		return 0, nil, werr
 	}
@@ -482,14 +571,14 @@ func (sc *serverConn) handleAppend(payload []byte) (byte, []byte, *wireError) {
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed append frame"}
 	}
-	epoch, err := sc.mshard.Append(sc.srv.ctx, rows, memberLocal, ids)
+	epoch, err := sc.mshard.Append(ctx, rows, memberLocal, ids)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
 	return msgEpoch, encodeEpoch(epoch, sc.mshard.NPoints()), nil
 }
 
-func (sc *serverConn) handleDelete(payload []byte) (byte, []byte, *wireError) {
+func (sc *serverConn) handleDelete(ctx context.Context, payload []byte) (byte, []byte, *wireError) {
 	if werr := sc.mutableSession(); werr != nil {
 		return 0, nil, werr
 	}
@@ -505,21 +594,21 @@ func (sc *serverConn) handleDelete(payload []byte) (byte, []byte, *wireError) {
 	if r.err != nil || r.off != len(payload) {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed delete frame"}
 	}
-	epoch, err := sc.mshard.Delete(sc.srv.ctx, ids)
+	epoch, err := sc.mshard.Delete(ctx, ids)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
 	return msgEpoch, encodeEpoch(epoch, sc.mshard.NPoints()), nil
 }
 
-func (sc *serverConn) handleEpochGet(payload []byte) (byte, []byte, *wireError) {
+func (sc *serverConn) handleEpochGet(ctx context.Context, payload []byte) (byte, []byte, *wireError) {
 	if werr := sc.mutableSession(); werr != nil {
 		return 0, nil, werr
 	}
 	if len(payload) != 0 {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed epoch frame"}
 	}
-	epoch, err := sc.mshard.CurrentEpoch(sc.srv.ctx)
+	epoch, err := sc.mshard.CurrentEpoch(ctx)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}
@@ -529,17 +618,17 @@ func (sc *serverConn) handleEpochGet(payload []byte) (byte, []byte, *wireError) 
 // handleMerge folds the session shard's append deltas under the server
 // context, so a shutdown cancels an in-flight merge rather than waiting
 // out an index rebuild.
-func (sc *serverConn) handleMerge(payload []byte) (byte, []byte, *wireError) {
+func (sc *serverConn) handleMerge(ctx context.Context, payload []byte) (byte, []byte, *wireError) {
 	if werr := sc.mutableSession(); werr != nil {
 		return 0, nil, werr
 	}
 	if len(payload) != 0 {
 		return 0, nil, &wireError{code: codeBadRequest, fatal: true, msg: "malformed merge frame"}
 	}
-	if err := sc.mshard.Merge(sc.srv.ctx); err != nil {
+	if err := sc.mshard.Merge(ctx); err != nil {
 		return 0, nil, sc.computeError(err)
 	}
-	epoch, err := sc.mshard.CurrentEpoch(sc.srv.ctx)
+	epoch, err := sc.mshard.CurrentEpoch(ctx)
 	if err != nil {
 		return 0, nil, sc.computeError(err)
 	}

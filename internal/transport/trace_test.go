@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"privcluster/internal/geometry"
+	"privcluster/internal/obs"
+)
+
+// dialTestShard opens one whole-dataset shard session against a fresh
+// loopback server and returns the client, the server, and a cleanup.
+func dialTestShard(t *testing.T, sopts ServerOptions) (*RemoteShard, *Server) {
+	t.Helper()
+	pts := testPoints(t, 77, 80, 2)
+	ln := NewLoopbackNet()
+	l, err := ln.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sopts)
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	members := make([]int32, len(pts))
+	for i := range members {
+		members[i] = int32(i)
+	}
+	rs, err := DialShard(context.Background(), "srv", geometry.ShardConfig{
+		Points: frameOf(t, pts), Members: members, Cell: testCellOptions(2),
+	}, Options{Dial: func(ctx context.Context, addr string) (net.Conn, error) {
+		return ln.Dial(ctx, addr)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rs.Close() })
+	return rs, srv
+}
+
+// TestTracePropagation: a query run under a client trace reaches the
+// server carrying the same 16-byte ID — the server's retained span tree is
+// found under the client's ID, holds a span per request type issued, and
+// the structured log announces the ID once per connection.
+func TestTracePropagation(t *testing.T) {
+	var logBuf bytes.Buffer
+	rs, srv := dialTestShard(t, ServerOptions{
+		Log: obs.NewLogger(&logBuf, 0, 0),
+	})
+
+	tr := obs.NewTrace()
+	ctx := obs.ContextWith(context.Background(), tr)
+	if _, err := rs.PartialCounts(ctx, geometry.EpochFrozen, 0, 0.01, 5, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.DupCounts(ctx, geometry.EpochFrozen); err != nil {
+		t.Fatal(err)
+	}
+
+	st := srv.Trace(tr.ID())
+	if st == nil {
+		t.Fatalf("server retained no trace under the client ID %s", tr.ID())
+	}
+	if st.ID() != tr.ID() {
+		t.Fatalf("server trace ID = %s, want the client's %s", st.ID(), tr.ID())
+	}
+	names := make(map[string]bool)
+	for _, s := range st.Spans() {
+		names[s.Name] = true
+	}
+	if !names["rpc/partials"] || !names["rpc/dupcounts"] {
+		t.Fatalf("server spans = %v, want rpc/partials and rpc/dupcounts", names)
+	}
+
+	logged := logBuf.String()
+	if !strings.Contains(logged, tr.ID().String()) {
+		t.Fatalf("server log does not mention the trace ID %s:\n%s", tr.ID(), logged)
+	}
+	if n := strings.Count(logged, tr.ID().String()); n != 1 {
+		t.Fatalf("trace announced %d times on one connection, want once:\n%s", n, logged)
+	}
+
+	// An untraced call on the same v3 session must not attach to the trace.
+	before := len(st.Spans())
+	if _, err := rs.DupCounts(context.Background(), geometry.EpochFrozen); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(st.Spans()); after != before {
+		t.Fatalf("untraced request grew the trace: %d -> %d spans", before, after)
+	}
+}
+
+// TestV2Interop: a client pinned to protocol version 2 negotiates a v2
+// session against the v3 server and gets bit-identical counts to a v3
+// session — the trace field is a pure framing addition, invisible to
+// results — and a traced context on a v2 session is silently dropped
+// rather than wired.
+func TestV2Interop(t *testing.T) {
+	rsV3, _ := dialTestShard(t, ServerOptions{})
+	v3counts, err := rsV3.PartialCounts(context.Background(), geometry.EpochFrozen, 0, 0.01, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	helloVersion = 2
+	defer func() { helloVersion = ProtocolVersion }()
+	rsV2, srv2 := dialTestShard(t, ServerOptions{})
+	rsV2.mu.Lock()
+	v := rsV2.version
+	rsV2.mu.Unlock()
+	if v != 2 {
+		t.Fatalf("pinned client negotiated version %d, want 2", v)
+	}
+
+	tr := obs.NewTrace()
+	ctx := obs.ContextWith(context.Background(), tr)
+	v2counts, err := rsV2.PartialCounts(ctx, geometry.EpochFrozen, 0, 0.01, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2counts) != len(v3counts) {
+		t.Fatalf("v2 session returned %d counts, v3 %d", len(v2counts), len(v3counts))
+	}
+	for i := range v2counts {
+		if v2counts[i] != v3counts[i] {
+			t.Fatalf("count[%d] = %d on v2, %d on v3", i, v2counts[i], v3counts[i])
+		}
+	}
+	if st := srv2.Trace(tr.ID()); st != nil {
+		t.Fatalf("a v2 session must not carry the trace, but the server retained %s", st.ID())
+	}
+}

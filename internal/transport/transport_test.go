@@ -520,8 +520,9 @@ func TestVersionMismatch(t *testing.T) {
 		t.Errorf("version mismatch was retried: %d dials", dials.Load())
 	}
 
-	// Server side of the same contract: a client hello with an unknown
-	// version gets the version error frame back.
+	// Server side of the same contract: a client hello below the version
+	// floor gets the version error frame back, while a future version is
+	// negotiated down to the server's highest.
 	srvL, err := ln.Listen("current")
 	if err != nil {
 		t.Fatal(err)
@@ -537,7 +538,7 @@ func TestVersionMismatch(t *testing.T) {
 	bw := bufio.NewWriter(conn)
 	w := &wbuf{}
 	w.b = append(w.b, wireMagic[:]...)
-	w.u16(ProtocolVersion + 7)
+	w.u16(minProtocolVersion - 1)
 	if err := writeFrame(bw, msgHello, w.b); err != nil {
 		t.Fatal(err)
 	}
@@ -546,11 +547,35 @@ func TestVersionMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	if typ != msgError {
-		t.Fatalf("server answered type %d to a future version, want error frame", typ)
+		t.Fatalf("server answered type %d to a pre-floor version, want error frame", typ)
 	}
 	r := &rbuf{b: payload}
 	if code := r.u16(); code != codeVersion {
 		t.Fatalf("error code = %d, want %d", code, codeVersion)
+	}
+
+	conn2, err := ln.Dial(context.Background(), "current")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	bw2 := bufio.NewWriter(conn2)
+	w = &wbuf{}
+	w.b = append(w.b, wireMagic[:]...)
+	w.u16(ProtocolVersion + 7)
+	if err := writeFrame(bw2, msgHello, w.b); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = readFrame(bufio.NewReader(conn2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgHelloOK {
+		t.Fatalf("server answered type %d to a future version, want hello-ok", typ)
+	}
+	r = &rbuf{b: payload}
+	if v := r.u16(); v != ProtocolVersion {
+		t.Fatalf("server negotiated version %d with a future client, want %d", v, ProtocolVersion)
 	}
 }
 

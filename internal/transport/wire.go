@@ -32,12 +32,25 @@
 // coordinator drives all shards of one index in lockstep, so a pinned
 // query hits the same snapshot on every replica.
 //
-// Versioning: the version is negotiated in the handshake. A server that
-// does not speak the client's version answers with a typed ERROR frame
-// (code version-mismatch) and the client surfaces ErrVersionMismatch;
-// unknown message types on an established connection are protocol errors
-// that close it. The version covers the whole frame grammar — any change
-// to payload layouts bumps it.
+// Versioning: the version is negotiated in the handshake. The client's
+// HELLO carries the highest version it speaks; the server answers with
+// min(client, server) provided both sides speak at least version 2, so a
+// v3 client interoperates with a v2 server (and vice versa) by settling on
+// the common grammar. A server that cannot meet the client answers with a
+// typed ERROR frame (code version-mismatch) and the client surfaces
+// ErrVersionMismatch; unknown message types on an established connection
+// are protocol errors that close it. The version covers the whole frame
+// grammar — any change to payload layouts bumps it.
+//
+// Tracing (version 3): on a session negotiated at version 3 or above,
+// every post-OPEN request payload opens with a one-byte trace flag — 0
+// (untraced; nothing follows) or 1 followed by the 16-byte trace ID of the
+// client's query trace. The server tags its logs and per-request spans
+// with the propagated ID, so one traced query correlates across the
+// client and every shard server it fanned out to. The field never
+// influences answers: a v3 session with flag 0 on every frame computes
+// byte-identical responses to a v2 session, and trace IDs carry no data
+// derived from the points.
 //
 // All integers are big endian; float64 coordinates travel as their IEEE
 // bit patterns, so the points a server indexes are bit-identical to the
@@ -55,11 +68,18 @@ import (
 	"privcluster/internal/vec"
 )
 
-// ProtocolVersion is the wire protocol version this package speaks.
-// Version 2 added mutable sessions: the OPEN mutability flag, the leading
-// epoch on every query frame, and the APPEND/DELETE/EPOCH_GET/MERGE
-// request types with their EPOCH response.
-const ProtocolVersion uint16 = 2
+// ProtocolVersion is the highest wire protocol version this package
+// speaks. Version 2 added mutable sessions: the OPEN mutability flag, the
+// leading epoch on every query frame, and the APPEND/DELETE/EPOCH_GET/
+// MERGE request types with their EPOCH response. Version 3 added the
+// optional trace-ID prefix on post-OPEN request payloads (see the package
+// comment); sessions negotiate down to version 2 against older peers.
+const ProtocolVersion uint16 = 3
+
+// minProtocolVersion is the oldest version either side still accepts in
+// negotiation: the version-2 grammar is the floor (version 1 predates the
+// epoch discipline the geometry layer now requires).
+const minProtocolVersion uint16 = 2
 
 // wireMagic opens every HELLO frame: a connection that does not start
 // with it is not speaking this protocol at all.

@@ -150,7 +150,7 @@ func TestDatasetIndexCacheSize(t *testing.T) {
 
 	build := func(ds *Dataset, shards int) {
 		t.Helper()
-		if _, err := ds.index(indexKey{pol: core.IndexScalable, shards: shards, workers: 1}); err != nil {
+		if _, _, err := ds.index(indexKey{pol: core.IndexScalable, shards: shards, workers: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -106,7 +106,7 @@ func TestDatasetIndexCacheKey(t *testing.T) {
 	}
 	shardsOf := func(key indexKey) int {
 		t.Helper()
-		ix, err := ds.index(key)
+		ix, _, err := ds.index(key)
 		if err != nil {
 			t.Fatal(err)
 		}
